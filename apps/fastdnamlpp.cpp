@@ -1,0 +1,181 @@
+// fastdnaml++ — the command-line program, in the spirit of the original
+// fastDNAml interface: PHYLIP alignment in, maximum-likelihood tree out,
+// with jumbles, bootstrap, rate categories, rearrangement control, and the
+// parallel runtime behind a flag.
+//
+//   fastdnamlpp alignment.phy                         # serial, defaults
+//   fastdnamlpp alignment.phy --jumble=10 --seed=3    # 10 addition orders
+//   fastdnamlpp alignment.phy --workers=8             # parallel cluster
+//   fastdnamlpp alignment.phy --bootstrap=100         # bootstrap supports
+//   fastdnamlpp alignment.phy --tstv=2.0 --cross=5 --gamma=0.5 --categories=4
+//   fastdnamlpp alignment.phy --out=best.nwk --svg=compare.svg
+#include <cstdio>
+#include <fstream>
+
+#include "fdml.hpp"
+
+namespace {
+
+void usage(const char* program) {
+  std::printf(
+      "usage: %s ALIGNMENT.phy [options]\n"
+      "  --seed=N          random seed for taxon addition order (default 1)\n"
+      "  --jumble=N        number of random addition orders (default 1)\n"
+      "  --bootstrap=N     bootstrap replicates instead of a plain search\n"
+      "  --tstv=R          F84 transition/transversion ratio (default 2.0)\n"
+      "  --gamma=ALPHA     discrete-gamma rate heterogeneity (off by default)\n"
+      "  --categories=N    gamma categories (default 4)\n"
+      "  --cross=K         vertices crossed in rearrangements (default 1)\n"
+      "  --final-cross=K   final-pass setting (default = --cross)\n"
+      "  --adaptive=K      escalate stalled rearrangements up to K\n"
+      "  --workers=N       run the parallel cluster with N workers\n"
+      "  --timeout-ms=T    worker fault-tolerance timeout (default 30000)\n"
+      "  --checkpoint=FILE write a restart checkpoint after each addition\n"
+      "  --resume=FILE     continue an interrupted run from its checkpoint\n"
+      "  --out=FILE        write the best tree (Newick)\n"
+      "  --svg=FILE        write a comparison SVG across jumbles\n"
+      "  --quiet           suppress the ASCII tree\n",
+      program);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace fdml;
+  const CliArgs args(argc, argv);
+  if (args.positional().empty()) {
+    usage(argv[0]);
+    return 2;
+  }
+
+  Alignment alignment;
+  try {
+    alignment = read_phylip_file(args.positional().front());
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error reading %s: %s\n",
+                 args.positional().front().c_str(), error.what());
+    return 1;
+  }
+  const PatternAlignment data(alignment);
+  std::printf("fastdnaml++ | %zu taxa x %zu sites -> %zu patterns\n",
+              data.num_taxa(), alignment.num_sites(), data.num_patterns());
+
+  const SubstModel model =
+      SubstModel::f84_from_tstv(data.base_frequencies(), args.get_double("tstv", 2.0));
+  const RateModel rates =
+      args.has("gamma")
+          ? RateModel::discrete_gamma(args.get_double("gamma", 0.5),
+                                      static_cast<int>(args.get_int("categories", 4)))
+          : RateModel::uniform();
+  std::printf("model: %s, ts/tv=%.2f, rates: %s\n", model.name().c_str(),
+              model.tstv_ratio(), rates.name().c_str());
+
+  SearchOptions options;
+  options.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  options.rearrange_cross = static_cast<int>(args.get_int("cross", 1));
+  options.final_rearrange_cross =
+      static_cast<int>(args.get_int("final-cross", options.rearrange_cross));
+  options.adaptive_max_cross = static_cast<int>(args.get_int("adaptive", 0));
+
+  // Bootstrap mode.
+  if (args.has("bootstrap")) {
+    BootstrapOptions boot;
+    boot.replicates = static_cast<int>(args.get_int("bootstrap", 100));
+    boot.seed = options.seed;
+    boot.search = options;
+    std::printf("bootstrap: %d replicates...\n", boot.replicates);
+    const BootstrapResult result = run_bootstrap(alignment, model, rates, boot);
+    AsciiOptions ascii;
+    ascii.show_support = true;
+    std::printf("\nMajority-rule bootstrap consensus "
+                "(labels = %% of replicates):\n%s\n",
+                render_ascii(result.consensus, ascii).c_str());
+    if (args.has("out")) {
+      std::ofstream out(args.get("out", ""));
+      out << to_newick(result.consensus) << "\n";
+      std::printf("wrote %s\n", args.get("out", "").c_str());
+    }
+    return 0;
+  }
+
+  // Plain (possibly jumbled, possibly parallel) search.
+  const int jumbles = static_cast<int>(args.get_int("jumble", 1));
+  std::unique_ptr<InProcessCluster> cluster;
+  std::unique_ptr<SerialTaskRunner> serial;
+  TaskRunner* runner;
+  if (args.has("workers")) {
+    ClusterOptions cluster_options;
+    cluster_options.num_workers = static_cast<int>(args.get_int("workers", 4));
+    cluster_options.foreman.worker_timeout =
+        std::chrono::milliseconds(args.get_int("timeout-ms", 30000));
+    cluster = std::make_unique<InProcessCluster>(data, model, rates, cluster_options);
+    runner = &cluster->runner();
+    std::printf("parallel: %d workers (+ master/foreman/monitor)\n",
+                cluster->num_workers());
+  } else {
+    serial = std::make_unique<SerialTaskRunner>(data, model, rates);
+    runner = serial.get();
+  }
+
+  options.checkpoint_path = args.get("checkpoint", "");
+
+  Timer timer;
+  JumbleResult jumbled;
+  if (args.has("resume")) {
+    const SearchCheckpoint checkpoint =
+        SearchCheckpoint::load_file(args.get("resume", ""));
+    std::printf("resuming from %s (%d of %zu taxa placed)\n",
+                args.get("resume", "").c_str(), checkpoint.next_order_index,
+                data.num_taxa());
+    options.seed = checkpoint.seed;
+    jumbled.runs.push_back(
+        StepwiseSearch(data, options).resume(*runner, checkpoint));
+  } else {
+    jumbled = run_jumbles(data, options, jumbles, *runner);
+  }
+  const SearchResult& best = jumbled.runs[jumbled.best_index];
+  std::printf("\n%d ordering(s), %.1fs: best ln L = %.4f "
+              "(%zu trees evaluated in the best run)\n",
+              jumbles, timer.seconds(), best.best_log_likelihood,
+              best.trees_evaluated);
+  for (std::size_t k = 0; k < jumbled.runs.size(); ++k) {
+    std::printf("  order %2zu: ln L = %.4f%s\n", k,
+                jumbled.runs[k].best_log_likelihood,
+                k == jumbled.best_index ? "  <- best" : "");
+  }
+
+  const Tree tree = tree_from_newick(best.best_newick, data.names());
+  if (!args.get_bool("quiet")) {
+    GeneralTree display = GeneralTree::from_tree(tree, data.names());
+    display.canonicalize();
+    std::printf("\n%s\n", render_ascii(display).c_str());
+  }
+  std::printf("Newick: %s\n", to_newick(tree, data.names(), 6).c_str());
+
+  if (args.has("out")) {
+    std::ofstream out(args.get("out", ""));
+    out << to_newick(tree, data.names(), 10) << "\n";
+    std::printf("wrote %s\n", args.get("out", "").c_str());
+  }
+  if (args.has("svg") && jumbles > 1) {
+    std::vector<GeneralTree> panels;
+    std::vector<std::string> titles;
+    for (std::size_t k = 0; k < jumbled.runs.size(); ++k) {
+      panels.push_back(GeneralTree::from_tree(
+          tree_from_newick(jumbled.runs[k].best_newick, data.names()),
+          data.names()));
+      titles.push_back("order " + std::to_string(k));
+    }
+    std::ofstream out(args.get("svg", ""));
+    out << render_comparison_svg(panels, {data.names().front()}, titles);
+    std::printf("wrote %s\n", args.get("svg", "").c_str());
+  }
+  if (cluster != nullptr) {
+    const MonitorReport report = cluster->monitor_report();
+    std::printf("\nmonitor: %llu rounds, %llu tasks, %llu requeues\n",
+                static_cast<unsigned long long>(report.rounds),
+                static_cast<unsigned long long>(report.completions),
+                static_cast<unsigned long long>(report.requeues));
+  }
+  return 0;
+}

@@ -1,0 +1,169 @@
+// Kernel microbenchmarks (google-benchmark): the primitives whose costs
+// drive everything else — transition matrices, CLV updates, edge likelihood
+// evaluation, Newton branch optimization, pattern compression, Fitch
+// scoring, topology hashing. These numbers calibrate the cluster simulator
+// (see WorkloadModel) and document where the cycles go.
+#include <benchmark/benchmark.h>
+
+#include "fdml.hpp"
+
+namespace {
+
+using namespace fdml;
+
+const SubstModel& f84_model() {
+  static const SubstModel model =
+      SubstModel::f84_from_tstv({0.28, 0.21, 0.26, 0.25}, 2.0);
+  return model;
+}
+
+void BM_TransitionMatrix(benchmark::State& state) {
+  Mat4 p{};
+  double t = 0.01;
+  for (auto _ : state) {
+    f84_model().transition(t, p);
+    benchmark::DoNotOptimize(p);
+    t += 1e-6;
+  }
+}
+BENCHMARK(BM_TransitionMatrix);
+
+void BM_TransitionWithDerivatives(benchmark::State& state) {
+  Mat4 p{};
+  Mat4 dp{};
+  Mat4 d2p{};
+  double t = 0.01;
+  for (auto _ : state) {
+    f84_model().transition_with_derivs(t, p, dp, d2p);
+    benchmark::DoNotOptimize(d2p);
+    t += 1e-6;
+  }
+}
+BENCHMARK(BM_TransitionWithDerivatives);
+
+struct EngineFixture {
+  EngineFixture(int taxa, std::size_t sites)
+      : alignment(make_paper_like_dataset(taxa, sites, 7)),
+        data(alignment),
+        engine(data, f84_model(), RateModel::uniform()),
+        rng(3),
+        tree(random_tree(taxa, rng)) {
+    engine.attach(tree);
+  }
+  Alignment alignment;
+  PatternAlignment data;
+  LikelihoodEngine engine;
+  Rng rng;
+  Tree tree;
+};
+
+void BM_FullTreeLikelihood(benchmark::State& state) {
+  EngineFixture fx(static_cast<int>(state.range(0)),
+                   static_cast<std::size_t>(state.range(1)));
+  for (auto _ : state) {
+    fx.engine.invalidate_all();
+    benchmark::DoNotOptimize(fx.engine.log_likelihood());
+  }
+  state.SetLabel(std::to_string(fx.data.num_patterns()) + " patterns");
+}
+BENCHMARK(BM_FullTreeLikelihood)
+    ->Args({20, 500})
+    ->Args({50, 1858})
+    ->Args({150, 1269});
+
+void BM_EdgeLikelihoodEvaluate(benchmark::State& state) {
+  EngineFixture fx(50, 1858);
+  const auto [u, v] = fx.tree.edges()[5];
+  const EdgeLikelihood f = fx.engine.edge_likelihood(u, v);
+  double t = 0.05;
+  double d1 = 0.0;
+  double d2 = 0.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.evaluate(t, &d1, &d2));
+    t = t < 0.5 ? t + 1e-4 : 0.05;
+  }
+}
+BENCHMARK(BM_EdgeLikelihoodEvaluate);
+
+void BM_NewtonOptimizeEdge(benchmark::State& state) {
+  EngineFixture fx(50, 1858);
+  BranchOptimizer optimizer(fx.engine);
+  const auto edges = fx.tree.edges();
+  std::size_t e = 0;
+  for (auto _ : state) {
+    const auto [u, v] = edges[e % edges.size()];
+    fx.tree.set_length(u, v, 0.1);
+    fx.engine.on_length_changed(u, v);
+    benchmark::DoNotOptimize(optimizer.optimize_edge(fx.tree, u, v));
+    ++e;
+  }
+}
+BENCHMARK(BM_NewtonOptimizeEdge);
+
+void BM_FullSmooth(benchmark::State& state) {
+  EngineFixture fx(static_cast<int>(state.range(0)), 1000);
+  BranchOptimizer optimizer(fx.engine);
+  for (auto _ : state) {
+    for (const auto& [u, v] : fx.tree.edges()) fx.tree.set_length(u, v, 0.1);
+    fx.engine.invalidate_all();
+    benchmark::DoNotOptimize(optimizer.smooth(fx.tree, 2));
+  }
+}
+BENCHMARK(BM_FullSmooth)->Arg(20)->Arg(50)->Unit(benchmark::kMillisecond);
+
+void BM_PatternCompression(benchmark::State& state) {
+  const Alignment alignment =
+      make_paper_like_dataset(static_cast<int>(state.range(0)), 1858, 7);
+  for (auto _ : state) {
+    const PatternAlignment data(alignment);
+    benchmark::DoNotOptimize(data.num_patterns());
+  }
+}
+BENCHMARK(BM_PatternCompression)->Arg(50)->Arg(101)->Unit(benchmark::kMillisecond);
+
+void BM_FitchScore(benchmark::State& state) {
+  EngineFixture fx(50, 1858);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fitch_score(fx.tree, fx.data));
+  }
+}
+BENCHMARK(BM_FitchScore);
+
+void BM_TopologyHash(benchmark::State& state) {
+  Rng rng(5);
+  const Tree tree = random_tree(static_cast<int>(state.range(0)), rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(topology_hash(tree));
+  }
+}
+BENCHMARK(BM_TopologyHash)->Arg(50)->Arg(150);
+
+void BM_NewickRoundTrip(benchmark::State& state) {
+  Rng rng(5);
+  const int taxa = 150;
+  const Tree tree = random_tree(taxa, rng);
+  const auto names = default_taxon_names(taxa);
+  for (auto _ : state) {
+    const std::string text = to_newick(tree, names, 17);
+    benchmark::DoNotOptimize(tree_from_newick(text, names));
+  }
+}
+BENCHMARK(BM_NewickRoundTrip);
+
+void BM_SimulateAlignment(benchmark::State& state) {
+  Rng rng(7);
+  const Tree tree = random_yule_tree(50, rng);
+  SimulateOptions options;
+  options.num_sites = 1858;
+  for (auto _ : state) {
+    Rng sim(11);
+    benchmark::DoNotOptimize(simulate_alignment(tree, default_taxon_names(50),
+                                                f84_model(), RateModel::uniform(),
+                                                options, sim));
+  }
+}
+BENCHMARK(BM_SimulateAlignment)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,52 @@
+// Experiment: section 3.2's open question — Ceron et al.'s parallel DNAml
+// "performs speculative calculations based on the relatively low
+// probability of a local rearrangement improving the likelihood ... We have
+// not studied the runtime behavior of our implementation ... to see if such
+// a feature would enhance the scalability of the parallel version of
+// fastDNAml. We plan to do so." This bench is that study, on the
+// discrete-event model: barriers after rearrangement rounds are crossed
+// speculatively; improving rounds waste the speculative work.
+#include <cstdio>
+
+#include "fdml.hpp"
+
+int main(int argc, char** argv) {
+  using namespace fdml;
+  const CliArgs args(argc, argv);
+  const int taxa = static_cast<int>(args.get_int("taxa", 50));
+  const std::size_t sites = static_cast<std::size_t>(args.get_int("sites", 1858));
+  const double slowdown = args.get_double("slowdown", 30.0);
+
+  const Alignment sample = make_paper_like_dataset(16, 250, 7);
+  const PatternAlignment sample_data(sample);
+  const SubstModel model =
+      SubstModel::f84_from_tstv(sample_data.base_frequencies(), 2.0);
+  const WorkloadModel workload =
+      calibrate_workload(sample_data, model, RateModel::uniform());
+
+  std::printf("Speculative dispatch across rearrangement barriers "
+              "(%d taxa x %zu sites)\n\n", taxa, sites);
+  for (int cross : {1, 5}) {
+    Rng rng(42);
+    SearchTrace trace = synthesize_trace(taxa, sites, cross, workload, rng);
+    trace.scale_costs(slowdown);
+    std::printf("k=%d   (%zu rounds, %zu tasks)\n", cross, trace.rounds.size(),
+                trace.total_tasks());
+    std::printf("%11s %12s %12s %9s %12s %9s\n", "processors", "normal",
+                "speculative", "gain", "speculated", "wasted");
+    for (std::int64_t p : args.get_int_list("procs", {8, 16, 32, 64})) {
+      const SimClusterConfig config = sp_era_config(static_cast<int>(p), slowdown);
+      const double normal = simulate_trace(trace, config).wall_seconds;
+      const SpeculativeResult spec = simulate_trace_speculative(trace, config);
+      std::printf("%11lld %11.0fs %11.0fs %8.1f%% %12zu %9zu\n",
+                  static_cast<long long>(p), normal, spec.sim.wall_seconds,
+                  100.0 * (normal - spec.sim.wall_seconds) / normal,
+                  spec.speculated_rounds, spec.wasted_speculations);
+    }
+    std::printf("\n");
+  }
+  std::printf("Expected shape: modest gains, growing with processor count "
+              "(more idle tail\nto fill) and larger at k=1 (narrow rounds, "
+              "many barriers).\n");
+  return 0;
+}

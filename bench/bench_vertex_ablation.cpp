@@ -1,0 +1,65 @@
+// Experiment: section 3.2's vertex-crossing ablation — "Setting the number
+// of vertices crossed to one ... decreases the efficiency of scalability
+// because there is a smaller total amount of work done between
+// synchronizations. Increasing the number of vertices to be crossed would
+// improve the scaling behavior."
+//
+// Method: synthesize the 50-taxon workload at k = 1, 2, 5 (calibrated task
+// costs scaled to Power3+-era speed) and compare simulated speedups.
+#include <cstdio>
+
+#include "fdml.hpp"
+
+int main(int argc, char** argv) {
+  using namespace fdml;
+  const CliArgs args(argc, argv);
+  const int taxa = static_cast<int>(args.get_int("taxa", 50));
+  const std::size_t sites = static_cast<std::size_t>(args.get_int("sites", 1858));
+  const double slowdown = args.get_double("slowdown", 30.0);
+
+  const Alignment sample = make_paper_like_dataset(16, 250, 7);
+  const PatternAlignment sample_data(sample);
+  const SubstModel model =
+      SubstModel::f84_from_tstv(sample_data.base_frequencies(), 2.0);
+  const WorkloadModel workload =
+      calibrate_workload(sample_data, model, RateModel::uniform());
+
+  const auto procs = args.get_int_list("procs", {4, 8, 16, 32, 64});
+  std::printf("Simulated speedup by rearrangement setting (vertices crossed), "
+              "%d taxa x %zu sites\n", taxa, sites);
+  std::printf("%11s", "processors");
+  for (int k : {1, 2, 5}) std::printf("      k=%d", k);
+  std::printf("  %8s\n", "perfect");
+
+  std::vector<SearchTrace> traces;
+  for (int k : {1, 2, 5}) {
+    Rng rng(100 + static_cast<std::uint64_t>(k));
+    SearchTrace trace = synthesize_trace(taxa, sites, k, workload, rng);
+    trace.scale_costs(slowdown);
+    traces.push_back(std::move(trace));
+  }
+
+  for (std::int64_t p : procs) {
+    std::printf("%11lld", static_cast<long long>(p));
+    SimClusterConfig config = sp_era_config(static_cast<int>(p), slowdown);
+    for (const SearchTrace& trace : traces) {
+      std::printf(" %8.2f", simulated_speedup(trace, config));
+    }
+    std::printf("  %8d\n", config.workers());
+  }
+
+  // Barrier-slack view of the same effect at 64 processors.
+  std::printf("\nMean barrier slack at 64 processors (more work between "
+              "barriers -> slack matters less):\n");
+  const int ks[] = {1, 2, 5};
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    const SimClusterConfig config = sp_era_config(64, slowdown);
+    const SimResult r = simulate_trace(traces[i], config);
+    std::printf("  k=%d: slack %.3fs/round, utilization %.0f%%, "
+                "total tasks %zu\n", ks[i], r.mean_round_slack_seconds,
+                100.0 * r.worker_utilization, traces[i].total_tasks());
+  }
+  std::printf("\nExpected shape: larger k -> higher speedup at high processor "
+              "counts (paper ran its study at k=5).\n");
+  return 0;
+}

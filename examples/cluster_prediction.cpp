@@ -1,0 +1,67 @@
+// Capacity planning with the discrete-event cluster model: calibrate the
+// likelihood kernel on this machine, synthesize the full search workload
+// for a target dataset, and predict wall time and speedup across processor
+// counts — answering "how many CPUs do I need for this analysis?" the same
+// way the paper's Section 3 does, plus its Section 6 arithmetic (9 days
+// serial vs <4 hours at 64 processors for 150 taxa, ~200 orderings total).
+//
+//   ./cluster_prediction --taxa=150 --sites=1269 --cross=5 --orderings=200
+#include <cstdio>
+
+#include "fdml.hpp"
+
+int main(int argc, char** argv) {
+  using namespace fdml;
+  const CliArgs args(argc, argv);
+
+  const int taxa = static_cast<int>(args.get_int("taxa", 150));
+  const std::size_t sites = static_cast<std::size_t>(args.get_int("sites", 1269));
+  const int cross = static_cast<int>(args.get_int("cross", 5));
+  const int orderings = static_cast<int>(args.get_int("orderings", 200));
+  const double slowdown = args.get_double("slowdown", 1.0);
+
+  // Calibrate the per-task cost model against this machine's real kernel.
+  std::printf("Calibrating likelihood kernel (%d taxa x %zu sites sample)...\n",
+              12, static_cast<std::size_t>(200));
+  const Alignment sample = make_paper_like_dataset(12, 200, 7);
+  const PatternAlignment sample_data(sample);
+  const SubstModel model =
+      SubstModel::f84_from_tstv(sample_data.base_frequencies(), 2.0);
+  WorkloadModel workload =
+      calibrate_workload(sample_data, model, RateModel::uniform());
+  std::printf("  full-eval coefficient:  %.3g s/(site*edge*pass)\n",
+              workload.full_cost_coefficient);
+  std::printf("  quick-add coefficient:  %.3g s/site\n",
+              workload.quickadd_cost_coefficient);
+
+  Rng rng(11);
+  SearchTrace trace = synthesize_trace(taxa, sites, cross, workload, rng);
+  if (slowdown != 1.0) trace.scale_costs(slowdown);
+  std::printf("\nSynthesized workload: %d taxa x %zu sites, k=%d -> %zu rounds, "
+              "%zu tasks, %.1f CPU-hours serial\n",
+              taxa, sites, cross, trace.rounds.size(), trace.total_tasks(),
+              trace.total_task_seconds() / 3600.0);
+
+  SimClusterConfig config;
+  config.processors = 1;
+  const double serial = simulate_trace(trace, config).wall_seconds;
+
+  std::printf("\n%11s %9s %12s %9s %12s\n", "processors", "workers",
+              "wall", "speedup", "utilization");
+  std::printf("%11d %9d %12s %9s %12s\n", 1, 1,
+              (std::to_string(serial / 3600.0) + "h").c_str(), "1.00", "-");
+  for (int p : args.get_int_list("procs", {4, 8, 16, 32, 64, 128, 256})) {
+    config.processors = static_cast<int>(p);
+    const SimResult r = simulate_trace(trace, config);
+    std::printf("%11d %9d %11.2fh %9.2f %11.0f%%\n", config.processors,
+                config.workers(), r.wall_seconds / 3600.0,
+                serial / r.wall_seconds, 100.0 * r.worker_utilization);
+  }
+
+  config.processors = 64;
+  const double at64 = simulate_trace(trace, config).wall_seconds;
+  std::printf("\nFull study of %d orderings: %.0f days serial vs %.1f days on "
+              "64 processors\n", orderings,
+              orderings * serial / 86400.0, orderings * at64 / 86400.0);
+  return 0;
+}

@@ -1,0 +1,79 @@
+// The DNArates workflow: estimate per-site evolutionary rates on a fixed
+// tree, bin them into categories, and show that re-scoring with the
+// estimated categories improves the likelihood over the uniform-rate model
+// when the data are genuinely heterogeneous.
+//
+//   ./rate_estimation --taxa=12 --sites=300 --alpha=0.5 --categories=6
+#include <algorithm>
+#include <cstdio>
+
+#include "fdml.hpp"
+
+int main(int argc, char** argv) {
+  using namespace fdml;
+  const CliArgs args(argc, argv);
+
+  const int taxa = static_cast<int>(args.get_int("taxa", 12));
+  const std::size_t sites = static_cast<std::size_t>(args.get_int("sites", 300));
+  const double alpha = args.get_double("alpha", 0.5);
+  const int categories = static_cast<int>(args.get_int("categories", 6));
+
+  // Simulate heterogeneous data: gamma-distributed site rates.
+  Rng rng(99);
+  const Tree truth = random_yule_tree(taxa, rng);
+  const Vec4 pi{0.28, 0.21, 0.26, 0.25};
+  const SubstModel model = SubstModel::f84_from_tstv(pi, 2.0);
+  SimulateOptions sim;
+  sim.num_sites = sites;
+  const Alignment alignment =
+      simulate_alignment(truth, default_taxon_names(taxa), model,
+                         RateModel::discrete_gamma(alpha, 8), sim, rng);
+  const PatternAlignment data(alignment);
+  std::printf("Simulated %d taxa x %zu sites under gamma(alpha=%.2f) rates\n",
+              taxa, sites, alpha);
+
+  // Baseline likelihood with uniform rates on the true topology.
+  TreeEvaluator uniform_eval(data, model, RateModel::uniform());
+  Tree uniform_tree = truth;
+  const double uniform_lnl = uniform_eval.evaluate(uniform_tree).log_likelihood;
+  std::printf("ln L (uniform rates):        %.4f\n", uniform_lnl);
+
+  // Estimate per-site rates on that tree (DNArates role).
+  Timer timer;
+  const SiteRateResult estimated = estimate_site_rates(uniform_tree, data, model);
+  std::printf("Estimated %zu site rates (%zu unique patterns) in %.2fs\n",
+              estimated.site_rates.size(), estimated.pattern_rates.size(),
+              timer.seconds());
+  const auto [lo, hi] = std::minmax_element(estimated.site_rates.begin(),
+                                            estimated.site_rates.end());
+  std::printf("Site-rate range: %.3f .. %.3f\n", *lo, *hi);
+
+  // Bin into categories and re-evaluate.
+  const RateCategorization categorized =
+      categorize_rates(estimated.site_rates, categories);
+  std::printf("Categories:");
+  for (std::size_t c = 0; c < categorized.model.num_categories(); ++c) {
+    std::printf("  %.3f(p=%.2f)", categorized.model.rate(c),
+                categorized.model.probability(c));
+  }
+  std::printf("\n");
+
+  TreeEvaluator category_eval(data, model, categorized.model);
+  Tree category_tree = truth;
+  const double category_lnl = category_eval.evaluate(category_tree).log_likelihood;
+  std::printf("ln L (estimated categories): %.4f\n", category_lnl);
+  std::printf("Improvement:                 %+.4f\n", category_lnl - uniform_lnl);
+
+  // A simple rate profile along the alignment.
+  std::printf("\nRate profile (one char per site, '.' slow -> '#' fast):\n");
+  const double span = std::max(1e-9, *hi - *lo);
+  const char* glyphs = ".:-=+*%#";
+  for (std::size_t s = 0; s < estimated.site_rates.size(); ++s) {
+    const double norm = (estimated.site_rates[s] - *lo) / span;
+    const int g = std::min(7, static_cast<int>(norm * 8.0));
+    std::putchar(glyphs[g]);
+    if ((s + 1) % 80 == 0) std::putchar('\n');
+  }
+  std::putchar('\n');
+  return 0;
+}

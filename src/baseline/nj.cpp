@@ -1,0 +1,130 @@
+#include "baseline/nj.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace fdml {
+
+std::vector<std::vector<double>> jc_distance_matrix(const PatternAlignment& data,
+                                                    double max_distance) {
+  const std::size_t n = data.num_taxa();
+  std::vector<std::vector<double>> d(n, std::vector<double>(n, 0.0));
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = a + 1; b < n; ++b) {
+      double shared = 0.0;
+      double mismatch = 0.0;
+      for (std::size_t p = 0; p < data.num_patterns(); ++p) {
+        const BaseCode ca = data.at(a, p);
+        const BaseCode cb = data.at(b, p);
+        if (!is_unambiguous(ca) || !is_unambiguous(cb)) continue;
+        shared += data.weight(p);
+        if (ca != cb) mismatch += data.weight(p);
+      }
+      double dist = max_distance;
+      if (shared > 0.0) {
+        const double p = mismatch / shared;
+        if (p < 0.749) {
+          dist = -0.75 * std::log(1.0 - (4.0 / 3.0) * p);
+        }
+      }
+      d[a][b] = d[b][a] = std::min(dist, max_distance);
+    }
+  }
+  return d;
+}
+
+Tree neighbor_joining(const std::vector<std::vector<double>>& distances,
+                      int num_taxa) {
+  if (num_taxa < 3) throw std::invalid_argument("neighbor_joining: need >= 3 taxa");
+  if (distances.size() != static_cast<std::size_t>(num_taxa)) {
+    throw std::invalid_argument("neighbor_joining: matrix size mismatch");
+  }
+
+  Tree tree(num_taxa);
+
+  // Active cluster list: each entry is a Tree node id; the working distance
+  // matrix is indexed by position in `active`.
+  std::vector<int> active(static_cast<std::size_t>(num_taxa));
+  for (int i = 0; i < num_taxa; ++i) active[static_cast<std::size_t>(i)] = i;
+  std::vector<std::vector<double>> d = distances;
+
+  while (active.size() > 3) {
+    const std::size_t m = active.size();
+    // Row sums for the Q criterion.
+    std::vector<double> row_sum(m, 0.0);
+    for (std::size_t i = 0; i < m; ++i) {
+      for (std::size_t j = 0; j < m; ++j) row_sum[i] += d[i][j];
+    }
+    // Pick the pair minimizing Q(i,j) = (m-2) d_ij - r_i - r_j.
+    std::size_t best_i = 0;
+    std::size_t best_j = 1;
+    double best_q = 1e300;
+    for (std::size_t i = 0; i < m; ++i) {
+      for (std::size_t j = i + 1; j < m; ++j) {
+        const double q = (static_cast<double>(m) - 2.0) * d[i][j] - row_sum[i] -
+                         row_sum[j];
+        if (q < best_q) {
+          best_q = q;
+          best_i = i;
+          best_j = j;
+        }
+      }
+    }
+    // Branch lengths to the new internal node.
+    const double dij = d[best_i][best_j];
+    double li = 0.5 * dij + (row_sum[best_i] - row_sum[best_j]) /
+                                (2.0 * (static_cast<double>(m) - 2.0));
+    double lj = dij - li;
+    li = std::clamp(li, kMinBranchLength, kMaxBranchLength);
+    lj = std::clamp(lj, kMinBranchLength, kMaxBranchLength);
+
+    const int internal = tree.allocate_internal_node();
+    tree.add_edge(active[best_i], internal, li);
+    tree.add_edge(active[best_j], internal, lj);
+
+    // New distance row (standard NJ reduction).
+    std::vector<double> to_new(m, 0.0);
+    for (std::size_t k = 0; k < m; ++k) {
+      if (k == best_i || k == best_j) continue;
+      to_new[k] = 0.5 * (d[best_i][k] + d[best_j][k] - dij);
+    }
+    // Replace row best_i with the new cluster; delete row best_j.
+    active[best_i] = internal;
+    for (std::size_t k = 0; k < m; ++k) {
+      d[best_i][k] = d[k][best_i] = std::max(0.0, to_new[k]);
+    }
+    d[best_i][best_i] = 0.0;
+    active.erase(active.begin() + static_cast<std::ptrdiff_t>(best_j));
+    d.erase(d.begin() + static_cast<std::ptrdiff_t>(best_j));
+    for (auto& row : d) {
+      row.erase(row.begin() + static_cast<std::ptrdiff_t>(best_j));
+    }
+  }
+
+  // Join the final three clusters at one internal node with the classic
+  // three-point formulas.
+  const double d01 = d[0][1];
+  const double d02 = d[0][2];
+  const double d12 = d[1][2];
+  const double l0 = std::clamp(0.5 * (d01 + d02 - d12), kMinBranchLength,
+                               kMaxBranchLength);
+  const double l1 = std::clamp(0.5 * (d01 + d12 - d02), kMinBranchLength,
+                               kMaxBranchLength);
+  const double l2 = std::clamp(0.5 * (d02 + d12 - d01), kMinBranchLength,
+                               kMaxBranchLength);
+  const int center = tree.allocate_internal_node();
+  tree.add_edge(active[0], center, l0);
+  tree.add_edge(active[1], center, l1);
+  tree.add_edge(active[2], center, l2);
+
+  tree.check_valid();
+  return tree;
+}
+
+Tree neighbor_joining(const PatternAlignment& data) {
+  return neighbor_joining(jc_distance_matrix(data),
+                          static_cast<int>(data.num_taxa()));
+}
+
+}  // namespace fdml

@@ -1,0 +1,28 @@
+// Neighbor joining (Saitou & Nei 1987) over Jukes-Cantor distances: the
+// cheap distance-method comparator. The paper's broader point — that
+// fastDNAml "permits biologists to compare ML methods with other
+// phylogenetic inference methods" — needs those other methods to exist;
+// NJ is the standard fast one.
+#pragma once
+
+#include <vector>
+
+#include "seq/alignment.hpp"
+#include "tree/tree.hpp"
+
+namespace fdml {
+
+/// Pairwise Jukes-Cantor distance matrix: d = -(3/4) ln(1 - (4/3) p) with
+/// p the mismatch proportion over unambiguous, shared sites. Saturated
+/// pairs (p >= 0.749) are capped at `max_distance`.
+std::vector<std::vector<double>> jc_distance_matrix(const PatternAlignment& data,
+                                                    double max_distance = 5.0);
+
+/// Builds an unrooted bifurcating NJ tree over all taxa in `data`.
+Tree neighbor_joining(const PatternAlignment& data);
+
+/// NJ from an explicit distance matrix (square, symmetric, >= 3 taxa).
+Tree neighbor_joining(const std::vector<std::vector<double>>& distances,
+                      int num_taxa);
+
+}  // namespace fdml

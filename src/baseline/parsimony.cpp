@@ -1,0 +1,123 @@
+#include "baseline/parsimony.hpp"
+
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "tree/neighborhood.hpp"
+#include "tree/splits.hpp"
+
+namespace fdml {
+
+namespace {
+
+// Fitch post-order pass for one pattern: returns the state set at `node`
+// seen from `from`, accumulating changes into `changes`.
+BaseCode fitch_states(const Tree& tree, const PatternAlignment& data,
+                      std::size_t pattern, int node, int from, int& changes) {
+  if (tree.is_tip(node)) {
+    const BaseCode code = data.at(static_cast<std::size_t>(node), pattern);
+    return code == 0 ? kBaseUnknown : code;
+  }
+  BaseCode intersection = 0x0f;
+  BaseCode union_set = 0;
+  bool first = true;
+  for (int s = 0; s < 3; ++s) {
+    const int child = tree.neighbor(node, s);
+    if (child == Tree::kNoNode || child == from) continue;
+    const BaseCode child_set =
+        fitch_states(tree, data, pattern, child, node, changes);
+    if (first) {
+      intersection = child_set;
+      union_set = child_set;
+      first = false;
+    } else {
+      intersection = static_cast<BaseCode>(intersection & child_set);
+      union_set = static_cast<BaseCode>(union_set | child_set);
+    }
+  }
+  if (intersection != 0) return intersection;
+  ++changes;
+  return union_set;
+}
+
+}  // namespace
+
+double fitch_score(const Tree& tree, const PatternAlignment& data) {
+  const int root = tree.any_internal();
+  if (root == Tree::kNoNode) throw std::invalid_argument("fitch_score: empty tree");
+  double total = 0.0;
+  for (std::size_t pattern = 0; pattern < data.num_patterns(); ++pattern) {
+    int changes = 0;
+    // Treat the root's own set like an extra union step: run the pass over
+    // the whole unrooted tree from the root node.
+    (void)fitch_states(tree, data, pattern, root, -1, changes);
+    total += data.weight(pattern) * changes;
+  }
+  return total;
+}
+
+ParsimonySearchResult parsimony_search(const PatternAlignment& data,
+                                       const ParsimonyOptions& options) {
+  const int n = static_cast<int>(data.num_taxa());
+  if (n < 3) throw std::invalid_argument("parsimony_search: need >= 3 taxa");
+  Rng rng(options.seed);
+  std::vector<int> order(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) order[static_cast<std::size_t>(i)] = i;
+  rng.shuffle(order);
+
+  ParsimonySearchResult result{Tree(n), 0.0, 0};
+  Tree& tree = result.tree;
+  tree.make_triplet(order[0], order[1], order[2]);
+
+  auto score = [&](const Tree& t) {
+    ++result.trees_scored;
+    return fitch_score(t, data);
+  };
+
+  for (int idx = 3; idx < n; ++idx) {
+    const int tip = order[static_cast<std::size_t>(idx)];
+    double best_score = 1e300;
+    std::pair<int, int> best_edge{-1, -1};
+    for (const auto& [u, v] : tree.edges()) {
+      Tree candidate = tree;
+      candidate.insert_tip(tip, u, v);
+      const double s = score(candidate);
+      if (s < best_score) {
+        best_score = s;
+        best_edge = {u, v};
+      }
+    }
+    tree.insert_tip(tip, best_edge.first, best_edge.second);
+    result.score = best_score;
+
+    // Local rearrangement, minimizing changes.
+    for (int round = 0; round < options.max_rearrange_rounds; ++round) {
+      if (options.rearrange_cross < 1) break;
+      std::set<std::uint64_t> seen{topology_hash(tree)};
+      double round_best = result.score;
+      Tree round_tree = tree;
+      bool improved = false;
+      for (const SprMove& move :
+           rearrangement_moves(tree, options.rearrange_cross)) {
+        Tree candidate = tree;
+        const auto handle =
+            candidate.prune_subtree(move.junction, move.subtree_neighbor);
+        candidate.regraft(handle, move.target_u, move.target_v);
+        if (!seen.insert(topology_hash(candidate)).second) continue;
+        const double s = score(candidate);
+        if (s < round_best) {
+          round_best = s;
+          round_tree = candidate;
+          improved = true;
+        }
+      }
+      if (!improved) break;
+      tree = round_tree;
+      result.score = round_best;
+    }
+  }
+  return result;
+}
+
+}  // namespace fdml

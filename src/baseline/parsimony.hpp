@@ -1,0 +1,43 @@
+// Maximum-parsimony baseline (Fitch 1971).
+//
+// The paper positions ML against cheaper methods: "Parsimony methods are
+// less computationally complex than maximum likelihood methods" (discussing
+// Snell et al.'s parallel parsimony). This module provides that comparator:
+// the Fitch small-parsimony score and a stepwise-addition parsimony search
+// mirroring the ML search's structure, so per-tree cost and result quality
+// can be compared head-to-head (bench_ml_vs_parsimony).
+#pragma once
+
+#include <cstdint>
+
+#include "seq/alignment.hpp"
+#include "tree/tree.hpp"
+#include "util/rng.hpp"
+
+namespace fdml {
+
+/// Weighted Fitch parsimony score of a tree (number of state changes,
+/// summed over patterns with pattern weights). Ambiguity codes participate
+/// as state sets; fully-unknown characters never force a change.
+double fitch_score(const Tree& tree, const PatternAlignment& data);
+
+struct ParsimonySearchResult {
+  Tree tree;
+  double score = 0.0;
+  std::size_t trees_scored = 0;
+};
+
+struct ParsimonyOptions {
+  std::uint64_t seed = 1;
+  /// Vertices crossed during rearrangement (same meaning as the ML search).
+  int rearrange_cross = 1;
+  int max_rearrange_rounds = 64;
+};
+
+/// Stepwise-addition + rearrangement search minimizing the Fitch score —
+/// structurally the same algorithm as the ML search, with the scorer
+/// swapped, which is exactly what makes the cost comparison meaningful.
+ParsimonySearchResult parsimony_search(const PatternAlignment& data,
+                                       const ParsimonyOptions& options = {});
+
+}  // namespace fdml

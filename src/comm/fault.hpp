@@ -1,0 +1,61 @@
+// Fault injection for the runtime's fault-tolerance tests: a Transport
+// decorator that drops or delays outbound messages according to caller
+// predicates. Wrapping a worker's endpoint simulates the crashed or
+// temporarily unreachable workers the paper's timeout/requeue machinery
+// exists for (geographically distributed PVM workers, flaky cluster nodes).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <thread>
+#include <utility>
+
+#include "comm/transport.hpp"
+
+namespace fdml {
+
+class FaultyTransport final : public Transport {
+ public:
+  /// `drop` returning true swallows an outbound message; `delay` returns a
+  /// duration to sleep before an outbound message is delivered (zero for
+  /// none). Inbound messages are untouched.
+  FaultyTransport(std::unique_ptr<Transport> inner,
+                  std::function<bool(const Message&)> drop,
+                  std::function<std::chrono::milliseconds(const Message&)> delay)
+      : inner_(std::move(inner)), drop_(std::move(drop)), delay_(std::move(delay)) {}
+
+  int rank() const override { return inner_->rank(); }
+  int size() const override { return inner_->size(); }
+
+  void send(int dest, MessageTag tag, std::vector<std::uint8_t> payload) override {
+    Message probe;
+    probe.source = rank();
+    probe.tag = tag;
+    probe.payload = payload;
+    if (drop_ && drop_(probe)) {
+      ++dropped_;
+      return;
+    }
+    if (delay_) {
+      const auto pause = delay_(probe);
+      if (pause.count() > 0) std::this_thread::sleep_for(pause);
+    }
+    inner_->send(dest, tag, std::move(payload));
+  }
+
+  std::optional<Message> recv() override { return inner_->recv(); }
+  std::optional<Message> recv_for(std::chrono::milliseconds timeout) override {
+    return inner_->recv_for(timeout);
+  }
+  bool closed() const override { return inner_->closed(); }
+
+  std::uint64_t dropped() const { return dropped_; }
+
+ private:
+  std::unique_ptr<Transport> inner_;
+  std::function<bool(const Message&)> drop_;
+  std::function<std::chrono::milliseconds(const Message&)> delay_;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace fdml

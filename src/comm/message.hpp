@@ -1,0 +1,31 @@
+// Wire messages for the parallel runtime.
+//
+// The paper sequesters every message-passing call behind one interface per
+// backend (comm_serial.c / comm_pvm.c / comm_mpi.c) so the program modules
+// never see a particular library. This module is that seam: Transport is
+// the interface, and backends (in-process threads here; MPI/PVM would slot
+// in the same way) implement it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace fdml {
+
+enum class MessageTag : std::uint8_t {
+  kHello = 1,        ///< worker -> foreman: ready for work
+  kTask = 2,         ///< foreman -> worker: evaluate this tree
+  kResult = 3,       ///< worker -> foreman: optimized tree + lnL
+  kRound = 4,        ///< master -> foreman: a round of tasks
+  kRoundDone = 5,    ///< foreman -> master: best tree + per-task stats
+  kMonitorEvent = 6, ///< foreman -> monitor: instrumentation record
+  kShutdown = 7,     ///< master -> everyone: terminate cleanly
+};
+
+struct Message {
+  int source = -1;
+  MessageTag tag = MessageTag::kHello;
+  std::vector<std::uint8_t> payload;
+};
+
+}  // namespace fdml

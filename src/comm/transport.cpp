@@ -1,0 +1,74 @@
+#include "comm/transport.hpp"
+
+#include <atomic>
+#include <stdexcept>
+
+namespace fdml {
+
+class ThreadEndpoint final : public Transport {
+ public:
+  ThreadEndpoint(ThreadFabric& fabric, int rank) : fabric_(fabric), rank_(rank) {}
+
+  int rank() const override { return rank_; }
+  int size() const override { return fabric_.size(); }
+
+  void send(int dest, MessageTag tag, std::vector<std::uint8_t> payload) override {
+    if (dest < 0 || dest >= fabric_.size()) {
+      throw std::out_of_range("transport: bad destination rank");
+    }
+    fabric_.messages_.fetch_add(1, std::memory_order_relaxed);
+    fabric_.bytes_.fetch_add(payload.size(), std::memory_order_relaxed);
+    Message message;
+    message.source = rank_;
+    message.tag = tag;
+    message.payload = std::move(payload);
+    fabric_.mailboxes_[static_cast<std::size_t>(dest)]->send(std::move(message));
+  }
+
+  std::optional<Message> recv() override {
+    return fabric_.mailboxes_[static_cast<std::size_t>(rank_)]->recv();
+  }
+
+  std::optional<Message> recv_for(std::chrono::milliseconds timeout) override {
+    return fabric_.mailboxes_[static_cast<std::size_t>(rank_)]->recv_for(timeout);
+  }
+
+  bool closed() const override {
+    return fabric_.mailboxes_[static_cast<std::size_t>(rank_)]->closed();
+  }
+
+ private:
+  ThreadFabric& fabric_;
+  int rank_;
+};
+
+ThreadFabric::ThreadFabric(int size) {
+  if (size < 2) throw std::invalid_argument("ThreadFabric: need >= 2 ranks");
+  mailboxes_.reserve(static_cast<std::size_t>(size));
+  for (int r = 0; r < size; ++r) {
+    mailboxes_.push_back(std::make_unique<Channel<Message>>());
+  }
+}
+
+ThreadFabric::~ThreadFabric() { close(); }
+
+std::unique_ptr<Transport> ThreadFabric::endpoint(int rank) {
+  if (rank < 0 || rank >= size()) {
+    throw std::out_of_range("ThreadFabric: bad rank");
+  }
+  return std::make_unique<ThreadEndpoint>(*this, rank);
+}
+
+void ThreadFabric::close() {
+  for (auto& mailbox : mailboxes_) mailbox->close();
+}
+
+std::uint64_t ThreadFabric::messages_sent() const {
+  return messages_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t ThreadFabric::bytes_sent() const {
+  return bytes_.load(std::memory_order_relaxed);
+}
+
+}  // namespace fdml

@@ -1,0 +1,369 @@
+#include "likelihood/engine.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace fdml {
+
+namespace {
+
+// Rescale when the largest CLV entry of a pattern drops below 2^-256;
+// multiply by 2^256 and count it.
+constexpr double kScaleThreshold = 0x1.0p-256;
+constexpr double kScaleFactor = 0x1.0p+256;
+constexpr double kLogScaleStep = 256.0 * 0.6931471805599453;  // 256 ln 2
+
+}  // namespace
+
+LikelihoodEngine::LikelihoodEngine(const PatternAlignment& data,
+                                   SubstModel model, RateModel rates)
+    : data_(data),
+      model_(std::move(model)),
+      rates_(std::move(rates)),
+      num_patterns_(data.num_patterns()),
+      // NB: read rates_ (the member), not the moved-from parameter.
+      num_categories_(rates_.num_categories()) {
+  build_tip_clvs();
+}
+
+void LikelihoodEngine::build_tip_clvs() {
+  const std::size_t num_taxa = data_.num_taxa();
+  tip_clvs_.assign(num_taxa * num_patterns_ * 4, 0.0);
+  for (std::size_t t = 0; t < num_taxa; ++t) {
+    for (std::size_t p = 0; p < num_patterns_; ++p) {
+      const BaseCode code = data_.at(t, p);
+      double* entry = &tip_clvs_[(t * num_patterns_ + p) * 4];
+      for (int s = 0; s < 4; ++s) {
+        entry[s] = (code & base_from_index(s)) ? 1.0 : 0.0;
+      }
+    }
+  }
+}
+
+void LikelihoodEngine::attach(const Tree& tree) {
+  if (tree.num_taxa() != static_cast<int>(data_.num_taxa())) {
+    throw std::invalid_argument("engine: tree/alignment taxon count mismatch");
+  }
+  tree_ = &tree;
+  clvs_.resize(static_cast<std::size_t>(tree.max_nodes()) * 3);
+  invalidate_all();
+}
+
+void LikelihoodEngine::invalidate_all() {
+  for (auto& clv : clvs_) clv.valid = false;
+}
+
+void LikelihoodEngine::invalidate_away(int node, int toward) {
+  if (tree_->is_tip(node)) return;
+  for (int s = 0; s < 3; ++s) {
+    const int nbr = tree_->neighbor(node, s);
+    if (nbr == Tree::kNoNode || nbr == toward) continue;
+    clvs_[key(node, s)].valid = false;
+    invalidate_away(nbr, node);
+  }
+}
+
+void LikelihoodEngine::on_length_changed(int u, int v) {
+  invalidate_away(u, v);
+  invalidate_away(v, u);
+}
+
+const LikelihoodEngine::Clv& LikelihoodEngine::ensure_clv(int u, int slot) {
+  Clv& clv = clvs_[key(u, slot)];
+  if (clv.valid) return clv;
+  compute_internal_clv(u, slot);
+  return clv;
+}
+
+void LikelihoodEngine::compute_internal_clv(int u, int slot) {
+  // Tips are handled inline by callers via tip_clvs_; this is internal-only.
+  const std::size_t stride = num_patterns_ * 4;
+  Clv& clv = clvs_[key(u, slot)];
+  clv.values.resize(num_categories_ * stride);
+  clv.scale.assign(num_patterns_, 0);
+
+  // The two neighbors other than the direction `slot` points to.
+  int children[2];
+  double lengths[2];
+  int child_count = 0;
+  for (int s = 0; s < 3; ++s) {
+    if (s == slot) continue;
+    const int nbr = tree_->neighbor(u, s);
+    if (nbr == Tree::kNoNode) throw std::logic_error("clv: malformed internal node");
+    children[child_count] = nbr;
+    lengths[child_count] = tree_->slot_length(u, s);
+    ++child_count;
+  }
+
+  // Resolve child CLV storage (recursing first so pointers stay stable).
+  const double* child_values[2];
+  const std::int32_t* child_scales[2];
+  bool child_has_cats[2];
+  for (int c = 0; c < 2; ++c) {
+    const int node = children[c];
+    if (tree_->is_tip(node)) {
+      child_values[c] = &tip_clvs_[static_cast<std::size_t>(node) * stride];
+      child_scales[c] = nullptr;
+      child_has_cats[c] = false;
+    } else {
+      const int back = tree_->find_slot(node, u);
+      const Clv& child = ensure_clv(node, back);
+      child_values[c] = child.values.data();
+      child_scales[c] = child.scale.data();
+      child_has_cats[c] = true;
+    }
+  }
+
+  Mat4 p0{};
+  Mat4 p1{};
+  for (std::size_t cat = 0; cat < num_categories_; ++cat) {
+    const double rate = rates_.rate(cat);
+    model_.transition(lengths[0] * rate, p0);
+    model_.transition(lengths[1] * rate, p1);
+    const double* a = child_values[0] + (child_has_cats[0] ? cat * stride : 0);
+    const double* b = child_values[1] + (child_has_cats[1] ? cat * stride : 0);
+    double* out = &clv.values[cat * stride];
+    for (std::size_t pat = 0; pat < num_patterns_; ++pat) {
+      const double* av = a + pat * 4;
+      const double* bv = b + pat * 4;
+      double* ov = out + pat * 4;
+      for (int i = 0; i < 4; ++i) {
+        const double left = p0[i][0] * av[0] + p0[i][1] * av[1] +
+                            p0[i][2] * av[2] + p0[i][3] * av[3];
+        const double right = p1[i][0] * bv[0] + p1[i][1] * bv[1] +
+                             p1[i][2] * bv[2] + p1[i][3] * bv[3];
+        ov[i] = left * right;
+      }
+    }
+  }
+
+  // Combine child scale counters and rescale underflowing patterns.
+  for (std::size_t pat = 0; pat < num_patterns_; ++pat) {
+    std::int32_t scale = 0;
+    for (int c = 0; c < 2; ++c) {
+      if (child_scales[c] != nullptr) scale += child_scales[c][pat];
+    }
+    double max_entry = 0.0;
+    for (std::size_t cat = 0; cat < num_categories_; ++cat) {
+      const double* ov = &clv.values[cat * stride + pat * 4];
+      for (int i = 0; i < 4; ++i) {
+        if (ov[i] > max_entry) max_entry = ov[i];
+      }
+    }
+    if (max_entry > 0.0 && max_entry < kScaleThreshold) {
+      for (std::size_t cat = 0; cat < num_categories_; ++cat) {
+        double* ov = &clv.values[cat * stride + pat * 4];
+        for (int i = 0; i < 4; ++i) ov[i] *= kScaleFactor;
+      }
+      ++scale;
+    }
+    clv.scale[pat] = scale;
+  }
+
+  clv.valid = true;
+  ++clv_computations_;
+  flops_ += num_categories_ * num_patterns_ * 72;
+}
+
+double LikelihoodEngine::log_likelihood() {
+  const int root = tree_->any_internal();
+  if (root == Tree::kNoNode) throw std::logic_error("log_likelihood: empty tree");
+  const int nbr = tree_->neighbor(root, 0);
+  return log_likelihood_edge(root, nbr);
+}
+
+double LikelihoodEngine::log_likelihood_edge(int u, int v) {
+  const EdgeLikelihood f = edge_likelihood(u, v);
+  return f.evaluate(tree_->length(u, v));
+}
+
+EdgeLikelihood LikelihoodEngine::edge_likelihood(int u, int v) {
+  const std::size_t stride = num_patterns_ * 4;
+  const int su = tree_->find_slot(u, v);
+  const int sv = tree_->find_slot(v, u);
+  if (su < 0 || sv < 0) throw std::logic_error("edge_likelihood: not an edge");
+
+  const double* a_values;
+  const std::int32_t* a_scale = nullptr;
+  bool a_cats;
+  if (tree_->is_tip(u)) {
+    a_values = &tip_clvs_[static_cast<std::size_t>(u) * stride];
+    a_cats = false;
+  } else {
+    const Clv& clv = ensure_clv(u, su);
+    a_values = clv.values.data();
+    a_scale = clv.scale.data();
+    a_cats = true;
+  }
+  const double* b_values;
+  const std::int32_t* b_scale = nullptr;
+  bool b_cats;
+  if (tree_->is_tip(v)) {
+    b_values = &tip_clvs_[static_cast<std::size_t>(v) * stride];
+    b_cats = false;
+  } else {
+    const Clv& clv = ensure_clv(v, sv);
+    b_values = clv.values.data();
+    b_scale = clv.scale.data();
+    b_cats = true;
+  }
+
+  EdgeLikelihood f;
+  f.model_ = &model_;
+  f.rates_ = &rates_;
+  f.num_patterns_ = num_patterns_;
+  f.weighted_.assign(num_categories_ * num_patterns_ * 16, 0.0);
+  f.pattern_weights_.assign(data_.weights().begin(), data_.weights().end());
+
+  const Vec4& pi = model_.frequencies();
+  for (std::size_t cat = 0; cat < num_categories_; ++cat) {
+    const double prob = rates_.probability(cat);
+    const double* a = a_values + (a_cats ? cat * stride : 0);
+    const double* b = b_values + (b_cats ? cat * stride : 0);
+    double* w = &f.weighted_[cat * num_patterns_ * 16];
+    for (std::size_t pat = 0; pat < num_patterns_; ++pat) {
+      const double* av = a + pat * 4;
+      const double* bv = b + pat * 4;
+      double* wv = w + pat * 16;
+      for (int i = 0; i < 4; ++i) {
+        const double lhs = prob * pi[i] * av[i];
+        for (int j = 0; j < 4; ++j) wv[i * 4 + j] = lhs * bv[j];
+      }
+    }
+  }
+
+  double offset = 0.0;
+  for (std::size_t pat = 0; pat < num_patterns_; ++pat) {
+    std::int32_t scale = 0;
+    if (a_scale != nullptr) scale += a_scale[pat];
+    if (b_scale != nullptr) scale += b_scale[pat];
+    offset -= data_.weight(pat) * scale * kLogScaleStep;
+  }
+  f.scale_offset_ = offset;
+  flops_ += num_categories_ * num_patterns_ * 32;
+  return f;
+}
+
+double EdgeLikelihood::evaluate(double t, double* d1, double* d2) const {
+  const std::size_t num_categories = rates_->num_categories();
+  const bool derivs = d1 != nullptr || d2 != nullptr;
+
+  std::vector<double> site(num_patterns_, 0.0);
+  std::vector<double> site_d1;
+  std::vector<double> site_d2;
+  if (derivs) {
+    site_d1.assign(num_patterns_, 0.0);
+    site_d2.assign(num_patterns_, 0.0);
+  }
+
+  Mat4 p{};
+  Mat4 dp{};
+  Mat4 d2p{};
+  for (std::size_t cat = 0; cat < num_categories; ++cat) {
+    const double rate = rates_->rate(cat);
+    if (derivs) {
+      model_->transition_with_derivs(t * rate, p, dp, d2p);
+    } else {
+      model_->transition(t * rate, p);
+    }
+    const double* w = &weighted_[cat * num_patterns_ * 16];
+    for (std::size_t pat = 0; pat < num_patterns_; ++pat) {
+      const double* wv = w + pat * 16;
+      double s = 0.0;
+      double s1 = 0.0;
+      double s2 = 0.0;
+      for (int i = 0; i < 4; ++i) {
+        for (int j = 0; j < 4; ++j) {
+          const double weight = wv[i * 4 + j];
+          s += weight * p[i][j];
+          if (derivs) {
+            s1 += weight * dp[i][j];
+            s2 += weight * d2p[i][j];
+          }
+        }
+      }
+      site[pat] += s;
+      if (derivs) {
+        site_d1[pat] += s1 * rate;
+        site_d2[pat] += s2 * rate * rate;
+      }
+    }
+  }
+
+  double lnl = scale_offset_;
+  double g = 0.0;
+  double h = 0.0;
+  for (std::size_t pat = 0; pat < num_patterns_; ++pat) {
+    const double weight = pattern_weights_[pat];
+    const double s = site[pat];
+    if (s <= 0.0) {
+      // A zero-probability pattern (should not happen with valid data).
+      lnl += weight * -1e30;
+      continue;
+    }
+    lnl += weight * std::log(s);
+    if (derivs) {
+      const double ratio1 = site_d1[pat] / s;
+      g += weight * ratio1;
+      h += weight * (site_d2[pat] / s - ratio1 * ratio1);
+    }
+  }
+  if (d1 != nullptr) *d1 = g;
+  if (d2 != nullptr) *d2 = h;
+  return lnl;
+}
+
+std::vector<double> LikelihoodEngine::site_log_likelihoods() {
+  const int root = tree_->any_internal();
+  const int nbr = tree_->neighbor(root, 0);
+  const std::size_t stride = num_patterns_ * 4;
+
+  const int su = tree_->find_slot(root, nbr);
+  const int sv = tree_->find_slot(nbr, root);
+  const Clv& a = ensure_clv(root, su);
+
+  const double* b_values;
+  const std::int32_t* b_scale = nullptr;
+  bool b_cats;
+  if (tree_->is_tip(nbr)) {
+    b_values = &tip_clvs_[static_cast<std::size_t>(nbr) * stride];
+    b_cats = false;
+  } else {
+    const Clv& clv = ensure_clv(nbr, sv);
+    b_values = clv.values.data();
+    b_scale = clv.scale.data();
+    b_cats = true;
+  }
+
+  const double t = tree_->length(root, nbr);
+  const Vec4& pi = model_.frequencies();
+  std::vector<double> pattern_lnl(num_patterns_, 0.0);
+  Mat4 p{};
+  for (std::size_t cat = 0; cat < num_categories_; ++cat) {
+    const double rate = rates_.rate(cat);
+    const double prob = rates_.probability(cat);
+    model_.transition(t * rate, p);
+    const double* av = &a.values[cat * stride];
+    const double* bv = b_values + (b_cats ? cat * stride : 0);
+    for (std::size_t pat = 0; pat < num_patterns_; ++pat) {
+      double s = 0.0;
+      for (int i = 0; i < 4; ++i) {
+        double inner = 0.0;
+        for (int j = 0; j < 4; ++j) inner += p[i][j] * bv[pat * 4 + j];
+        s += pi[i] * av[pat * 4 + i] * inner;
+      }
+      pattern_lnl[pat] += prob * s;
+    }
+  }
+  std::vector<double> out(data_.num_sites());
+  for (std::size_t site = 0; site < out.size(); ++site) {
+    const std::size_t pat = data_.pattern_of_site(site);
+    std::int32_t scale = a.scale[pat];
+    if (b_scale != nullptr) scale += b_scale[pat];
+    out[site] = std::log(pattern_lnl[pat]) - scale * kLogScaleStep;
+  }
+  return out;
+}
+
+}  // namespace fdml

@@ -1,0 +1,171 @@
+#include "likelihood/site_rates.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <stdexcept>
+
+namespace fdml {
+
+namespace {
+
+// Single-pattern pruning at one rate multiplier: returns the 4-vector of
+// conditional likelihoods at `node` seen from `from`, with log-scaling
+// folded into `log_scale`.
+Vec4 prune_pattern(const Tree& tree, const PatternAlignment& data,
+                   const SubstModel& model, std::size_t pattern, double rate,
+                   int node, int from, double& log_scale) {
+  if (tree.is_tip(node)) {
+    const BaseCode code = data.at(static_cast<std::size_t>(node), pattern);
+    Vec4 v{};
+    for (int s = 0; s < 4; ++s) {
+      v[s] = (code & base_from_index(s)) ? 1.0 : 0.0;
+    }
+    return v;
+  }
+  Vec4 out{1.0, 1.0, 1.0, 1.0};
+  Mat4 p{};
+  for (int slot = 0; slot < 3; ++slot) {
+    const int child = tree.neighbor(node, slot);
+    if (child == Tree::kNoNode || child == from) continue;
+    const Vec4 child_clv =
+        prune_pattern(tree, data, model, pattern, rate, child, node, log_scale);
+    model.transition(tree.slot_length(node, slot) * rate, p);
+    for (int i = 0; i < 4; ++i) {
+      double sum = 0.0;
+      for (int j = 0; j < 4; ++j) sum += p[i][j] * child_clv[j];
+      out[i] *= sum;
+    }
+  }
+  const double max_entry = std::max({out[0], out[1], out[2], out[3]});
+  if (max_entry > 0.0 && max_entry < 1e-150) {
+    for (double& x : out) x *= 1e150;
+    log_scale += std::log(1e-150);
+  }
+  return out;
+}
+
+}  // namespace
+
+double pattern_log_likelihood_at_rate(const Tree& tree,
+                                      const PatternAlignment& data,
+                                      const SubstModel& model,
+                                      std::size_t pattern, double rate) {
+  const int root = tree.any_internal();
+  if (root == Tree::kNoNode) throw std::logic_error("pattern lnl: empty tree");
+  double log_scale = 0.0;
+  const Vec4 clv =
+      prune_pattern(tree, data, model, pattern, rate, root, -1, log_scale);
+  const Vec4& pi = model.frequencies();
+  double s = 0.0;
+  for (int i = 0; i < 4; ++i) s += pi[i] * clv[i];
+  return std::log(s) + log_scale;
+}
+
+SiteRateResult estimate_site_rates(const Tree& tree, const PatternAlignment& data,
+                                   const SubstModel& model,
+                                   const SiteRateOptions& options) {
+  SiteRateResult result;
+  result.pattern_rates.resize(data.num_patterns());
+
+  constexpr double kGolden = 0.6180339887498949;
+  for (std::size_t pattern = 0; pattern < data.num_patterns(); ++pattern) {
+    auto f = [&](double rate) {
+      return pattern_log_likelihood_at_rate(tree, data, model, pattern, rate);
+    };
+    // Golden-section search on log(rate) — the likelihood is smoother there.
+    double lo = std::log(options.min_rate);
+    double hi = std::log(options.max_rate);
+    double x1 = hi - kGolden * (hi - lo);
+    double x2 = lo + kGolden * (hi - lo);
+    double f1 = f(std::exp(x1));
+    double f2 = f(std::exp(x2));
+    while (hi - lo > options.tolerance) {
+      if (f1 < f2) {
+        lo = x1;
+        x1 = x2;
+        f1 = f2;
+        x2 = lo + kGolden * (hi - lo);
+        f2 = f(std::exp(x2));
+      } else {
+        hi = x2;
+        x2 = x1;
+        f2 = f1;
+        x1 = hi - kGolden * (hi - lo);
+        f1 = f(std::exp(x1));
+      }
+    }
+    result.pattern_rates[pattern] = std::exp(0.5 * (lo + hi));
+  }
+
+  result.site_rates.resize(data.num_sites());
+  for (std::size_t site = 0; site < data.num_sites(); ++site) {
+    result.site_rates[site] = result.pattern_rates[data.pattern_of_site(site)];
+  }
+  return result;
+}
+
+double assigned_rates_log_likelihood(const Tree& tree,
+                                     const PatternAlignment& data,
+                                     const SubstModel& model,
+                                     const std::vector<double>& site_rates) {
+  if (site_rates.size() != data.num_sites()) {
+    throw std::invalid_argument("assigned rates: one rate per site required");
+  }
+  std::map<std::pair<std::size_t, double>, double> cache;
+  double total = 0.0;
+  for (std::size_t site = 0; site < data.num_sites(); ++site) {
+    const std::size_t pattern = data.pattern_of_site(site);
+    const auto key = std::make_pair(pattern, site_rates[site]);
+    auto it = cache.find(key);
+    if (it == cache.end()) {
+      it = cache.emplace(key, pattern_log_likelihood_at_rate(
+                                  tree, data, model, pattern, site_rates[site]))
+               .first;
+    }
+    total += it->second;
+  }
+  return total;
+}
+
+RateCategorization categorize_rates(const std::vector<double>& site_rates,
+                                    int categories) {
+  if (site_rates.empty()) throw std::invalid_argument("categorize_rates: empty");
+  if (categories < 1) throw std::invalid_argument("categorize_rates: categories >= 1");
+  const auto [lo_it, hi_it] = std::minmax_element(site_rates.begin(), site_rates.end());
+  const double lo = std::max(*lo_it, 1e-6);
+  const double hi = std::max(*hi_it, lo * (1.0 + 1e-9));
+
+  // Geometric bin edges between lo and hi.
+  const std::size_t k = static_cast<std::size_t>(categories);
+  std::vector<double> edges(k + 1);
+  for (std::size_t i = 0; i <= k; ++i) {
+    edges[i] = lo * std::pow(hi / lo, static_cast<double>(i) / k);
+  }
+  std::vector<int> assignment(site_rates.size());
+  std::vector<double> sums(k, 0.0);
+  std::vector<std::size_t> counts(k, 0);
+  for (std::size_t s = 0; s < site_rates.size(); ++s) {
+    std::size_t bin = 0;
+    while (bin + 1 < k && site_rates[s] > edges[bin + 1]) ++bin;
+    assignment[s] = static_cast<int>(bin);
+    sums[bin] += site_rates[s];
+    counts[bin] += 1;
+  }
+  // Drop empty bins, remapping assignments.
+  std::vector<double> rates;
+  std::vector<double> probs;
+  std::vector<int> remap(k, -1);
+  for (std::size_t bin = 0; bin < k; ++bin) {
+    if (counts[bin] == 0) continue;
+    remap[bin] = static_cast<int>(rates.size());
+    rates.push_back(sums[bin] / static_cast<double>(counts[bin]));
+    probs.push_back(static_cast<double>(counts[bin]) /
+                    static_cast<double>(site_rates.size()));
+  }
+  for (int& a : assignment) a = remap[static_cast<std::size_t>(a)];
+  return RateCategorization{RateModel::user(std::move(rates), std::move(probs)),
+                            std::move(assignment)};
+}
+
+}  // namespace fdml

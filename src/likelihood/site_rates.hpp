@@ -1,0 +1,68 @@
+// Per-site evolutionary rate estimation — the role of Olsen's DNArates
+// companion program cited by the paper ("the Markov matrix ... is adjusted
+// at each sequence position to account for differences between loci in
+// propensity to show genetic changes").
+//
+// Given a fixed tree (topology and branch lengths) and a model, the ML rate
+// of each site pattern is found by a bracketed golden-section maximization
+// of the single-pattern likelihood as a function of a rate multiplier.
+// Estimated rates can then be binned into categories to form a RateModel.
+#pragma once
+
+#include <vector>
+
+#include "model/rates.hpp"
+#include "model/submodel.hpp"
+#include "seq/alignment.hpp"
+#include "tree/tree.hpp"
+
+namespace fdml {
+
+struct SiteRateOptions {
+  double min_rate = 1e-3;
+  double max_rate = 32.0;
+  double tolerance = 1e-4;
+  /// Number of categories produced by categorize().
+  int categories = 8;
+};
+
+struct SiteRateResult {
+  /// ML rate per original alignment site.
+  std::vector<double> site_rates;
+  /// ML rate per compressed pattern (site_rates is a lookup into this).
+  std::vector<double> pattern_rates;
+};
+
+/// Estimates per-site rates on a fixed tree.
+SiteRateResult estimate_site_rates(const Tree& tree, const PatternAlignment& data,
+                                   const SubstModel& model,
+                                   const SiteRateOptions& options = {});
+
+/// Bins estimated rates into `categories` groups (geometric spacing between
+/// the observed min and max), returning the category RateModel and each
+/// site's category index. Mirrors the DNArates -> fastDNAml workflow.
+struct RateCategorization {
+  RateModel model;
+  std::vector<int> site_category;
+};
+RateCategorization categorize_rates(const std::vector<double>& site_rates,
+                                    int categories);
+
+/// Log-likelihood of a single pattern at the given rate multiplier on a
+/// fixed tree (exposed for tests).
+double pattern_log_likelihood_at_rate(const Tree& tree,
+                                      const PatternAlignment& data,
+                                      const SubstModel& model,
+                                      std::size_t pattern, double rate);
+
+/// Tree log-likelihood under *assigned* per-site rates — fastDNAml's actual
+/// categories semantics (each site belongs to one category, unlike a gamma
+/// mixture where every site averages over all categories). `site_rates`
+/// has one multiplier per alignment site. Distinct (pattern, rate) pairs
+/// are evaluated once and cached.
+double assigned_rates_log_likelihood(const Tree& tree,
+                                     const PatternAlignment& data,
+                                     const SubstModel& model,
+                                     const std::vector<double>& site_rates);
+
+}  // namespace fdml

@@ -1,0 +1,86 @@
+#include "model/rates.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+#include "util/special.hpp"
+
+namespace fdml {
+
+RateModel::RateModel(std::string name, std::vector<double> rates,
+                     std::vector<double> probs)
+    : name_(std::move(name)), rates_(std::move(rates)), probs_(std::move(probs)) {
+  if (rates_.empty() || rates_.size() != probs_.size()) {
+    throw std::invalid_argument("RateModel: rates/probabilities mismatch");
+  }
+  double total_prob = 0.0;
+  for (double p : probs_) {
+    if (!(p > 0.0)) throw std::invalid_argument("RateModel: probabilities must be > 0");
+    total_prob += p;
+  }
+  for (double& p : probs_) p /= total_prob;
+  double mean = 0.0;
+  for (std::size_t c = 0; c < rates_.size(); ++c) {
+    if (!(rates_[c] >= 0.0)) throw std::invalid_argument("RateModel: negative rate");
+    mean += probs_[c] * rates_[c];
+  }
+  if (!(mean > 0.0)) throw std::invalid_argument("RateModel: zero mean rate");
+  for (double& r : rates_) r /= mean;
+}
+
+double RateModel::mean_rate() const {
+  double mean = 0.0;
+  for (std::size_t c = 0; c < rates_.size(); ++c) mean += probs_[c] * rates_[c];
+  return mean;
+}
+
+RateModel RateModel::uniform() { return RateModel("uniform", {1.0}, {1.0}); }
+
+RateModel RateModel::discrete_gamma(double alpha, int categories) {
+  if (!(alpha > 0.0)) throw std::invalid_argument("discrete_gamma: alpha must be > 0");
+  if (categories < 1) throw std::invalid_argument("discrete_gamma: categories must be >= 1");
+  const std::size_t k = static_cast<std::size_t>(categories);
+  // Gamma(alpha, rate=alpha) has mean 1. Cut the distribution into k
+  // equiprobable slices; each category rate is the conditional mean of its
+  // slice: k * [P(alpha+1, x_hi) - P(alpha+1, x_lo)] with unit-scale x.
+  std::vector<double> cuts(k + 1);
+  cuts[0] = 0.0;
+  for (std::size_t i = 1; i < k; ++i) {
+    cuts[i] = gamma_p_inverse(alpha, static_cast<double>(i) / k);
+  }
+  cuts[k] = std::numeric_limits<double>::infinity();
+  std::vector<double> rates(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    const double hi = std::isinf(cuts[i + 1]) ? 1.0 : gamma_p(alpha + 1.0, cuts[i + 1]);
+    const double lo = cuts[i] == 0.0 ? 0.0 : gamma_p(alpha + 1.0, cuts[i]);
+    rates[i] = static_cast<double>(k) * (hi - lo);
+  }
+  return RateModel("gamma(" + std::to_string(alpha) + ")x" + std::to_string(k),
+                   std::move(rates), std::vector<double>(k, 1.0 / k));
+}
+
+RateModel RateModel::gamma_invariant(double alpha, int categories,
+                                     double p_invariant) {
+  if (!(p_invariant >= 0.0 && p_invariant < 1.0)) {
+    throw std::invalid_argument("gamma_invariant: p_invariant in [0,1)");
+  }
+  RateModel gamma = discrete_gamma(alpha, categories);
+  std::vector<double> rates;
+  std::vector<double> probs;
+  rates.push_back(0.0);
+  probs.push_back(p_invariant <= 0.0 ? 1e-12 : p_invariant);
+  for (std::size_t c = 0; c < gamma.num_categories(); ++c) {
+    rates.push_back(gamma.rate(c));
+    probs.push_back((1.0 - p_invariant) * gamma.probability(c));
+  }
+  return RateModel("gamma+I", std::move(rates), std::move(probs));
+}
+
+RateModel RateModel::user(std::vector<double> rates,
+                          std::vector<double> probabilities) {
+  return RateModel("user", std::move(rates), std::move(probabilities));
+}
+
+}  // namespace fdml

@@ -1,0 +1,54 @@
+// Among-site rate heterogeneity.
+//
+// fastDNAml adjusts the Markov process "at each sequence position to account
+// for differences between loci in propensity to show genetic changes"; its
+// companion program DNArates estimates those per-site rates. This module
+// provides the category machinery: a RateModel is a small set of rate
+// multipliers with probabilities (mean rate 1), covering the uniform model,
+// user-defined categories, and the discrete-gamma approximation.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace fdml {
+
+class RateModel {
+ public:
+  /// Single rate of 1 (the fastDNAml default when no rates file is given).
+  static RateModel uniform();
+
+  /// Discrete-gamma with `categories` equiprobable categories, each carrying
+  /// the mean rate of its quantile slice (Yang 1994 "mean" method).
+  static RateModel discrete_gamma(double alpha, int categories);
+
+  /// Discrete-gamma plus a proportion of invariant sites (rate-0 category).
+  static RateModel gamma_invariant(double alpha, int categories,
+                                   double p_invariant);
+
+  /// User-supplied categories (the DNArates workflow). Probabilities are
+  /// normalized; rates are rescaled so the mean rate is 1.
+  static RateModel user(std::vector<double> rates,
+                        std::vector<double> probabilities);
+
+  std::size_t num_categories() const { return rates_.size(); }
+  double rate(std::size_t category) const { return rates_[category]; }
+  double probability(std::size_t category) const { return probs_[category]; }
+  const std::vector<double>& rates() const { return rates_; }
+  const std::vector<double>& probabilities() const { return probs_; }
+  const std::string& name() const { return name_; }
+
+  /// Mean rate (1 by construction; exposed for tests).
+  double mean_rate() const;
+
+ private:
+  RateModel(std::string name, std::vector<double> rates,
+            std::vector<double> probs);
+
+  std::string name_;
+  std::vector<double> rates_;
+  std::vector<double> probs_;
+};
+
+}  // namespace fdml

@@ -1,0 +1,144 @@
+#include "model/simulate.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "tree/random.hpp"
+
+namespace fdml {
+
+namespace {
+
+int sample_state(const Vec4& distribution, Rng& rng) {
+  double pick = rng.uniform();
+  for (int s = 0; s < 4; ++s) {
+    pick -= distribution[s];
+    if (pick <= 0.0) return s;
+  }
+  return 3;
+}
+
+BaseCode ambiguate(int state, Rng& rng) {
+  // A partial ambiguity code that covers the true base: add 1..2 extra bases.
+  BaseCode code = base_from_index(state);
+  const int extra = 1 + static_cast<int>(rng.below(2));
+  for (int i = 0; i < extra; ++i) {
+    code |= base_from_index(static_cast<int>(rng.below(4)));
+  }
+  return code;
+}
+
+}  // namespace
+
+Alignment simulate_alignment(const Tree& tree,
+                             const std::vector<std::string>& names,
+                             const SubstModel& model, const RateModel& rates,
+                             const SimulateOptions& options, Rng& rng) {
+  if (static_cast<int>(names.size()) < tree.num_taxa()) {
+    throw std::invalid_argument("simulate_alignment: not enough names");
+  }
+  const int root = tree.any_internal();
+  if (root == Tree::kNoNode) {
+    throw std::invalid_argument("simulate_alignment: tree has no internal node");
+  }
+  const std::size_t sites = options.num_sites;
+
+  // states[node][site]; evolve by preorder walk from the root.
+  std::vector<std::vector<std::uint8_t>> states(
+      static_cast<std::size_t>(tree.max_nodes()));
+  std::vector<std::size_t> site_category(sites);
+  for (std::size_t s = 0; s < sites; ++s) {
+    site_category[s] = rng.categorical(rates.probabilities());
+  }
+
+  auto& root_states = states[static_cast<std::size_t>(root)];
+  root_states.resize(sites);
+  for (std::size_t s = 0; s < sites; ++s) {
+    root_states[s] = static_cast<std::uint8_t>(sample_state(model.frequencies(), rng));
+  }
+
+  struct Frame {
+    int node;
+    int from;
+  };
+  std::vector<Frame> stack{{root, -1}};
+  while (!stack.empty()) {
+    const Frame f = stack.back();
+    stack.pop_back();
+    for (int slot = 0; slot < 3; ++slot) {
+      const int child = tree.neighbor(f.node, slot);
+      if (child == Tree::kNoNode || child == f.from) continue;
+      const double t = tree.length(f.node, child);
+      auto& child_states = states[static_cast<std::size_t>(child)];
+      child_states.resize(sites);
+      const auto& parent_states = states[static_cast<std::size_t>(f.node)];
+      // One transition matrix per rate category for this edge.
+      std::vector<Mat4> per_category(rates.num_categories());
+      for (std::size_t c = 0; c < rates.num_categories(); ++c) {
+        model.transition(t * rates.rate(c), per_category[c]);
+      }
+      for (std::size_t s = 0; s < sites; ++s) {
+        const Mat4& matrix = per_category[site_category[s]];
+        const int from_state = parent_states[s];
+        Vec4 row{matrix[from_state][0], matrix[from_state][1],
+                 matrix[from_state][2], matrix[from_state][3]};
+        child_states[s] = static_cast<std::uint8_t>(sample_state(row, rng));
+      }
+      if (!tree.is_tip(child)) stack.push_back({child, f.node});
+    }
+  }
+
+  Alignment alignment;
+  for (int tip : tree.tips()) {
+    std::basic_string<BaseCode> row(sites, 0);
+    const auto& tip_states = states[static_cast<std::size_t>(tip)];
+    for (std::size_t s = 0; s < sites; ++s) {
+      const double roll = rng.uniform();
+      if (roll < options.missing_fraction) {
+        row[s] = kBaseUnknown;
+      } else if (roll < options.missing_fraction + options.partial_ambiguity_fraction) {
+        row[s] = ambiguate(tip_states[s], rng);
+      } else {
+        row[s] = base_from_index(tip_states[s]);
+      }
+    }
+    alignment.add_sequence(names.at(static_cast<std::size_t>(tip)), std::move(row));
+  }
+  return alignment;
+}
+
+std::vector<std::string> default_taxon_names(int num_taxa) {
+  std::vector<std::string> names;
+  names.reserve(static_cast<std::size_t>(num_taxa));
+  for (int t = 0; t < num_taxa; ++t) {
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "T%04d", t + 1);
+    names.emplace_back(buf);
+  }
+  return names;
+}
+
+Alignment make_paper_like_dataset(int num_taxa, std::size_t num_sites,
+                                  std::uint64_t seed, Tree* true_tree) {
+  Rng rng(seed);
+  RandomTreeOptions tree_options;
+  tree_options.mean_branch_length = 0.08;
+  Tree tree = random_yule_tree(num_taxa, rng, tree_options);
+
+  // rRNA-like composition (slightly GC-poor) and the fastDNAml default
+  // transition/transversion ratio of 2.
+  const Vec4 pi{0.28, 0.21, 0.26, 0.25};
+  const SubstModel model = SubstModel::f84_from_tstv(pi, 2.0);
+  const RateModel rates = RateModel::discrete_gamma(0.7, 4);
+
+  SimulateOptions options;
+  options.num_sites = num_sites;
+  options.missing_fraction = 0.02;
+  options.partial_ambiguity_fraction = 0.005;
+  Alignment alignment = simulate_alignment(
+      tree, default_taxon_names(num_taxa), model, rates, options, rng);
+  if (true_tree != nullptr) *true_tree = std::move(tree);
+  return alignment;
+}
+
+}  // namespace fdml

@@ -1,0 +1,193 @@
+#include "model/submodel.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace fdml {
+
+Vec4 normalize_frequencies(const Vec4& pi) {
+  double total = 0.0;
+  for (double f : pi) {
+    if (!(f > 0.0)) {
+      throw std::invalid_argument("base frequencies must be positive");
+    }
+    total += f;
+  }
+  if (std::fabs(total - 1.0) > 0.1) {
+    throw std::invalid_argument("base frequencies must sum to ~1");
+  }
+  Vec4 out = pi;
+  for (double& f : out) f /= total;
+  return out;
+}
+
+SubstModel::SubstModel(std::string name, const Vec4& pi,
+                       const std::array<double, 6>& s)
+    : name_(std::move(name)), pi_(normalize_frequencies(pi)) {
+  for (double rate : s) {
+    if (!(rate >= 0.0)) throw std::invalid_argument("exchangeabilities must be >= 0");
+  }
+  // Assemble Q: q_ij = s_ij * pi_j for i != j; rows sum to zero.
+  // Exchangeability order: (AC, AG, AT, CG, CT, GT).
+  Mat4 q{};
+  const auto pair_rate = [&s](int i, int j) {
+    static constexpr int kIndex[4][4] = {{-1, 0, 1, 2},
+                                         {0, -1, 3, 4},
+                                         {1, 3, -1, 5},
+                                         {2, 4, 5, -1}};
+    return s[static_cast<std::size_t>(kIndex[i][j])];
+  };
+  for (int i = 0; i < 4; ++i) {
+    double row = 0.0;
+    for (int j = 0; j < 4; ++j) {
+      if (i == j) continue;
+      q[i][j] = pair_rate(i, j) * pi_[j];
+      row += q[i][j];
+    }
+    q[i][i] = -row;
+  }
+  // Normalize so the expected rate  -sum_i pi_i q_ii  is 1.
+  double mu = 0.0;
+  for (int i = 0; i < 4; ++i) mu -= pi_[i] * q[i][i];
+  if (!(mu > 0.0)) throw std::invalid_argument("degenerate rate matrix");
+  for (auto& row : q) {
+    for (double& x : row) x /= mu;
+  }
+  q_ = q;
+
+  // Symmetrize: S = D^(1/2) Q D^(-1/2) with D = diag(pi). S is symmetric for
+  // reversible models, so a Jacobi solver applies.
+  Vec4 sqrt_pi{};
+  Vec4 inv_sqrt_pi{};
+  for (int i = 0; i < 4; ++i) {
+    sqrt_pi[i] = std::sqrt(pi_[i]);
+    inv_sqrt_pi[i] = 1.0 / sqrt_pi[i];
+  }
+  Mat4 sym{};
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      sym[i][j] = sqrt_pi[i] * q_[i][j] * inv_sqrt_pi[j];
+    }
+  }
+  // Enforce exact symmetry against rounding before decomposition.
+  for (int i = 0; i < 4; ++i) {
+    for (int j = i + 1; j < 4; ++j) {
+      const double avg = 0.5 * (sym[i][j] + sym[j][i]);
+      sym[i][j] = avg;
+      sym[j][i] = avg;
+    }
+  }
+  Mat4 vectors{};
+  jacobi_eigen_symmetric(sym, eigenvalues_, vectors);
+  // Q = D^(-1/2) V L V^T D^(1/2):
+  //   right_[i][k] = v_ik / sqrt(pi_i),  left_[k][j] = v_jk * sqrt(pi_j).
+  for (int i = 0; i < 4; ++i) {
+    for (int k = 0; k < 4; ++k) {
+      right_[i][k] = vectors[i][k] * inv_sqrt_pi[i];
+      left_[k][i] = vectors[i][k] * sqrt_pi[i];
+    }
+  }
+}
+
+void SubstModel::transition(double t, Mat4& p) const {
+  Vec4 expl{};
+  for (int k = 0; k < 4; ++k) expl[k] = std::exp(eigenvalues_[k] * t);
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      double sum = 0.0;
+      for (int k = 0; k < 4; ++k) sum += right_[i][k] * expl[k] * left_[k][j];
+      // Clamp tiny negative values produced by rounding.
+      p[i][j] = sum < 0.0 ? 0.0 : sum;
+    }
+  }
+}
+
+void SubstModel::transition_with_derivs(double t, Mat4& p, Mat4& dp,
+                                        Mat4& d2p) const {
+  Vec4 expl{};
+  for (int k = 0; k < 4; ++k) expl[k] = std::exp(eigenvalues_[k] * t);
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      double sum = 0.0;
+      double dsum = 0.0;
+      double d2sum = 0.0;
+      for (int k = 0; k < 4; ++k) {
+        const double term = right_[i][k] * expl[k] * left_[k][j];
+        sum += term;
+        dsum += eigenvalues_[k] * term;
+        d2sum += eigenvalues_[k] * eigenvalues_[k] * term;
+      }
+      p[i][j] = sum < 0.0 ? 0.0 : sum;
+      dp[i][j] = dsum;
+      d2p[i][j] = d2sum;
+    }
+  }
+}
+
+double SubstModel::tstv_ratio() const {
+  // Transitions: A<->G and C<->T.
+  const double ts = pi_[0] * q_[0][2] + pi_[2] * q_[2][0] + pi_[1] * q_[1][3] +
+                    pi_[3] * q_[3][1];
+  double tv = 0.0;
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      if (i == j) continue;
+      const bool transition = (i + j == 2) || (i + j == 4 && i != j && i % 2 == 1);
+      if (!transition) tv += pi_[i] * q_[i][j];
+    }
+  }
+  return ts / tv;
+}
+
+SubstModel SubstModel::jc69() {
+  return SubstModel("JC69", {0.25, 0.25, 0.25, 0.25}, {1, 1, 1, 1, 1, 1});
+}
+
+SubstModel SubstModel::k80(double kappa) {
+  if (!(kappa > 0.0)) throw std::invalid_argument("K80: kappa must be > 0");
+  return SubstModel("K80", {0.25, 0.25, 0.25, 0.25},
+                    {1, kappa, 1, 1, kappa, 1});
+}
+
+SubstModel SubstModel::f81(const Vec4& pi) {
+  return SubstModel("F81", pi, {1, 1, 1, 1, 1, 1});
+}
+
+SubstModel SubstModel::hky85(const Vec4& pi, double kappa) {
+  if (!(kappa > 0.0)) throw std::invalid_argument("HKY85: kappa must be > 0");
+  return SubstModel("HKY85", pi, {1, kappa, 1, 1, kappa, 1});
+}
+
+SubstModel SubstModel::f84(const Vec4& pi, double k) {
+  if (!(k >= 0.0)) throw std::invalid_argument("F84: k must be >= 0");
+  const Vec4 f = normalize_frequencies(pi);
+  const double pur = f[0] + f[2];  // A + G
+  const double pyr = f[1] + f[3];  // C + T
+  return SubstModel("F84", f,
+                    {1.0, 1.0 + k / pur, 1.0, 1.0, 1.0 + k / pyr, 1.0});
+}
+
+SubstModel SubstModel::f84_from_tstv(const Vec4& pi, double tstv_ratio) {
+  const Vec4 f = normalize_frequencies(pi);
+  const double pur = f[0] + f[2];
+  const double pyr = f[1] + f[3];
+  const double ag = f[0] * f[2];
+  const double ct = f[1] * f[3];
+  // Expected transitions 2*(ag*(1+k/pur) + ct*(1+k/pyr)); transversions
+  // 2*pur*pyr. Solve ratio for k.
+  const double denom = ag / pur + ct / pyr;
+  const double k = (tstv_ratio * pur * pyr - ag - ct) / denom;
+  if (!(k >= 0.0)) {
+    throw std::invalid_argument(
+        "F84: transition/transversion ratio below the model's minimum for "
+        "these frequencies");
+  }
+  return f84(f, k);
+}
+
+SubstModel SubstModel::gtr(const Vec4& pi, const std::array<double, 6>& rates) {
+  return SubstModel("GTR", pi, rates);
+}
+
+}  // namespace fdml

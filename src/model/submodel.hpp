@@ -1,0 +1,70 @@
+// Time-reversible nucleotide substitution models.
+//
+// fastDNAml's model is F84 (Felsenstein's DNAml 1984 model; transition /
+// transversion bias plus unequal base frequencies). The paper's future-work
+// list asks for "more general models of nucleotide change", so this library
+// implements the whole reversible family up to GTR through one mechanism:
+// build the rate matrix Q, symmetrize it with sqrt(pi), eigendecompose, and
+// compute P(t) = exp(Qt) (plus dP/dt and d2P/dt2 for Newton branch-length
+// optimization) from the eigensystem.
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "util/linalg.hpp"
+
+namespace fdml {
+
+/// State order everywhere: A=0, C=1, G=2, T=3.
+class SubstModel {
+ public:
+  /// Jukes–Cantor 1969: equal frequencies, one rate.
+  static SubstModel jc69();
+  /// Kimura 1980: equal frequencies, transition/transversion ratio kappa.
+  static SubstModel k80(double kappa);
+  /// Felsenstein 1981: unequal frequencies, one exchangeability.
+  static SubstModel f81(const Vec4& pi);
+  /// Hasegawa–Kishino–Yano 1985.
+  static SubstModel hky85(const Vec4& pi, double kappa);
+  /// Felsenstein 1984 — the fastDNAml model. `k` is the F84 transition
+  /// parameter (>= 0; k = 0 reduces to F81).
+  static SubstModel f84(const Vec4& pi, double k);
+  /// F84 parameterized by the expected transition/transversion *ratio*, the
+  /// way fastDNAml users specify it (its default ratio is 2.0). Throws if
+  /// the ratio is unattainably small for the given frequencies.
+  static SubstModel f84_from_tstv(const Vec4& pi, double tstv_ratio);
+  /// General time-reversible: exchangeabilities in order
+  /// (AC, AG, AT, CG, CT, GT).
+  static SubstModel gtr(const Vec4& pi, const std::array<double, 6>& rates);
+
+  const std::string& name() const { return name_; }
+  const Vec4& frequencies() const { return pi_; }
+  /// Normalized rate matrix (expected substitutions per unit time = 1).
+  const Mat4& rate_matrix() const { return q_; }
+  const Vec4& eigenvalues() const { return eigenvalues_; }
+
+  /// P(t): probability of state j after time t, starting from i.
+  void transition(double t, Mat4& p) const;
+  /// P(t) together with its first and second derivatives in t.
+  void transition_with_derivs(double t, Mat4& p, Mat4& dp, Mat4& d2p) const;
+
+  /// Expected transition/transversion ratio implied by the model.
+  double tstv_ratio() const;
+
+ private:
+  SubstModel(std::string name, const Vec4& pi, const std::array<double, 6>& s);
+
+  std::string name_;
+  Vec4 pi_{};
+  Mat4 q_{};           // normalized rate matrix
+  Vec4 eigenvalues_{};  // of the normalized Q
+  Mat4 right_{};        // P(t) = right * diag(exp(lambda t)) * left
+  Mat4 left_{};
+};
+
+/// Validates and normalizes a frequency vector (positive, sums to 1 within
+/// tolerance); throws std::invalid_argument otherwise.
+Vec4 normalize_frequencies(const Vec4& pi);
+
+}  // namespace fdml

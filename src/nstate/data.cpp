@@ -1,0 +1,106 @@
+#include "nstate/data.hpp"
+
+#include <bit>
+#include <cctype>
+#include <istream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+namespace fdml {
+
+void StateAlignment::add_sequence(std::string name, const std::string& sequence) {
+  if (name.empty()) throw std::invalid_argument("taxon name must be non-empty");
+  auto codes = alphabet_.encode(sequence);
+  if (!rows_.empty() && codes.size() != rows_[0].size()) {
+    throw std::invalid_argument("sequence length mismatch for taxon " + name);
+  }
+  for (const auto& existing : names_) {
+    if (existing == name) {
+      throw std::invalid_argument("duplicate taxon name " + name);
+    }
+  }
+  names_.push_back(std::move(name));
+  rows_.push_back(std::move(codes));
+}
+
+StateAlignment StateAlignment::from_fasta(std::istream& in, StateAlphabet alphabet) {
+  StateAlignment out(std::move(alphabet));
+  std::string line;
+  std::string name;
+  std::string sequence;
+  auto flush = [&] {
+    if (!name.empty()) out.add_sequence(name, sequence);
+    sequence.clear();
+  };
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    if (line[0] == '>') {
+      flush();
+      std::istringstream header(line.substr(1));
+      header >> name;
+      if (name.empty()) throw std::runtime_error("FASTA: empty record name");
+    } else {
+      if (name.empty()) throw std::runtime_error("FASTA: data before first header");
+      for (char c : line) {
+        if (!std::isspace(static_cast<unsigned char>(c))) sequence.push_back(c);
+      }
+    }
+  }
+  flush();
+  if (out.num_taxa() == 0) throw std::runtime_error("FASTA: no records");
+  return out;
+}
+
+std::vector<double> StateAlignment::state_frequencies() const {
+  const int n = alphabet_.num_states();
+  std::vector<double> counts(static_cast<std::size_t>(n), 0.0);
+  for (const auto& row : rows_) {
+    for (std::uint32_t mask : row) {
+      if (mask == alphabet_.unknown_mask() || mask == 0) continue;
+      const int cardinality = std::popcount(mask);
+      const double share = 1.0 / cardinality;
+      for (int s = 0; s < n; ++s) {
+        if (mask & (std::uint32_t{1} << s)) counts[static_cast<std::size_t>(s)] += share;
+      }
+    }
+  }
+  double total = 0.0;
+  for (double c : counts) total += c;
+  if (total <= 0.0) {
+    return std::vector<double>(static_cast<std::size_t>(n), 1.0 / n);
+  }
+  for (double& c : counts) c /= total;
+  // Keep every frequency strictly positive for model construction.
+  for (double& c : counts) {
+    if (c < 1e-6) c = 1e-6;
+  }
+  double adjusted = 0.0;
+  for (double c : counts) adjusted += c;
+  for (double& c : counts) c /= adjusted;
+  return counts;
+}
+
+StatePatterns::StatePatterns(const StateAlignment& alignment)
+    : alphabet_(alignment.alphabet()),
+      num_taxa_(alignment.num_taxa()),
+      names_(alignment.names()),
+      frequencies_(alignment.state_frequencies()) {
+  const std::size_t sites = alignment.num_sites();
+  std::map<std::vector<std::uint32_t>, std::size_t> index;
+  site_to_pattern_.resize(sites);
+  std::vector<std::uint32_t> column(num_taxa_);
+  for (std::size_t site = 0; site < sites; ++site) {
+    for (std::size_t t = 0; t < num_taxa_; ++t) column[t] = alignment.at(t, site);
+    auto [it, inserted] = index.emplace(column, weights_.size());
+    if (inserted) {
+      weights_.push_back(0.0);
+      codes_.insert(codes_.end(), column.begin(), column.end());
+    }
+    site_to_pattern_[site] = it->second;
+    weights_[it->second] += 1.0;
+  }
+}
+
+}  // namespace fdml

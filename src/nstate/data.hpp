@@ -1,0 +1,71 @@
+// Alignment containers over a general StateAlphabet (protein, DNA+gap).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "nstate/alphabet.hpp"
+
+namespace fdml {
+
+class StateAlignment {
+ public:
+  explicit StateAlignment(StateAlphabet alphabet) : alphabet_(std::move(alphabet)) {}
+
+  void add_sequence(std::string name, const std::string& sequence);
+
+  /// Reads FASTA records and encodes them through the alphabet.
+  static StateAlignment from_fasta(std::istream& in, StateAlphabet alphabet);
+
+  const StateAlphabet& alphabet() const { return alphabet_; }
+  std::size_t num_taxa() const { return rows_.size(); }
+  std::size_t num_sites() const { return rows_.empty() ? 0 : rows_[0].size(); }
+  const std::string& name(std::size_t taxon) const { return names_[taxon]; }
+  const std::vector<std::string>& names() const { return names_; }
+  std::uint32_t at(std::size_t taxon, std::size_t site) const {
+    return rows_[taxon][site];
+  }
+
+  /// Empirical state frequencies (fractional counting for ambiguity codes,
+  /// skipping fully-unknown characters) — note that under dna_with_gap this
+  /// *counts gaps*, which is the point of the 5-state treatment.
+  std::vector<double> state_frequencies() const;
+
+ private:
+  StateAlphabet alphabet_;
+  std::vector<std::string> names_;
+  std::vector<std::vector<std::uint32_t>> rows_;
+};
+
+/// Site-pattern compression over state masks.
+class StatePatterns {
+ public:
+  explicit StatePatterns(const StateAlignment& alignment);
+
+  const StateAlphabet& alphabet() const { return alphabet_; }
+  std::size_t num_taxa() const { return num_taxa_; }
+  std::size_t num_patterns() const { return weights_.size(); }
+  std::size_t num_sites() const { return site_to_pattern_.size(); }
+  double weight(std::size_t pattern) const { return weights_[pattern]; }
+  std::uint32_t at(std::size_t taxon, std::size_t pattern) const {
+    return codes_[pattern * num_taxa_ + taxon];
+  }
+  std::size_t pattern_of_site(std::size_t site) const {
+    return site_to_pattern_[site];
+  }
+  const std::vector<std::string>& names() const { return names_; }
+  const std::vector<double>& frequencies() const { return frequencies_; }
+
+ private:
+  StateAlphabet alphabet_;  // copied: patterns must not dangle off the source
+  std::size_t num_taxa_ = 0;
+  std::vector<std::string> names_;
+  std::vector<std::uint32_t> codes_;
+  std::vector<double> weights_;
+  std::vector<std::size_t> site_to_pattern_;
+  std::vector<double> frequencies_;
+};
+
+}  // namespace fdml

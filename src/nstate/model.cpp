@@ -1,0 +1,171 @@
+#include "nstate/model.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/linalg.hpp"
+
+namespace fdml {
+
+GeneralModel::GeneralModel(std::string name, std::vector<double> pi,
+                           const std::vector<double>& exchangeabilities)
+    : name_(std::move(name)), n_(static_cast<int>(pi.size())), pi_(std::move(pi)) {
+  const std::size_t un = static_cast<std::size_t>(n_);
+  if (n_ < 2) throw std::invalid_argument("GeneralModel: need >= 2 states");
+  if (exchangeabilities.size() != un * (un - 1) / 2) {
+    throw std::invalid_argument("GeneralModel: exchangeability count mismatch");
+  }
+  double total = 0.0;
+  for (double f : pi_) {
+    if (!(f > 0.0)) throw std::invalid_argument("GeneralModel: frequencies > 0");
+    total += f;
+  }
+  for (double& f : pi_) f /= total;
+
+  // Assemble Q.
+  q_.assign(un * un, 0.0);
+  std::size_t x = 0;
+  for (std::size_t i = 0; i < un; ++i) {
+    for (std::size_t j = i + 1; j < un; ++j, ++x) {
+      const double s = exchangeabilities[x];
+      if (!(s >= 0.0)) throw std::invalid_argument("GeneralModel: s >= 0");
+      q_[i * un + j] = s * pi_[j];
+      q_[j * un + i] = s * pi_[i];
+    }
+  }
+  double mu = 0.0;
+  for (std::size_t i = 0; i < un; ++i) {
+    double row = 0.0;
+    for (std::size_t j = 0; j < un; ++j) {
+      if (j != i) row += q_[i * un + j];
+    }
+    q_[i * un + i] = -row;
+    mu += pi_[i] * row;
+  }
+  if (!(mu > 0.0)) throw std::invalid_argument("GeneralModel: degenerate Q");
+  for (double& v : q_) v /= mu;
+
+  // Symmetrize and decompose.
+  std::vector<double> sym(un * un);
+  std::vector<double> sqrt_pi(un);
+  for (std::size_t i = 0; i < un; ++i) sqrt_pi[i] = std::sqrt(pi_[i]);
+  for (std::size_t i = 0; i < un; ++i) {
+    for (std::size_t j = 0; j < un; ++j) {
+      sym[i * un + j] = sqrt_pi[i] * q_[i * un + j] / sqrt_pi[j];
+    }
+  }
+  for (std::size_t i = 0; i < un; ++i) {
+    for (std::size_t j = i + 1; j < un; ++j) {
+      const double avg = 0.5 * (sym[i * un + j] + sym[j * un + i]);
+      sym[i * un + j] = avg;
+      sym[j * un + i] = avg;
+    }
+  }
+  std::vector<double> vectors;
+  jacobi_eigen_symmetric_n(sym, n_, eigenvalues_, vectors);
+  right_.resize(un * un);
+  left_.resize(un * un);
+  for (std::size_t i = 0; i < un; ++i) {
+    for (std::size_t k = 0; k < un; ++k) {
+      right_[i * un + k] = vectors[i * un + k] / sqrt_pi[i];
+      left_[k * un + i] = vectors[i * un + k] * sqrt_pi[i];
+    }
+  }
+}
+
+void GeneralModel::transition(double t, std::vector<double>& p) const {
+  const std::size_t un = static_cast<std::size_t>(n_);
+  p.assign(un * un, 0.0);
+  std::vector<double> expl(un);
+  for (std::size_t k = 0; k < un; ++k) expl[k] = std::exp(eigenvalues_[k] * t);
+  for (std::size_t i = 0; i < un; ++i) {
+    for (std::size_t k = 0; k < un; ++k) {
+      const double rik = right_[i * un + k] * expl[k];
+      for (std::size_t j = 0; j < un; ++j) {
+        p[i * un + j] += rik * left_[k * un + j];
+      }
+    }
+    for (std::size_t j = 0; j < un; ++j) {
+      if (p[i * un + j] < 0.0) p[i * un + j] = 0.0;
+    }
+  }
+}
+
+void GeneralModel::transition_with_derivs(double t, std::vector<double>& p,
+                                          std::vector<double>& dp,
+                                          std::vector<double>& d2p) const {
+  const std::size_t un = static_cast<std::size_t>(n_);
+  p.assign(un * un, 0.0);
+  dp.assign(un * un, 0.0);
+  d2p.assign(un * un, 0.0);
+  std::vector<double> expl(un);
+  for (std::size_t k = 0; k < un; ++k) expl[k] = std::exp(eigenvalues_[k] * t);
+  for (std::size_t i = 0; i < un; ++i) {
+    for (std::size_t k = 0; k < un; ++k) {
+      const double rik = right_[i * un + k] * expl[k];
+      const double lambda = eigenvalues_[k];
+      for (std::size_t j = 0; j < un; ++j) {
+        const double term = rik * left_[k * un + j];
+        p[i * un + j] += term;
+        dp[i * un + j] += lambda * term;
+        d2p[i * un + j] += lambda * lambda * term;
+      }
+    }
+    for (std::size_t j = 0; j < un; ++j) {
+      if (p[i * un + j] < 0.0) p[i * un + j] = 0.0;
+    }
+  }
+}
+
+GeneralModel GeneralModel::reversible(std::string name,
+                                      std::vector<double> frequencies,
+                                      const std::vector<double>& exchangeabilities) {
+  return GeneralModel(std::move(name), std::move(frequencies), exchangeabilities);
+}
+
+GeneralModel GeneralModel::poisson(int num_states, std::string name) {
+  const std::size_t un = static_cast<std::size_t>(num_states);
+  return GeneralModel(std::move(name),
+                      std::vector<double>(un, 1.0 / static_cast<double>(un)),
+                      std::vector<double>(un * (un - 1) / 2, 1.0));
+}
+
+GeneralModel GeneralModel::proportional(std::vector<double> frequencies,
+                                        std::string name) {
+  const std::size_t un = frequencies.size();
+  return GeneralModel(std::move(name), std::move(frequencies),
+                      std::vector<double>(un * (un - 1) / 2, 1.0));
+}
+
+GeneralModel GeneralModel::dna_with_gap(const std::vector<double>& base_frequencies,
+                                        double tstv_k, double gap_frequency,
+                                        double indel_rate) {
+  if (base_frequencies.size() != 4) {
+    throw std::invalid_argument("dna_with_gap: need 4 base frequencies");
+  }
+  if (!(gap_frequency > 0.0 && gap_frequency < 1.0)) {
+    throw std::invalid_argument("dna_with_gap: gap frequency in (0,1)");
+  }
+  std::vector<double> pi(5);
+  double base_total = 0.0;
+  for (double f : base_frequencies) base_total += f;
+  for (int b = 0; b < 4; ++b) {
+    pi[static_cast<std::size_t>(b)] =
+        base_frequencies[static_cast<std::size_t>(b)] / base_total *
+        (1.0 - gap_frequency);
+  }
+  pi[4] = gap_frequency;
+
+  // F84-style exchangeabilities among bases (states ACGT), plus a uniform
+  // indel factor to/from the gap state. Upper triangle order for n=5:
+  // (AC, AG, AT, A-, CG, CT, C-, GT, G-, T-).
+  const double pur = pi[0] + pi[2];
+  const double pyr = pi[1] + pi[3];
+  const double ag = 1.0 + tstv_k / pur;
+  const double ct = 1.0 + tstv_k / pyr;
+  const std::vector<double> s{1.0, ag,  1.0, indel_rate, 1.0,
+                              ct,  indel_rate, 1.0, indel_rate, indel_rate};
+  return GeneralModel("F84+gap", std::move(pi), s);
+}
+
+}  // namespace fdml

@@ -1,0 +1,66 @@
+// Time-reversible substitution models over arbitrary state counts, built
+// exactly like the 4-state family: assemble Q from exchangeabilities and
+// frequencies, normalize to one expected substitution per unit time,
+// symmetrize with sqrt(pi), eigendecompose, and read P(t) (plus derivatives
+// for Newton branch optimization) off the eigensystem.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nstate/alphabet.hpp"
+
+namespace fdml {
+
+class GeneralModel {
+ public:
+  /// Fully general reversible model: `exchangeabilities` is the strict
+  /// upper triangle of the symmetric rate-factor matrix, row by row
+  /// (n(n-1)/2 values); `frequencies` are the stationary frequencies.
+  static GeneralModel reversible(std::string name,
+                                 std::vector<double> frequencies,
+                                 const std::vector<double>& exchangeabilities);
+
+  /// Poisson model: equal exchangeabilities and equal frequencies — the
+  /// n-state Jukes-Cantor. The standard first protein model.
+  static GeneralModel poisson(int num_states, std::string name = "Poisson");
+
+  /// Proportional model: equal exchangeabilities, empirical frequencies
+  /// (the "F81-like" protein model).
+  static GeneralModel proportional(std::vector<double> frequencies,
+                                   std::string name = "Proportional");
+
+  /// DNA + gap: F84-style nucleotide exchangeabilities extended with a
+  /// fifth "gap" state entered/left at rate factor `indel_rate` relative to
+  /// transversions. `gap_frequency` is the stationary gap proportion.
+  static GeneralModel dna_with_gap(const std::vector<double>& base_frequencies,
+                                   double tstv_k, double gap_frequency,
+                                   double indel_rate);
+
+  const std::string& name() const { return name_; }
+  int num_states() const { return n_; }
+  const std::vector<double>& frequencies() const { return pi_; }
+  /// Normalized rate matrix, row-major n*n.
+  const std::vector<double>& rate_matrix() const { return q_; }
+
+  /// P(t) into `p` (row-major n*n, resized as needed).
+  void transition(double t, std::vector<double>& p) const;
+  /// P, dP/dt, d2P/dt2.
+  void transition_with_derivs(double t, std::vector<double>& p,
+                              std::vector<double>& dp,
+                              std::vector<double>& d2p) const;
+
+ private:
+  GeneralModel(std::string name, std::vector<double> pi,
+               const std::vector<double>& exchangeabilities);
+
+  std::string name_;
+  int n_;
+  std::vector<double> pi_;
+  std::vector<double> q_;
+  std::vector<double> eigenvalues_;
+  std::vector<double> left_;   // row-major: left_[k*n + j]
+  std::vector<double> right_;  // row-major: right_[i*n + k]
+};
+
+}  // namespace fdml

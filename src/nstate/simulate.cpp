@@ -1,0 +1,81 @@
+#include "nstate/simulate.hpp"
+
+#include <stdexcept>
+
+namespace fdml {
+
+StateAlignment simulate_states(const Tree& tree,
+                               const std::vector<std::string>& names,
+                               const StateAlphabet& alphabet,
+                               const GeneralModel& model, const RateModel& rates,
+                               std::size_t num_sites, Rng& rng) {
+  if (alphabet.num_states() != model.num_states()) {
+    throw std::invalid_argument("simulate_states: alphabet/model mismatch");
+  }
+  const int root = tree.any_internal();
+  if (root == Tree::kNoNode) {
+    throw std::invalid_argument("simulate_states: empty tree");
+  }
+  const std::size_t n = static_cast<std::size_t>(model.num_states());
+
+  auto sample = [&](const double* distribution) {
+    double pick = rng.uniform();
+    for (std::size_t s = 0; s < n; ++s) {
+      pick -= distribution[s];
+      if (pick <= 0.0) return static_cast<int>(s);
+    }
+    return static_cast<int>(n - 1);
+  };
+
+  std::vector<std::size_t> category(num_sites);
+  for (std::size_t s = 0; s < num_sites; ++s) {
+    category[s] = rng.categorical(rates.probabilities());
+  }
+
+  std::vector<std::vector<int>> states(static_cast<std::size_t>(tree.max_nodes()));
+  auto& root_states = states[static_cast<std::size_t>(root)];
+  root_states.resize(num_sites);
+  for (std::size_t s = 0; s < num_sites; ++s) {
+    root_states[s] = sample(model.frequencies().data());
+  }
+
+  struct Frame {
+    int node;
+    int from;
+  };
+  std::vector<Frame> stack{{root, -1}};
+  std::vector<double> p;
+  while (!stack.empty()) {
+    const Frame f = stack.back();
+    stack.pop_back();
+    for (int slot = 0; slot < 3; ++slot) {
+      const int child = tree.neighbor(f.node, slot);
+      if (child == Tree::kNoNode || child == f.from) continue;
+      const double t = tree.length(f.node, child);
+      std::vector<std::vector<double>> per_category(rates.num_categories());
+      for (std::size_t c = 0; c < rates.num_categories(); ++c) {
+        model.transition(t * rates.rate(c), per_category[c]);
+      }
+      auto& child_states = states[static_cast<std::size_t>(child)];
+      child_states.resize(num_sites);
+      const auto& parent_states = states[static_cast<std::size_t>(f.node)];
+      for (std::size_t s = 0; s < num_sites; ++s) {
+        const std::vector<double>& matrix = per_category[category[s]];
+        child_states[s] = sample(&matrix[static_cast<std::size_t>(parent_states[s]) * n]);
+      }
+      if (!tree.is_tip(child)) stack.push_back({child, f.node});
+    }
+  }
+
+  StateAlignment out(alphabet);
+  for (int tip : tree.tips()) {
+    std::string row(num_sites, '?');
+    for (std::size_t s = 0; s < num_sites; ++s) {
+      row[s] = alphabet.symbol(states[static_cast<std::size_t>(tip)][s]);
+    }
+    out.add_sequence(names.at(static_cast<std::size_t>(tip)), row);
+  }
+  return out;
+}
+
+}  // namespace fdml

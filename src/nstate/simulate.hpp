@@ -1,0 +1,21 @@
+// Sequence simulation under a general model (protein / DNA+gap), used by
+// tests and the protein example in place of unavailable real data.
+#pragma once
+
+#include "model/rates.hpp"
+#include "nstate/data.hpp"
+#include "nstate/model.hpp"
+#include "tree/tree.hpp"
+#include "util/rng.hpp"
+
+namespace fdml {
+
+/// Evolves `num_sites` characters down `tree` under `model` with rate
+/// categories from `rates`. Tip rows are labeled names[tip].
+StateAlignment simulate_states(const Tree& tree,
+                               const std::vector<std::string>& names,
+                               const StateAlphabet& alphabet,
+                               const GeneralModel& model, const RateModel& rates,
+                               std::size_t num_sites, Rng& rng);
+
+}  // namespace fdml

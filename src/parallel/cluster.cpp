@@ -1,0 +1,89 @@
+#include "parallel/cluster.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "parallel/protocol.hpp"
+
+namespace fdml {
+
+class InProcessCluster::MasterRunner final : public TaskRunner {
+ public:
+  MasterRunner(Transport& transport, int workers)
+      : transport_(transport), workers_(workers) {}
+
+  RoundOutcome run_round(const std::vector<TreeTask>& tasks) override {
+    if (tasks.empty()) throw std::invalid_argument("run_round: empty round");
+    RoundMessage round;
+    round.round_id = next_round_id_++;
+    round.tasks = tasks;
+    // Stamp the round id the foreman will echo back.
+    for (TreeTask& task : round.tasks) task.round_id = round.round_id;
+    transport_.send(kForemanRank, MessageTag::kRound, round.pack());
+
+    while (auto message = transport_.recv()) {
+      if (message->tag != MessageTag::kRoundDone) continue;
+      RoundDoneMessage done = RoundDoneMessage::unpack(message->payload);
+      if (done.round_id != round.round_id) continue;  // stale
+      RoundOutcome outcome;
+      outcome.best = std::move(done.best);
+      outcome.stats = std::move(done.stats);
+      return outcome;
+    }
+    throw std::runtime_error("master: fabric shut down mid-round");
+  }
+
+  int worker_count() const override { return workers_; }
+
+ private:
+  Transport& transport_;
+  int workers_;
+  std::uint64_t next_round_id_ = 1;
+};
+
+InProcessCluster::InProcessCluster(const PatternAlignment& data,
+                                   SubstModel model, RateModel rates,
+                                   ClusterOptions options)
+    : options_(options), fabric_(kFirstWorkerRank + options.num_workers) {
+  if (options.num_workers < 1) {
+    throw std::invalid_argument("cluster: need at least one worker");
+  }
+  master_endpoint_ = fabric_.endpoint(kMasterRank);
+  runner_ = std::make_unique<MasterRunner>(*master_endpoint_, options.num_workers);
+
+  // Foreman thread.
+  threads_.emplace_back([this] {
+    auto endpoint = fabric_.endpoint(kForemanRank);
+    foreman_stats_ = foreman_main(*endpoint, options_.foreman);
+  });
+  // Monitor thread.
+  threads_.emplace_back([this] {
+    auto endpoint = fabric_.endpoint(kMonitorRank);
+    monitor_main(*endpoint, board_);
+  });
+  // Worker threads.
+  for (int w = 0; w < options.num_workers; ++w) {
+    const int rank = kFirstWorkerRank + w;
+    threads_.emplace_back([this, rank, &data, model, rates] {
+      std::unique_ptr<Transport> endpoint = fabric_.endpoint(rank);
+      if (options_.wrap_worker_transport) {
+        endpoint = options_.wrap_worker_transport(rank, std::move(endpoint));
+      }
+      worker_main(*endpoint, data, model, rates, options_.optimize);
+    });
+  }
+}
+
+TaskRunner& InProcessCluster::runner() { return *runner_; }
+
+InProcessCluster::~InProcessCluster() { shutdown(); }
+
+void InProcessCluster::shutdown() {
+  if (shut_down_) return;
+  shut_down_ = true;
+  master_endpoint_->send(kForemanRank, MessageTag::kShutdown, {});
+  for (auto& thread : threads_) thread.join();
+  fabric_.close();
+}
+
+}  // namespace fdml

@@ -1,0 +1,74 @@
+// InProcessCluster: stands up the paper's full process layout — master
+// (the calling thread), foreman, monitor and N workers — over the
+// in-process thread fabric, and exposes the master side as a TaskRunner so
+// StepwiseSearch runs unchanged on top of it. This is the substitution for
+// the paper's MPI runs on the RS/6000 SP: the identical protocol executes
+// for real, with threads standing in for hosts (see DESIGN.md).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "comm/transport.hpp"
+#include "parallel/foreman.hpp"
+#include "parallel/monitor.hpp"
+#include "parallel/worker.hpp"
+#include "search/runner.hpp"
+
+namespace fdml {
+
+struct ClusterOptions {
+  int num_workers = 1;
+  ForemanOptions foreman;
+  OptimizeOptions optimize;
+  /// Optional per-worker transport decorator (fault injection in tests):
+  /// given the worker rank and its raw endpoint, return the endpoint the
+  /// worker should actually use.
+  std::function<std::unique_ptr<Transport>(int, std::unique_ptr<Transport>)>
+      wrap_worker_transport;
+};
+
+class InProcessCluster {
+ public:
+  /// `data` must outlive the cluster.
+  InProcessCluster(const PatternAlignment& data, SubstModel model,
+                   RateModel rates, ClusterOptions options);
+  ~InProcessCluster();
+
+  InProcessCluster(const InProcessCluster&) = delete;
+  InProcessCluster& operator=(const InProcessCluster&) = delete;
+
+  /// Master-side runner; rounds dispatched here flow master -> foreman ->
+  /// workers and back.
+  TaskRunner& runner();
+
+  int num_workers() const { return options_.num_workers; }
+
+  /// Live instrumentation (thread-safe snapshot).
+  MonitorReport monitor_report() const { return board_.snapshot(); }
+  /// Foreman counters; valid after shutdown().
+  const ForemanStats& foreman_stats() const { return foreman_stats_; }
+
+  std::uint64_t fabric_messages() const { return fabric_.messages_sent(); }
+  std::uint64_t fabric_bytes() const { return fabric_.bytes_sent(); }
+
+  /// Sends shutdown and joins every role thread (idempotent; the
+  /// destructor calls it).
+  void shutdown();
+
+ private:
+  class MasterRunner;
+
+  ClusterOptions options_;
+  ThreadFabric fabric_;
+  MonitorBoard board_;
+  ForemanStats foreman_stats_;
+  std::unique_ptr<Transport> master_endpoint_;
+  std::unique_ptr<MasterRunner> runner_;
+  std::vector<std::thread> threads_;
+  bool shut_down_ = false;
+};
+
+}  // namespace fdml

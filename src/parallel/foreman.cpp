@@ -1,0 +1,260 @@
+#include "parallel/foreman.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <optional>
+#include <set>
+
+#include "parallel/protocol.hpp"
+#include "search/runner.hpp"
+#include "util/log.hpp"
+#include "util/timer.hpp"
+
+namespace fdml {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct DispatchRecord {
+  TreeTask task;
+  Clock::time_point dispatched_at;
+};
+
+struct RoundState {
+  std::uint64_t round_id = 0;
+  std::size_t expected = 0;
+  std::set<std::uint64_t> completed;
+  TaskResult best;
+  bool have_best = false;
+  std::vector<TaskStat> stats;
+  /// Serialized task size per task id, for the wire-bytes accounting.
+  std::map<std::uint64_t, std::uint64_t> task_bytes;
+};
+
+class Foreman {
+ public:
+  Foreman(Transport& transport, const ForemanOptions& options)
+      : transport_(transport), options_(options) {}
+
+  ForemanStats run() {
+    for (;;) {
+      const auto message = receive();
+      if (!message.has_value()) {
+        // Either a worker deadline passed (handled inside receive) or the
+        // fabric shut down under us.
+        if (fabric_closed_ || transport_.closed()) break;
+        continue;
+      }
+      switch (message->tag) {
+        case MessageTag::kHello:
+          ready_.push_back(message->source);
+          notify(MonitorEventKind::kReinstate, 0, message->source);
+          dispatch_ready();
+          break;
+        case MessageTag::kRound:
+          begin_round(RoundMessage::unpack(message->payload));
+          break;
+        case MessageTag::kResult:
+          handle_result(message->source, message->payload);
+          break;
+        case MessageTag::kShutdown:
+          broadcast_shutdown();
+          return stats_;
+        default:
+          FDML_WARN("foreman") << "unexpected tag "
+                               << static_cast<int>(message->tag);
+      }
+    }
+    return stats_;
+  }
+
+ private:
+  /// Receives with a deadline derived from in-flight dispatch records;
+  /// expires overdue workers before returning.
+  std::optional<Message> receive() {
+    std::optional<Message> message;
+    if (in_flight_.empty()) {
+      message = transport_.recv();
+      if (!message.has_value()) fabric_closed_ = true;
+      return message;
+    }
+    // Wait only until the earliest deadline.
+    const auto now = Clock::now();
+    Clock::time_point earliest = now + options_.worker_timeout;
+    for (const auto& [worker, record] : in_flight_) {
+      earliest = std::min(earliest, record.dispatched_at + options_.worker_timeout);
+    }
+    const auto wait = std::chrono::duration_cast<std::chrono::milliseconds>(
+        std::max(earliest - now, Clock::duration::zero()));
+    message = transport_.recv_for(wait + std::chrono::milliseconds(1));
+    expire_overdue();
+    return message;
+  }
+
+  void expire_overdue() {
+    const auto now = Clock::now();
+    std::vector<int> overdue;
+    for (const auto& [worker, record] : in_flight_) {
+      if (now - record.dispatched_at >= options_.worker_timeout) {
+        overdue.push_back(worker);
+      }
+    }
+    for (int worker : overdue) {
+      auto it = in_flight_.find(worker);
+      // Requeue at the front so the oldest tree goes out first.
+      work_queue_.push_front(it->second.task);
+      delinquent_.insert(worker);
+      ++stats_.requeues;
+      ++stats_.delinquencies;
+      notify(MonitorEventKind::kRequeue, it->second.task.task_id, worker);
+      notify(MonitorEventKind::kDelinquent, it->second.task.task_id, worker);
+      FDML_INFO("foreman") << "worker " << worker << " timed out; requeued task "
+                           << it->second.task.task_id;
+      in_flight_.erase(it);
+    }
+    dispatch_ready();
+  }
+
+  void begin_round(RoundMessage message) {
+    round_ = RoundState{};
+    round_.round_id = message.round_id;
+    round_.expected = message.tasks.size();
+    round_active_ = true;
+    ++stats_.rounds;
+    notify(MonitorEventKind::kRoundBegin, 0, -1);
+    for (TreeTask& task : message.tasks) {
+      Packer packer;
+      task.pack(packer);
+      round_.task_bytes[task.task_id] = packer.size();
+      work_queue_.push_back(std::move(task));
+    }
+    dispatch_ready();
+  }
+
+  void dispatch_ready() {
+    while (!work_queue_.empty() && !ready_.empty()) {
+      const int worker = ready_.front();
+      ready_.pop_front();
+      TreeTask task = std::move(work_queue_.front());
+      work_queue_.pop_front();
+      Packer packer;
+      task.pack(packer);
+      transport_.send(worker, MessageTag::kTask, packer.take());
+      notify(MonitorEventKind::kDispatch, task.task_id, worker);
+      ++stats_.tasks_dispatched;
+      in_flight_[worker] = {std::move(task), Clock::now()};
+    }
+  }
+
+  void handle_result(int worker, const std::vector<std::uint8_t>& payload) {
+    Unpacker unpacker(payload);
+    TaskResult result = TaskResult::unpack(unpacker);
+    result.worker = worker;
+
+    const auto flight = in_flight_.find(worker);
+    if (flight != in_flight_.end() &&
+        flight->second.task.task_id == result.task_id) {
+      in_flight_.erase(flight);
+      ready_.push_back(worker);
+    } else if (delinquent_.count(worker) != 0) {
+      // The paper's reinstatement path: a delinquent worker finally replied.
+      delinquent_.erase(worker);
+      ready_.push_back(worker);
+      ++stats_.reinstatements;
+      notify(MonitorEventKind::kReinstate, result.task_id, worker);
+    } else {
+      ready_.push_back(worker);
+    }
+
+    accept(result, payload.size());
+    dispatch_ready();
+  }
+
+  void accept(TaskResult& result, std::size_t result_bytes) {
+    if (!round_active_ || result.round_id != round_.round_id ||
+        round_.completed.count(result.task_id) != 0) {
+      // Stale or duplicate (e.g. a requeued task completed twice).
+      ++stats_.late_duplicate_results;
+      return;
+    }
+    round_.completed.insert(result.task_id);
+    // If a requeued copy is still waiting in the queue, drop it.
+    for (auto it = work_queue_.begin(); it != work_queue_.end(); ++it) {
+      if (it->task_id == result.task_id) {
+        work_queue_.erase(it);
+        break;
+      }
+    }
+    TaskStat stat;
+    stat.task_id = result.task_id;
+    stat.cpu_seconds = result.cpu_seconds;
+    stat.bytes = round_.task_bytes[result.task_id] + result_bytes;
+    stat.worker = result.worker;
+    round_.stats.push_back(stat);
+    ++stats_.tasks_completed;
+    notify(MonitorEventKind::kComplete, result.task_id, result.worker,
+           result.cpu_seconds);
+
+    if (!round_.have_best ||
+        result.log_likelihood > round_.best.log_likelihood) {
+      round_.best = std::move(result);
+      round_.have_best = true;
+    }
+
+    if (round_.completed.size() == round_.expected) {
+      RoundDoneMessage done;
+      done.round_id = round_.round_id;
+      done.best = round_.best;
+      done.stats = std::move(round_.stats);
+      transport_.send(kMasterRank, MessageTag::kRoundDone, done.pack());
+      notify(MonitorEventKind::kRoundEnd, 0, -1);
+      round_active_ = false;
+    }
+  }
+
+  void broadcast_shutdown() {
+    for (int rank = kFirstWorkerRank; rank < transport_.size(); ++rank) {
+      transport_.send(rank, MessageTag::kShutdown, {});
+    }
+    if (options_.notify_monitor && transport_.size() > kMonitorRank) {
+      transport_.send(kMonitorRank, MessageTag::kShutdown, {});
+    }
+  }
+
+  void notify(MonitorEventKind kind, std::uint64_t task_id, int worker,
+              double cpu_seconds = 0.0) {
+    if (!options_.notify_monitor || transport_.size() <= kMonitorRank) return;
+    MonitorEvent event;
+    event.kind = kind;
+    event.round_id = round_.round_id;
+    event.task_id = task_id;
+    event.worker = worker;
+    event.at_seconds = uptime_.seconds();
+    event.cpu_seconds = cpu_seconds;
+    transport_.send(kMonitorRank, MessageTag::kMonitorEvent, event.pack());
+  }
+
+  Transport& transport_;
+  ForemanOptions options_;
+  ForemanStats stats_;
+  Timer uptime_;
+
+  std::deque<TreeTask> work_queue_;
+  std::deque<int> ready_;
+  std::set<int> delinquent_;
+  std::map<int, DispatchRecord> in_flight_;
+  RoundState round_;
+  bool round_active_ = false;
+  bool fabric_closed_ = false;
+};
+
+}  // namespace
+
+ForemanStats foreman_main(Transport& transport, const ForemanOptions& options) {
+  Foreman foreman(transport, options);
+  return foreman.run();
+}
+
+}  // namespace fdml

@@ -1,0 +1,40 @@
+// The foreman role: owns the work queue and ready queue, dispatches trees
+// to workers, compares likelihood values, and implements the paper's fault
+// tolerance — "if an individual worker process fails to return an evaluated
+// tree within the time specified, that particular worker is removed from
+// the list of available workers, and the tree that had been dispatched to
+// that worker is sent to a different worker. If at some later time a
+// response is received from the delinquent worker, then that worker is
+// added back into the list of workers available to analyze trees."
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+#include "comm/transport.hpp"
+
+namespace fdml {
+
+struct ForemanOptions {
+  /// A worker that holds a task longer than this is declared delinquent and
+  /// its task is requeued (the paper's user-specified timeout parameter).
+  std::chrono::milliseconds worker_timeout{30000};
+  /// Emit instrumentation events to the monitor rank.
+  bool notify_monitor = true;
+};
+
+struct ForemanStats {
+  std::uint64_t rounds = 0;
+  std::uint64_t tasks_dispatched = 0;
+  std::uint64_t tasks_completed = 0;
+  std::uint64_t requeues = 0;
+  std::uint64_t delinquencies = 0;
+  std::uint64_t reinstatements = 0;
+  std::uint64_t late_duplicate_results = 0;
+};
+
+/// Runs the foreman loop until a shutdown message arrives (which is
+/// forwarded to every worker and the monitor). Returns the final counters.
+ForemanStats foreman_main(Transport& transport, const ForemanOptions& options);
+
+}  // namespace fdml

@@ -1,0 +1,57 @@
+#include "parallel/monitor.hpp"
+
+namespace fdml {
+
+void MonitorBoard::apply(const MonitorEvent& event) {
+  std::lock_guard lock(mutex_);
+  switch (event.kind) {
+    case MonitorEventKind::kRoundBegin:
+      ++report_.rounds;
+      round_begin_at_ = event.at_seconds;
+      first_completion_at_ = -1.0;
+      last_completion_at_ = -1.0;
+      break;
+    case MonitorEventKind::kDispatch:
+      ++report_.dispatches;
+      break;
+    case MonitorEventKind::kComplete:
+      ++report_.completions;
+      report_.total_worker_cpu_seconds += event.cpu_seconds;
+      report_.tasks_per_worker[event.worker] += 1;
+      if (first_completion_at_ < 0.0) first_completion_at_ = event.at_seconds;
+      last_completion_at_ = event.at_seconds;
+      break;
+    case MonitorEventKind::kRequeue:
+      ++report_.requeues;
+      break;
+    case MonitorEventKind::kDelinquent:
+      ++report_.delinquencies;
+      break;
+    case MonitorEventKind::kReinstate:
+      // Initial hellos also arrive as reinstatements with task_id 0.
+      if (event.task_id != 0) ++report_.reinstatements;
+      break;
+    case MonitorEventKind::kRoundEnd:
+      if (first_completion_at_ >= 0.0) {
+        report_.round_slack_seconds.push_back(last_completion_at_ -
+                                              first_completion_at_);
+      }
+      report_.round_duration_seconds.push_back(event.at_seconds - round_begin_at_);
+      break;
+  }
+}
+
+MonitorReport MonitorBoard::snapshot() const {
+  std::lock_guard lock(mutex_);
+  return report_;
+}
+
+void monitor_main(Transport& transport, MonitorBoard& board) {
+  while (auto message = transport.recv()) {
+    if (message->tag == MessageTag::kShutdown) break;
+    if (message->tag != MessageTag::kMonitorEvent) continue;
+    board.apply(MonitorEvent::unpack(message->payload));
+  }
+}
+
+}  // namespace fdml

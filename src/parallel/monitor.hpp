@@ -1,0 +1,51 @@
+// The monitor role (the paper's optional fourth module): consumes
+// instrumentation events from the foreman and aggregates utilization and
+// barrier-slack statistics. The paper's real-time viewer watched this kind
+// of stream; here the report also backs tests and the scalability analysis.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "comm/transport.hpp"
+#include "parallel/protocol.hpp"
+
+namespace fdml {
+
+struct MonitorReport {
+  std::uint64_t rounds = 0;
+  std::uint64_t dispatches = 0;
+  std::uint64_t completions = 0;
+  std::uint64_t requeues = 0;
+  std::uint64_t delinquencies = 0;
+  std::uint64_t reinstatements = 0;
+  double total_worker_cpu_seconds = 0.0;
+  /// Tasks completed per worker rank.
+  std::map<int, std::uint64_t> tasks_per_worker;
+  /// Per-round barrier slack: time between the first and the last task
+  /// completion of the round (the paper's "loosely synchronized" barriers).
+  std::vector<double> round_slack_seconds;
+  /// Wall-clock duration of each round at the foreman.
+  std::vector<double> round_duration_seconds;
+};
+
+/// Shared, thread-safe report the monitor thread fills in.
+class MonitorBoard {
+ public:
+  void apply(const MonitorEvent& event);
+  MonitorReport snapshot() const;
+
+ private:
+  mutable std::mutex mutex_;
+  MonitorReport report_;
+  double round_begin_at_ = 0.0;
+  double first_completion_at_ = -1.0;
+  double last_completion_at_ = -1.0;
+};
+
+/// Runs the monitor loop until shutdown, applying events to `board`.
+void monitor_main(Transport& transport, MonitorBoard& board);
+
+}  // namespace fdml

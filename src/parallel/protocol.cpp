@@ -1,0 +1,80 @@
+#include "parallel/protocol.hpp"
+
+namespace fdml {
+
+std::vector<std::uint8_t> RoundMessage::pack() const {
+  Packer packer;
+  packer.put_u64(round_id);
+  packer.put_u32(static_cast<std::uint32_t>(tasks.size()));
+  for (const TreeTask& task : tasks) task.pack(packer);
+  return packer.take();
+}
+
+RoundMessage RoundMessage::unpack(const std::vector<std::uint8_t>& payload) {
+  Unpacker unpacker(payload);
+  RoundMessage message;
+  message.round_id = unpacker.get_u64();
+  const std::uint32_t count = unpacker.get_u32();
+  message.tasks.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    message.tasks.push_back(TreeTask::unpack(unpacker));
+  }
+  return message;
+}
+
+std::vector<std::uint8_t> RoundDoneMessage::pack() const {
+  Packer packer;
+  packer.put_u64(round_id);
+  best.pack(packer);
+  packer.put_u32(static_cast<std::uint32_t>(stats.size()));
+  for (const TaskStat& stat : stats) {
+    packer.put_u64(stat.task_id);
+    packer.put_f64(stat.cpu_seconds);
+    packer.put_u64(stat.bytes);
+    packer.put_i32(stat.worker);
+  }
+  return packer.take();
+}
+
+RoundDoneMessage RoundDoneMessage::unpack(const std::vector<std::uint8_t>& payload) {
+  Unpacker unpacker(payload);
+  RoundDoneMessage message;
+  message.round_id = unpacker.get_u64();
+  message.best = TaskResult::unpack(unpacker);
+  const std::uint32_t count = unpacker.get_u32();
+  message.stats.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    TaskStat stat;
+    stat.task_id = unpacker.get_u64();
+    stat.cpu_seconds = unpacker.get_f64();
+    stat.bytes = unpacker.get_u64();
+    stat.worker = unpacker.get_i32();
+    message.stats.push_back(stat);
+  }
+  return message;
+}
+
+std::vector<std::uint8_t> MonitorEvent::pack() const {
+  Packer packer;
+  packer.put_u8(static_cast<std::uint8_t>(kind));
+  packer.put_u64(round_id);
+  packer.put_u64(task_id);
+  packer.put_i32(worker);
+  packer.put_f64(at_seconds);
+  packer.put_f64(cpu_seconds);
+  return packer.take();
+}
+
+MonitorEvent MonitorEvent::unpack(const std::vector<std::uint8_t>& payload) {
+  Unpacker unpacker(payload);
+  MonitorEvent event;
+  event.kind = static_cast<MonitorEventKind>(unpacker.get_u8());
+  event.round_id = unpacker.get_u64();
+  event.task_id = unpacker.get_u64();
+  event.worker = unpacker.get_i32();
+  event.at_seconds = unpacker.get_f64();
+  event.cpu_seconds = unpacker.get_f64();
+  return event;
+}
+
+}  // namespace fdml

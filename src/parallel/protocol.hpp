@@ -1,0 +1,66 @@
+// Payload codecs for the parallel runtime's messages.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "search/runner.hpp"
+#include "search/task.hpp"
+#include "util/packer.hpp"
+
+namespace fdml {
+
+/// Fixed rank layout (paper Figure 2): master generates and compares trees,
+/// foreman owns the work/ready queues, monitor instruments, workers
+/// optimize. "The fully instrumented parallel version of fastDNAml requires
+/// a minimum of four processors."
+inline constexpr int kMasterRank = 0;
+inline constexpr int kForemanRank = 1;
+inline constexpr int kMonitorRank = 2;
+inline constexpr int kFirstWorkerRank = 3;
+
+/// master -> foreman: one round of candidate trees.
+struct RoundMessage {
+  std::uint64_t round_id = 0;
+  std::vector<TreeTask> tasks;
+
+  std::vector<std::uint8_t> pack() const;
+  static RoundMessage unpack(const std::vector<std::uint8_t>& payload);
+};
+
+/// foreman -> master: the round's best tree plus per-task accounting.
+struct RoundDoneMessage {
+  std::uint64_t round_id = 0;
+  TaskResult best;
+  std::vector<TaskStat> stats;
+
+  std::vector<std::uint8_t> pack() const;
+  static RoundDoneMessage unpack(const std::vector<std::uint8_t>& payload);
+};
+
+/// foreman -> monitor: instrumentation events.
+enum class MonitorEventKind : std::uint8_t {
+  kRoundBegin = 1,
+  kDispatch = 2,
+  kComplete = 3,
+  kRequeue = 4,
+  kDelinquent = 5,
+  kReinstate = 6,
+  kRoundEnd = 7,
+};
+
+struct MonitorEvent {
+  MonitorEventKind kind = MonitorEventKind::kDispatch;
+  std::uint64_t round_id = 0;
+  std::uint64_t task_id = 0;
+  int worker = -1;
+  /// Seconds since the foreman started (event ordering / slack analysis).
+  double at_seconds = 0.0;
+  /// Worker CPU seconds (kComplete only).
+  double cpu_seconds = 0.0;
+
+  std::vector<std::uint8_t> pack() const;
+  static MonitorEvent unpack(const std::vector<std::uint8_t>& payload);
+};
+
+}  // namespace fdml

@@ -1,0 +1,38 @@
+#include "parallel/worker.hpp"
+
+#include <utility>
+
+#include "parallel/protocol.hpp"
+#include "search/task_evaluator.hpp"
+#include "util/log.hpp"
+
+namespace fdml {
+
+WorkerStats worker_main(Transport& transport, const PatternAlignment& data,
+                        SubstModel model, RateModel rates,
+                        OptimizeOptions options) {
+  TaskEvaluator evaluator(data, std::move(model), std::move(rates), options);
+  WorkerStats stats;
+
+  transport.send(kForemanRank, MessageTag::kHello, {});
+  while (auto message = transport.recv()) {
+    if (message->tag == MessageTag::kShutdown) break;
+    if (message->tag != MessageTag::kTask) {
+      FDML_WARN("worker") << "rank " << transport.rank() << " ignoring tag "
+                          << static_cast<int>(message->tag);
+      continue;
+    }
+    Unpacker unpacker(message->payload);
+    const TreeTask task = TreeTask::unpack(unpacker);
+    TaskResult result = evaluator.evaluate(task);
+    result.worker = transport.rank();
+    ++stats.tasks_evaluated;
+    stats.cpu_seconds += result.cpu_seconds;
+    Packer packer;
+    result.pack(packer);
+    transport.send(kForemanRank, MessageTag::kResult, packer.take());
+  }
+  return stats;
+}
+
+}  // namespace fdml

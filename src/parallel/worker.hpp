@@ -1,0 +1,23 @@
+// The worker role: receive a tree, optimize its branch lengths, return it
+// with its likelihood. Workers communicate only with the foreman.
+#pragma once
+
+#include "comm/transport.hpp"
+#include "likelihood/optimize.hpp"
+#include "model/rates.hpp"
+#include "model/submodel.hpp"
+#include "seq/alignment.hpp"
+
+namespace fdml {
+
+struct WorkerStats {
+  std::uint64_t tasks_evaluated = 0;
+  double cpu_seconds = 0.0;
+};
+
+/// Runs the worker loop until shutdown. `data` must outlive the call.
+WorkerStats worker_main(Transport& transport, const PatternAlignment& data,
+                        SubstModel model, RateModel rates,
+                        OptimizeOptions options = {});
+
+}  // namespace fdml

@@ -1,0 +1,40 @@
+#include "search/bootstrap.hpp"
+
+#include "tree/newick.hpp"
+
+namespace fdml {
+
+std::vector<int> bootstrap_site_weights(std::size_t num_sites, Rng& rng) {
+  std::vector<int> weights(num_sites, 0);
+  for (std::size_t draw = 0; draw < num_sites; ++draw) {
+    weights[rng.below(num_sites)] += 1;
+  }
+  return weights;
+}
+
+BootstrapResult run_bootstrap(const Alignment& alignment, const SubstModel& model,
+                              const RateModel& rates,
+                              const BootstrapOptions& options) {
+  BootstrapResult result;
+  Rng rng(options.seed);
+  for (int rep = 0; rep < options.replicates; ++rep) {
+    const std::vector<int> weights =
+        bootstrap_site_weights(alignment.num_sites(), rng);
+    const PatternAlignment data(alignment, weights);
+    SerialTaskRunner runner(data, model, rates);
+    SearchOptions search_options = options.search;
+    search_options.seed =
+        adjust_user_seed(options.seed) + 2ULL * static_cast<std::uint64_t>(rep);
+    search_options.record_trace = false;
+    StepwiseSearch search(data, search_options);
+    const SearchResult run = search.run(runner);
+    result.replicate_trees.push_back(
+        tree_from_newick(run.best_newick, data.names()));
+    result.replicate_log_likelihoods.push_back(run.best_log_likelihood);
+  }
+  result.split_support = split_frequencies(result.replicate_trees);
+  result.consensus = consensus_tree(result.replicate_trees, alignment.names());
+  return result;
+}
+
+}  // namespace fdml

@@ -1,0 +1,52 @@
+// Bootstrap analysis — the paper's planned "incorporation of multiple
+// addition orders and multiple bootstraps within the code ... currently
+// available using scripts".
+//
+// A bootstrap replicate resamples alignment columns with replacement. On a
+// pattern-compressed alignment that is just a new integer weight vector
+// (multinomial over sites), so replicates share the pattern table and cost
+// no re-compression. Each replicate is searched independently; split
+// frequencies across replicate trees are the bootstrap supports, reported
+// as a majority-rule consensus.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "search/search.hpp"
+#include "tree/consensus.hpp"
+#include "util/rng.hpp"
+
+namespace fdml {
+
+/// Multinomial resample of `num_sites` columns: returns per-site counts
+/// summing to num_sites (weights for PatternAlignment).
+std::vector<int> bootstrap_site_weights(std::size_t num_sites, Rng& rng);
+
+struct BootstrapOptions {
+  int replicates = 100;
+  std::uint64_t seed = 1;
+  /// Search settings applied to every replicate.
+  SearchOptions search;
+};
+
+struct BootstrapResult {
+  /// Best tree per replicate.
+  std::vector<Tree> replicate_trees;
+  std::vector<double> replicate_log_likelihoods;
+  /// Majority-rule consensus with bootstrap proportions as node support.
+  GeneralTree consensus;
+  /// Split frequencies across replicates, descending.
+  std::vector<SplitFrequency> split_support;
+};
+
+/// Runs `replicates` bootstrap searches of `alignment`. A fresh
+/// PatternAlignment is built per replicate from resampled site weights;
+/// model frequencies come from the original data. The runner factory is
+/// invoked once per replicate (each needs an evaluator bound to that
+/// replicate's patterns).
+BootstrapResult run_bootstrap(const Alignment& alignment, const SubstModel& model,
+                              const RateModel& rates,
+                              const BootstrapOptions& options);
+
+}  // namespace fdml

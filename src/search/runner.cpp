@@ -1,0 +1,37 @@
+#include "search/runner.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace fdml {
+
+std::uint64_t wire_bytes(const TreeTask& task, const TaskResult& result) {
+  Packer task_packer;
+  task.pack(task_packer);
+  Packer result_packer;
+  result.pack(result_packer);
+  return task_packer.size() + result_packer.size();
+}
+
+SerialTaskRunner::SerialTaskRunner(const PatternAlignment& data, SubstModel model,
+                                   RateModel rates, OptimizeOptions options)
+    : evaluator_(data, std::move(model), std::move(rates), options) {}
+
+RoundOutcome SerialTaskRunner::run_round(const std::vector<TreeTask>& tasks) {
+  if (tasks.empty()) throw std::invalid_argument("run_round: empty round");
+  RoundOutcome outcome;
+  bool have_best = false;
+  for (const TreeTask& task : tasks) {
+    TaskResult result = evaluator_.evaluate(task);
+    result.worker = 0;
+    outcome.stats.push_back(
+        {task.task_id, result.cpu_seconds, wire_bytes(task, result), 0});
+    if (!have_best || result.log_likelihood > outcome.best.log_likelihood) {
+      outcome.best = std::move(result);
+      have_best = true;
+    }
+  }
+  return outcome;
+}
+
+}  // namespace fdml

@@ -1,0 +1,324 @@
+#include "search/search.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <stdexcept>
+#include <utility>
+
+#include "tree/neighborhood.hpp"
+#include "tree/newick.hpp"
+#include "tree/splits.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace fdml {
+
+namespace {
+
+class SearchRun {
+ public:
+  SearchRun(const PatternAlignment& data, const SearchOptions& options,
+            TaskRunner& runner)
+      : data_(data), options_(options), runner_(runner), names_(data.names()) {}
+
+  SearchResult run(std::vector<int> order,
+                   const SearchCheckpoint* checkpoint = nullptr) {
+    const int n = static_cast<int>(data_.num_taxa());
+    if (static_cast<int>(order.size()) != n) {
+      throw std::invalid_argument("search: addition order size mismatch");
+    }
+    result_.addition_order = order;
+    result_.trace.dataset = "";
+    result_.trace.num_taxa = n;
+    result_.trace.num_sites = data_.num_sites();
+    result_.trace.num_patterns = data_.num_patterns();
+    result_.trace.seed = options_.seed;
+
+    Tree tree(n);
+    double lnl = 0.0;
+    int start_index = 3;
+    master_timer_.reset();
+    if (checkpoint != nullptr) {
+      tree = tree_from_newick(checkpoint->tree_newick, names_);
+      lnl = checkpoint->log_likelihood;
+      start_index = checkpoint->next_order_index;
+      if (tree.tip_count() != start_index) {
+        throw std::invalid_argument("resume: checkpoint tree/index mismatch");
+      }
+      record_event(tree.tip_count(), lnl, checkpoint->tree_newick);
+    } else {
+      // Step 2: the unique 3-taxon tree, fully optimized.
+      tree.make_triplet(order[0], order[1], order[2]);
+      const TaskResult initial = dispatch_single(
+          RoundKind::kInitial, 3, make_task(tree, -1, options_.full_smooth_passes));
+      lnl = adopt(tree, initial);
+      record_event(3, lnl, initial.newick);
+    }
+
+    // Steps 3-5: add each remaining taxon, then rearrange.
+    for (int idx = start_index; idx < n; ++idx) {
+      const int tip = order[static_cast<std::size_t>(idx)];
+      lnl = add_taxon(tree, tip, idx + 1);
+      record_event(idx + 1, lnl, to_newick(tree, names_, 17));
+
+      const bool last = idx == n - 1;
+      const int cross =
+          last ? options_.final_rearrange_cross : options_.rearrange_cross;
+      if (cross > 0 && (last || options_.rearrange_after_each_addition)) {
+        lnl = rearrange_until_stable(tree, lnl, cross, idx + 1);
+      }
+      write_checkpoint(order, idx + 1, tree, lnl);
+    }
+
+    result_.best_newick = to_newick(tree, names_, 17);
+    result_.best_log_likelihood = lnl;
+    return std::move(result_);
+  }
+
+ private:
+  TreeTask make_task(const Tree& tree, int focus_taxon, int passes) {
+    TreeTask task;
+    task.task_id = next_task_id_++;
+    task.round_id = next_round_id_;
+    task.newick = to_newick(tree, names_, 17);
+    task.focus_taxon = focus_taxon;
+    task.smooth_passes = passes;
+    return task;
+  }
+
+  /// Dispatches one round through the runner, recording the trace entry.
+  /// Returns the round's best result (the foreman already compared).
+  TaskResult dispatch(RoundKind kind, int taxa_in_tree,
+                      std::vector<TreeTask> tasks) {
+    RoundTrace round;
+    round.kind = kind;
+    round.taxa_in_tree = taxa_in_tree;
+    round.master_seconds = master_timer_.seconds();
+
+    ++next_round_id_;
+    result_.trees_evaluated += tasks.size();
+    RoundOutcome outcome = runner_.run_round(tasks);
+    if (outcome.stats.size() != tasks.size()) {
+      throw std::logic_error("search: runner lost tasks");
+    }
+
+    if (options_.record_trace) {
+      for (const TaskStat& stat : outcome.stats) {
+        round.task_cpu_seconds.push_back(stat.cpu_seconds);
+        round.task_bytes.push_back(stat.bytes);
+      }
+      result_.trace.rounds.push_back(std::move(round));
+    }
+    master_timer_.reset();
+    return std::move(outcome.best);
+  }
+
+  TaskResult dispatch_single(RoundKind kind, int taxa_in_tree, TreeTask task) {
+    std::vector<TreeTask> tasks{std::move(task)};
+    return dispatch(kind, taxa_in_tree, std::move(tasks));
+  }
+
+  /// Replaces the master tree with a worker-optimized result. The master
+  /// never recomputes likelihoods (the paper calls out fixing a bug where
+  /// it re-evaluated returned trees).
+  double adopt(Tree& tree, const TaskResult& result) {
+    tree = tree_from_newick(result.newick, names_);
+    return result.log_likelihood;
+  }
+
+  void record_event(int taxa, double lnl, std::string newick) {
+    result_.events.push_back({taxa, lnl, std::move(newick)});
+  }
+
+  /// Writes the restart checkpoint after a completed taxon addition.
+  void write_checkpoint(const std::vector<int>& order, int next_index,
+                        const Tree& tree, double lnl) {
+    if (options_.checkpoint_path.empty()) return;
+    SearchCheckpoint checkpoint;
+    checkpoint.seed = options_.seed;
+    checkpoint.addition_order = order;
+    checkpoint.next_order_index = next_index;
+    checkpoint.tree_newick = to_newick(tree, names_, 17);
+    checkpoint.log_likelihood = lnl;
+    checkpoint.save_file(options_.checkpoint_path);
+  }
+
+  /// Step 3: try the new taxon at every branch; fully smooth the winner.
+  double add_taxon(Tree& tree, int tip, int taxa_after) {
+    std::vector<TreeTask> tasks;
+    for (const auto& [u, v] : insertion_edges(tree)) {
+      Tree candidate = tree;
+      candidate.insert_tip(tip, u, v);
+      tasks.push_back(make_task(candidate,
+                                options_.quickadd ? tip : -1,
+                                options_.quickadd ? options_.quickadd_passes
+                                                  : options_.full_smooth_passes));
+    }
+    const TaskResult best =
+        dispatch(RoundKind::kInsertion, taxa_after, std::move(tasks));
+    if (!options_.quickadd) return adopt(tree, best);
+
+    // The rapid approximation picked the insertion point; optimize the
+    // winner properly.
+    Tree winner_tree = tree_from_newick(best.newick, names_);
+    const TaskResult winner = dispatch_single(
+        RoundKind::kWinner, taxa_after,
+        make_task(winner_tree, -1, options_.full_smooth_passes));
+    return adopt(tree, winner);
+  }
+
+  /// Step 4/5: rounds of subtree rearrangement until no improvement. With
+  /// adaptive extents enabled, a stalled round escalates the crossing
+  /// distance before the search settles.
+  double rearrange_until_stable(Tree& tree, double lnl, int cross,
+                                int taxa_in_tree) {
+    int current_cross = cross;
+    for (int round = 0; round < options_.max_rearrange_rounds; ++round) {
+      std::set<std::uint64_t> seen{topology_hash(tree)};
+      std::vector<TreeTask> tasks;
+      for (const SprMove& move : rearrangement_moves(tree, current_cross)) {
+        Tree candidate = tree;
+        const auto handle =
+            candidate.prune_subtree(move.junction, move.subtree_neighbor);
+        candidate.regraft(handle, move.target_u, move.target_v);
+        if (!seen.insert(topology_hash(candidate)).second) continue;
+        tasks.push_back(make_task(candidate, -1, options_.full_smooth_passes));
+      }
+      if (tasks.empty()) break;
+      const TaskResult best =
+          dispatch(RoundKind::kRearrange, taxa_in_tree, std::move(tasks));
+      if (best.log_likelihood <= lnl + options_.improvement_epsilon) {
+        if (current_cross < options_.adaptive_max_cross) {
+          current_cross = std::min(options_.adaptive_max_cross, 2 * current_cross);
+          continue;  // stalled: widen the search radius and retry
+        }
+        break;
+      }
+      lnl = adopt(tree, best);
+      ++result_.rearrangements_accepted;
+      record_event(taxa_in_tree, lnl, best.newick);
+      current_cross = cross;  // improvement: back to the base extent
+    }
+    return lnl;
+  }
+
+  const PatternAlignment& data_;
+  const SearchOptions& options_;
+  TaskRunner& runner_;
+  const std::vector<std::string>& names_;
+  SearchResult result_;
+  std::uint64_t next_task_id_ = 0;
+  std::uint64_t next_round_id_ = 0;
+  CpuTimer master_timer_;
+};
+
+}  // namespace
+
+StepwiseSearch::StepwiseSearch(const PatternAlignment& data, SearchOptions options)
+    : data_(data), options_(options) {
+  if (data.num_taxa() < 3) {
+    throw std::invalid_argument("search: need at least 3 taxa");
+  }
+}
+
+SearchResult StepwiseSearch::run(TaskRunner& runner) {
+  Rng rng(options_.seed);
+  std::vector<int> order(data_.num_taxa());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
+  rng.shuffle(order);
+  return run(runner, std::move(order));
+}
+
+SearchResult StepwiseSearch::run(TaskRunner& runner, std::vector<int> order) {
+  // Validate the permutation.
+  std::vector<char> seen(order.size(), 0);
+  for (int taxon : order) {
+    if (taxon < 0 || taxon >= static_cast<int>(order.size()) ||
+        seen[static_cast<std::size_t>(taxon)]) {
+      throw std::invalid_argument("search: order is not a permutation");
+    }
+    seen[static_cast<std::size_t>(taxon)] = 1;
+  }
+  SearchRun run_state(data_, options_, runner);
+  return run_state.run(std::move(order));
+}
+
+SearchResult StepwiseSearch::resume(TaskRunner& runner,
+                                    const SearchCheckpoint& checkpoint) {
+  if (checkpoint.addition_order.size() != data_.num_taxa()) {
+    throw std::invalid_argument("resume: checkpoint is for a different dataset");
+  }
+  SearchRun run_state(data_, options_, runner);
+  return run_state.run(checkpoint.addition_order, &checkpoint);
+}
+
+void SearchCheckpoint::save(std::ostream& out) const {
+  out << "fdml-checkpoint 1\n";
+  out << seed << " " << next_order_index << " " << addition_order.size() << "\n";
+  for (int taxon : addition_order) out << taxon << " ";
+  out << "\n";
+  out.precision(17);
+  out << log_likelihood << "\n";
+  out << tree_newick << "\n";
+}
+
+SearchCheckpoint SearchCheckpoint::load(std::istream& in) {
+  std::string magic;
+  int version = 0;
+  in >> magic >> version;
+  if (magic != "fdml-checkpoint" || version != 1) {
+    throw std::runtime_error("checkpoint: bad header");
+  }
+  SearchCheckpoint checkpoint;
+  std::size_t order_size = 0;
+  in >> checkpoint.seed >> checkpoint.next_order_index >> order_size;
+  checkpoint.addition_order.resize(order_size);
+  for (auto& taxon : checkpoint.addition_order) in >> taxon;
+  in >> checkpoint.log_likelihood;
+  // The Newick line is taken verbatim (labels may contain quoted spaces).
+  std::string rest;
+  std::getline(in, rest);
+  std::getline(in, checkpoint.tree_newick);
+  if (!in || checkpoint.tree_newick.empty()) {
+    throw std::runtime_error("checkpoint: truncated");
+  }
+  return checkpoint;
+}
+
+void SearchCheckpoint::save_file(const std::string& path) const {
+  // Write-then-rename so an interrupted write never corrupts the previous
+  // checkpoint (the whole point of having one).
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp);
+    if (!out) throw std::runtime_error("cannot write " + tmp);
+    save(out);
+  }
+  std::rename(tmp.c_str(), path.c_str());
+}
+
+SearchCheckpoint SearchCheckpoint::load_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  return load(in);
+}
+
+JumbleResult run_jumbles(const PatternAlignment& data, SearchOptions options,
+                         int count, TaskRunner& runner) {
+  JumbleResult out;
+  for (int k = 0; k < count; ++k) {
+    SearchOptions jumble_options = options;
+    jumble_options.seed = adjust_user_seed(options.seed) + 2ULL * k;
+    StepwiseSearch search(data, jumble_options);
+    out.runs.push_back(search.run(runner));
+    if (out.runs.back().best_log_likelihood >
+        out.runs[out.best_index].best_log_likelihood) {
+      out.best_index = out.runs.size() - 1;
+    }
+  }
+  return out;
+}
+
+}  // namespace fdml

@@ -1,0 +1,134 @@
+// The fastDNAml search: stepwise addition with local rearrangements.
+//
+// Algorithm (paper section 2):
+//   1. Place the taxa in a random order.
+//   2. Build the unique 3-taxon tree from the first three; optimize it.
+//   3. Add the next taxon at each of the (2i-5) branches; every candidate
+//      is a dispatched task (rapid partial optimization by default); the
+//      best insertion is then fully smoothed.
+//   4. Rearrange: move every subtree across up to `rearrange_cross`
+//      vertices ((2i-6) topologically distinct candidates at 1); adopt the
+//      best improvement and repeat until none improves.
+//   5. After the last taxon, rearrange with `final_rearrange_cross`
+//      (the paper's runs used 5) until no improvement.
+// The whole procedure is repeated over many random orders (jumbles) and
+// summarised with a consensus tree; see run_jumbles.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "likelihood/optimize.hpp"
+#include "search/runner.hpp"
+#include "search/trace.hpp"
+#include "seq/alignment.hpp"
+#include "tree/tree.hpp"
+
+namespace fdml {
+
+struct SearchOptions {
+  /// Jumble seed (even seeds are adjusted to odd, as in fastDNAml).
+  std::uint64_t seed = 1;
+  /// Vertices crossed by rearrangements after each addition (paper default
+  /// 1; the paper's benchmark runs used 5 for both this and the final pass).
+  int rearrange_cross = 1;
+  /// Vertices crossed by the final rearrangement pass.
+  int final_rearrange_cross = 1;
+  /// Rearrange after every addition (true in fastDNAml; setting false keeps
+  /// only the final pass — useful for quick tests).
+  bool rearrange_after_each_addition = true;
+  /// Rapid insertion testing: optimize only the three branches at the new
+  /// attachment instead of the whole tree.
+  bool quickadd = true;
+  int quickadd_passes = 2;
+  /// Smoothing pass budget for full evaluations.
+  int full_smooth_passes = 8;
+  /// lnL gain below which a rearrangement round is considered no
+  /// improvement.
+  double improvement_epsilon = 1e-4;
+  int max_rearrange_rounds = 64;
+  /// Adaptive rearrangement extents (a paper future-work item): when a
+  /// round at the current crossing distance finds no improvement, double
+  /// the distance up to this bound before stopping; an improvement resets
+  /// to the base setting. 0 disables.
+  int adaptive_max_cross = 0;
+  OptimizeOptions optimize;
+  /// Record per-round task costs for the cluster simulator.
+  bool record_trace = true;
+  /// When non-empty, write a restart checkpoint here after every completed
+  /// taxon addition (original fastDNAml wrote checkpoint trees so long runs
+  /// could survive interruption). Resume with StepwiseSearch::resume.
+  std::string checkpoint_path;
+};
+
+/// Restartable search state: everything needed to continue a run after the
+/// given taxon addition completed.
+struct SearchCheckpoint {
+  std::uint64_t seed = 0;
+  std::vector<int> addition_order;
+  /// Index into addition_order of the next taxon to add.
+  int next_order_index = 0;
+  std::string tree_newick;
+  double log_likelihood = 0.0;
+
+  void save(std::ostream& out) const;
+  static SearchCheckpoint load(std::istream& in);
+  void save_file(const std::string& path) const;
+  static SearchCheckpoint load_file(const std::string& path);
+};
+
+/// Best-tree-so-far event stream — what the paper's real-time 3D viewer
+/// tails while a run is in progress.
+struct BestTreeEvent {
+  int taxa_in_tree = 0;
+  double log_likelihood = 0.0;
+  std::string newick;
+};
+
+struct SearchResult {
+  std::string best_newick;
+  double best_log_likelihood = 0.0;
+  std::vector<int> addition_order;
+  SearchTrace trace;
+  std::vector<BestTreeEvent> events;
+  std::size_t trees_evaluated = 0;
+  std::size_t rearrangements_accepted = 0;
+};
+
+class StepwiseSearch {
+ public:
+  /// `data` must outlive the search.
+  StepwiseSearch(const PatternAlignment& data, SearchOptions options);
+
+  /// One full search with the addition order drawn from options.seed.
+  SearchResult run(TaskRunner& runner);
+
+  /// One full search with an explicit addition order (must be a permutation
+  /// of 0..num_taxa-1).
+  SearchResult run(TaskRunner& runner, std::vector<int> addition_order);
+
+  /// Continues an interrupted run from a checkpoint. The completed result
+  /// is identical to an uninterrupted run with the same options.
+  SearchResult resume(TaskRunner& runner, const SearchCheckpoint& checkpoint);
+
+  const SearchOptions& options() const { return options_; }
+
+ private:
+  const PatternAlignment& data_;
+  SearchOptions options_;
+};
+
+/// Repeats the search over `count` random orderings (seeds seed, seed+2,
+/// seed+4, ... to stay odd) and returns all results; `best_index` has the
+/// highest likelihood. This is the workflow the paper describes: "tens to
+/// thousands of different randomizations ... compare the best of the
+/// resulting trees to determine a consensus tree."
+struct JumbleResult {
+  std::vector<SearchResult> runs;
+  std::size_t best_index = 0;
+};
+JumbleResult run_jumbles(const PatternAlignment& data, SearchOptions options,
+                         int count, TaskRunner& runner);
+
+}  // namespace fdml

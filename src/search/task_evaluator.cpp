@@ -1,0 +1,40 @@
+#include "search/task_evaluator.hpp"
+
+#include <utility>
+
+#include "tree/newick.hpp"
+
+namespace fdml {
+
+TaskEvaluator::TaskEvaluator(const PatternAlignment& data, SubstModel model,
+                             RateModel rates, OptimizeOptions options)
+    : data_(data),
+      evaluator_(data, std::move(model), std::move(rates), options) {}
+
+TaskResult TaskEvaluator::evaluate(const TreeTask& task) {
+  Tree tree = tree_from_newick(task.newick, data_.names());
+  Evaluation evaluation;
+  if (task.focus_taxon >= 0) {
+    // Rapid insertion test: optimize the three branches meeting at the new
+    // taxon's attachment node.
+    const int tip = task.focus_taxon;
+    const int junction = tree.neighbor(tip, 0);
+    std::vector<std::pair<int, int>> edges;
+    for (int s = 0; s < 3; ++s) {
+      const int nbr = tree.neighbor(junction, s);
+      if (nbr != Tree::kNoNode) edges.emplace_back(junction, nbr);
+    }
+    evaluation = evaluator_.evaluate_partial(tree, edges, task.smooth_passes);
+  } else {
+    evaluation = evaluator_.evaluate(tree, task.smooth_passes);
+  }
+  TaskResult result;
+  result.task_id = task.task_id;
+  result.round_id = task.round_id;
+  result.log_likelihood = evaluation.log_likelihood;
+  result.newick = to_newick(tree, data_.names(), 17);
+  result.cpu_seconds = evaluation.cpu_seconds;
+  return result;
+}
+
+}  // namespace fdml

@@ -1,0 +1,29 @@
+// The worker computation: deserialize a task, optimize, serialize a result.
+// Shared by the serial runner, the in-process thread workers, and — were an
+// MPI transport added — the MPI worker main loop.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "likelihood/evaluator.hpp"
+#include "search/task.hpp"
+
+namespace fdml {
+
+class TaskEvaluator {
+ public:
+  /// `data` must outlive the evaluator (the pattern table is shared).
+  TaskEvaluator(const PatternAlignment& data, SubstModel model,
+                RateModel rates, OptimizeOptions options = {});
+
+  TaskResult evaluate(const TreeTask& task);
+
+  LikelihoodEngine& engine() { return evaluator_.engine(); }
+
+ private:
+  const PatternAlignment& data_;
+  TreeEvaluator evaluator_;
+};
+
+}  // namespace fdml

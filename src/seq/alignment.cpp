@@ -1,0 +1,119 @@
+#include "seq/alignment.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+namespace fdml {
+
+void Alignment::add_sequence(std::string name,
+                             std::basic_string<BaseCode> codes) {
+  if (name.empty()) throw std::invalid_argument("taxon name must be non-empty");
+  if (!rows_.empty() && codes.size() != rows_[0].size()) {
+    throw std::invalid_argument("sequence length mismatch for taxon " + name);
+  }
+  if (find_taxon(name) >= 0) {
+    throw std::invalid_argument("duplicate taxon name " + name);
+  }
+  names_.push_back(std::move(name));
+  rows_.push_back(std::move(codes));
+}
+
+int Alignment::find_taxon(const std::string& name) const {
+  const auto it = std::find(names_.begin(), names_.end(), name);
+  return it == names_.end() ? -1 : static_cast<int>(it - names_.begin());
+}
+
+Alignment Alignment::subset_taxa(const std::vector<std::size_t>& taxa) const {
+  Alignment out;
+  for (std::size_t t : taxa) out.add_sequence(names_.at(t), rows_.at(t));
+  return out;
+}
+
+Alignment Alignment::subset_sites(std::size_t first, std::size_t count) const {
+  if (first + count > num_sites()) {
+    throw std::out_of_range("subset_sites: range exceeds alignment length");
+  }
+  Alignment out;
+  for (std::size_t t = 0; t < num_taxa(); ++t) {
+    out.add_sequence(names_[t], rows_[t].substr(first, count));
+  }
+  return out;
+}
+
+Vec4 Alignment::base_frequencies() const {
+  Vec4 counts{};
+  for (const auto& row : rows_) {
+    for (BaseCode code : row) {
+      if (code == kBaseUnknown || code == 0) continue;
+      const double share = 1.0 / base_cardinality(code);
+      for (int b = 0; b < 4; ++b) {
+        if (code & base_from_index(b)) counts[b] += share;
+      }
+    }
+  }
+  double total = counts[0] + counts[1] + counts[2] + counts[3];
+  if (total <= 0.0) return {0.25, 0.25, 0.25, 0.25};
+  for (double& c : counts) c /= total;
+  return counts;
+}
+
+double Alignment::ambiguous_fraction() const {
+  std::size_t ambiguous = 0;
+  std::size_t total = 0;
+  for (const auto& row : rows_) {
+    for (BaseCode code : row) {
+      ++total;
+      if (!is_unambiguous(code)) ++ambiguous;
+    }
+  }
+  return total == 0 ? 0.0 : static_cast<double>(ambiguous) / total;
+}
+
+PatternAlignment::PatternAlignment(const Alignment& alignment,
+                                   const std::vector<int>& site_weights) {
+  num_taxa_ = alignment.num_taxa();
+  names_ = alignment.names();
+  frequencies_ = alignment.base_frequencies();
+  const std::size_t num_sites = alignment.num_sites();
+  if (!site_weights.empty() && site_weights.size() != num_sites) {
+    throw std::invalid_argument("site weight vector length mismatch");
+  }
+
+  std::map<std::basic_string<BaseCode>, std::size_t> pattern_index;
+  site_to_pattern_.resize(num_sites);
+  std::basic_string<BaseCode> column(num_taxa_, 0);
+  for (std::size_t site = 0; site < num_sites; ++site) {
+    const int w = site_weights.empty() ? 1 : site_weights[site];
+    if (w < 0) throw std::invalid_argument("negative site weight");
+    for (std::size_t t = 0; t < num_taxa_; ++t) column[t] = alignment.at(t, site);
+    auto [it, inserted] = pattern_index.emplace(column, weights_.size());
+    if (inserted) {
+      weights_.push_back(0.0);
+      codes_.insert(codes_.end(), column.begin(), column.end());
+    }
+    site_to_pattern_[site] = it->second;
+    weights_[it->second] += w;
+    total_weight_ += w;
+  }
+
+  // Drop zero-weight patterns (all their sites had weight 0).
+  std::vector<BaseCode> kept_codes;
+  std::vector<double> kept_weights;
+  std::vector<std::size_t> remap(weights_.size());
+  for (std::size_t p = 0; p < weights_.size(); ++p) {
+    if (weights_[p] > 0.0) {
+      remap[p] = kept_weights.size();
+      kept_weights.push_back(weights_[p]);
+      kept_codes.insert(kept_codes.end(), codes_.begin() + p * num_taxa_,
+                        codes_.begin() + (p + 1) * num_taxa_);
+    } else {
+      remap[p] = static_cast<std::size_t>(-1);
+    }
+  }
+  codes_ = std::move(kept_codes);
+  weights_ = std::move(kept_weights);
+  for (auto& p : site_to_pattern_) p = remap[p];
+}
+
+}  // namespace fdml

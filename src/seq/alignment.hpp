@@ -1,0 +1,105 @@
+// Multiple sequence alignment container and derived statistics.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "seq/alphabet.hpp"
+#include "util/linalg.hpp"
+
+namespace fdml {
+
+/// An aligned set of DNA sequences: equal-length rows of base codes.
+class Alignment {
+ public:
+  Alignment() = default;
+
+  /// Appends a sequence row. All rows must have equal length; names must be
+  /// unique and non-empty. Throws std::invalid_argument otherwise.
+  void add_sequence(std::string name, std::basic_string<BaseCode> codes);
+
+  std::size_t num_taxa() const { return rows_.size(); }
+  std::size_t num_sites() const { return rows_.empty() ? 0 : rows_[0].size(); }
+
+  const std::string& name(std::size_t taxon) const { return names_[taxon]; }
+  const std::vector<std::string>& names() const { return names_; }
+
+  BaseCode at(std::size_t taxon, std::size_t site) const {
+    return rows_[taxon][site];
+  }
+  const std::basic_string<BaseCode>& row(std::size_t taxon) const {
+    return rows_[taxon];
+  }
+
+  /// Index of the named taxon, or -1.
+  int find_taxon(const std::string& name) const;
+
+  /// Alignment restricted to the given taxon indices (in the given order).
+  Alignment subset_taxa(const std::vector<std::size_t>& taxa) const;
+
+  /// Alignment restricted to the site range [first, first+count).
+  Alignment subset_sites(std::size_t first, std::size_t count) const;
+
+  /// Empirical base frequencies. Ambiguity codes contribute fractionally to
+  /// each compatible base; fully-unknown characters are skipped. This is the
+  /// "base composition of the data used as the equilibrium base frequencies"
+  /// default that fastDNAml adopted.
+  Vec4 base_frequencies() const;
+
+  /// Fraction of characters that are not unambiguous bases.
+  double ambiguous_fraction() const;
+
+  bool operator==(const Alignment& other) const {
+    return names_ == other.names_ && rows_ == other.rows_;
+  }
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<std::basic_string<BaseCode>> rows_;
+};
+
+/// Site-pattern-compressed view of an alignment. Columns that are identical
+/// across all taxa are merged, with a weight equal to the number of merged
+/// sites (times any user-supplied site weight). The likelihood of a tree is
+/// the weighted sum over patterns, which is what makes ML tractable on
+/// alignments with thousands of sites.
+class PatternAlignment {
+ public:
+  /// Compresses `alignment`; optional per-site integer weights (empty means
+  /// all 1). Zero-weight sites are dropped.
+  explicit PatternAlignment(const Alignment& alignment,
+                            const std::vector<int>& site_weights = {});
+
+  std::size_t num_taxa() const { return num_taxa_; }
+  std::size_t num_patterns() const { return weights_.size(); }
+  std::size_t num_sites() const { return site_to_pattern_.size(); }
+  double total_weight() const { return total_weight_; }
+
+  /// Base code of `taxon` in `pattern`.
+  BaseCode at(std::size_t taxon, std::size_t pattern) const {
+    return codes_[pattern * num_taxa_ + taxon];
+  }
+
+  double weight(std::size_t pattern) const { return weights_[pattern]; }
+  const std::vector<double>& weights() const { return weights_; }
+
+  /// Pattern index for an original site.
+  std::size_t pattern_of_site(std::size_t site) const {
+    return site_to_pattern_[site];
+  }
+
+  const std::vector<std::string>& names() const { return names_; }
+  const Vec4& base_frequencies() const { return frequencies_; }
+
+ private:
+  std::size_t num_taxa_ = 0;
+  std::vector<std::string> names_;
+  std::vector<BaseCode> codes_;  // pattern-major: [pattern][taxon]
+  std::vector<double> weights_;
+  std::vector<std::size_t> site_to_pattern_;
+  double total_weight_ = 0.0;
+  Vec4 frequencies_{};
+};
+
+}  // namespace fdml

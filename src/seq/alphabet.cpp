@@ -1,0 +1,62 @@
+#include "seq/alphabet.hpp"
+
+#include <cctype>
+#include <stdexcept>
+
+namespace fdml {
+
+BaseCode char_to_code(char c) {
+  switch (std::toupper(static_cast<unsigned char>(c))) {
+    case 'A': return kBaseA;
+    case 'C': return kBaseC;
+    case 'G': return kBaseG;
+    case 'T':
+    case 'U': return kBaseT;
+    case 'R': return kBaseA | kBaseG;
+    case 'Y': return kBaseC | kBaseT;
+    case 'M': return kBaseA | kBaseC;
+    case 'K': return kBaseG | kBaseT;
+    case 'S': return kBaseC | kBaseG;
+    case 'W': return kBaseA | kBaseT;
+    case 'H': return kBaseA | kBaseC | kBaseT;
+    case 'B': return kBaseC | kBaseG | kBaseT;
+    case 'V': return kBaseA | kBaseC | kBaseG;
+    case 'D': return kBaseA | kBaseG | kBaseT;
+    case 'N':
+    case 'X':
+    case '?':
+    case 'O':
+    case '-':
+    case '.': return kBaseUnknown;
+    default: return 0;
+  }
+}
+
+char code_to_char(BaseCode code) {
+  static constexpr char kTable[16] = {'-', 'A', 'C', 'M', 'G', 'R', 'S', 'V',
+                                      'T', 'W', 'Y', 'H', 'K', 'D', 'B', 'N'};
+  return kTable[code & 15];
+}
+
+std::basic_string<BaseCode> string_to_codes(std::string_view s) {
+  std::basic_string<BaseCode> codes;
+  codes.reserve(s.size());
+  for (char c : s) {
+    const BaseCode code = char_to_code(c);
+    if (code == 0) {
+      throw std::invalid_argument(std::string("invalid sequence character '") +
+                                  c + "'");
+    }
+    codes.push_back(code);
+  }
+  return codes;
+}
+
+std::string codes_to_string(const std::basic_string<BaseCode>& codes) {
+  std::string s;
+  s.reserve(codes.size());
+  for (BaseCode code : codes) s.push_back(code_to_char(code));
+  return s;
+}
+
+}  // namespace fdml

@@ -1,0 +1,60 @@
+// Nucleotide alphabet with IUPAC ambiguity codes.
+//
+// A base code is a 4-bit mask over {A, C, G, T}. Ambiguity codes set several
+// bits; gaps and unknowns are treated as fully missing data (all four bits),
+// matching fastDNAml's treatment of alignment gaps as missing data.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace fdml {
+
+using BaseCode = std::uint8_t;
+
+inline constexpr BaseCode kBaseA = 1;
+inline constexpr BaseCode kBaseC = 2;
+inline constexpr BaseCode kBaseG = 4;
+inline constexpr BaseCode kBaseT = 8;
+inline constexpr BaseCode kBaseUnknown = 15;  // N, X, ?, -, .
+
+/// Index (0..3) to single-base code.
+constexpr BaseCode base_from_index(int index) {
+  return static_cast<BaseCode>(1 << index);
+}
+
+/// True when the code represents exactly one base.
+constexpr bool is_unambiguous(BaseCode code) {
+  return code != 0 && (code & (code - 1)) == 0;
+}
+
+/// Number of bases compatible with the code (popcount of low 4 bits).
+constexpr int base_cardinality(BaseCode code) {
+  int n = 0;
+  for (int i = 0; i < 4; ++i) n += (code >> i) & 1;
+  return n;
+}
+
+/// Maps an input character (case-insensitive; U treated as T) to its code.
+/// Returns 0 for characters that are not valid sequence symbols.
+BaseCode char_to_code(char c);
+
+/// Canonical character for a code (IUPAC letter; '-' only for code 0).
+char code_to_char(BaseCode code);
+
+/// True if the character encodes a valid base or ambiguity symbol.
+inline bool is_sequence_char(char c) { return char_to_code(c) != 0; }
+
+/// Converts a string of sequence characters to codes; throws
+/// std::invalid_argument on an invalid character.
+std::basic_string<BaseCode> string_to_codes(std::string_view s);
+
+/// Converts codes back to their canonical characters.
+std::string codes_to_string(const std::basic_string<BaseCode>& codes);
+
+/// Names of the four bases in index order, for reports.
+inline constexpr std::array<const char*, 4> kBaseNames = {"A", "C", "G", "T"};
+
+}  // namespace fdml

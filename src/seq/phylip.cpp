@@ -1,0 +1,284 @@
+#include "seq/phylip.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace fdml {
+
+namespace {
+
+struct Header {
+  std::size_t num_taxa = 0;
+  std::size_t num_sites = 0;
+};
+
+Header parse_header(std::istringstream& in) {
+  std::string line;
+  while (std::getline(in, line)) {
+    std::istringstream ls(line);
+    long long taxa = 0;
+    long long sites = 0;
+    if (ls >> taxa >> sites) {
+      if (taxa < 3) throw std::runtime_error("PHYLIP: need at least 3 taxa");
+      if (sites < 1) throw std::runtime_error("PHYLIP: need at least 1 site");
+      return {static_cast<std::size_t>(taxa), static_cast<std::size_t>(sites)};
+    }
+    // Skip leading blank lines only; any other junk is an error.
+    bool blank = true;
+    for (char c : line) {
+      if (!std::isspace(static_cast<unsigned char>(c))) blank = false;
+    }
+    if (!blank) throw std::runtime_error("PHYLIP: malformed header line: " + line);
+  }
+  throw std::runtime_error("PHYLIP: missing header");
+}
+
+// Appends the sequence characters found in `text` to `row`, ignoring
+// whitespace and digits (some files carry position counters). Throws on any
+// other invalid character.
+void append_sequence_chars(const std::string& text,
+                           std::basic_string<BaseCode>& row,
+                           std::size_t limit) {
+  for (char c : text) {
+    if (std::isspace(static_cast<unsigned char>(c)) ||
+        std::isdigit(static_cast<unsigned char>(c))) {
+      continue;
+    }
+    const BaseCode code = char_to_code(c);
+    if (code == 0) {
+      throw std::runtime_error(std::string("PHYLIP: invalid character '") + c +
+                               "' in sequence data");
+    }
+    if (row.size() >= limit) {
+      throw std::runtime_error("PHYLIP: sequence longer than declared length");
+    }
+    row.push_back(code);
+  }
+}
+
+Alignment parse_interleaved(std::istringstream& in, const Header& header) {
+  std::vector<std::string> names(header.num_taxa);
+  std::vector<std::basic_string<BaseCode>> rows(header.num_taxa);
+
+  std::string line;
+  std::size_t taxon = 0;
+  bool first_block = true;
+  while (std::getline(in, line)) {
+    bool blank = true;
+    for (char c : line) {
+      if (!std::isspace(static_cast<unsigned char>(c))) blank = false;
+    }
+    if (blank) continue;
+
+    if (first_block) {
+      std::istringstream ls(line);
+      std::string name;
+      ls >> name;
+      names[taxon] = name;
+      std::string rest;
+      std::getline(ls, rest);
+      append_sequence_chars(rest, rows[taxon], header.num_sites);
+    } else {
+      append_sequence_chars(line, rows[taxon], header.num_sites);
+    }
+    ++taxon;
+    if (taxon == header.num_taxa) {
+      taxon = 0;
+      first_block = false;
+    }
+    // Early exit once every row is complete.
+    bool done = !first_block;
+    for (const auto& row : rows) {
+      if (row.size() != header.num_sites) done = false;
+    }
+    if (done) break;
+  }
+
+  Alignment alignment;
+  for (std::size_t t = 0; t < header.num_taxa; ++t) {
+    if (rows[t].size() != header.num_sites) {
+      throw std::runtime_error("PHYLIP: taxon " + names[t] + " has " +
+                               std::to_string(rows[t].size()) + " sites, expected " +
+                               std::to_string(header.num_sites));
+    }
+    alignment.add_sequence(names[t], std::move(rows[t]));
+  }
+  return alignment;
+}
+
+Alignment parse_sequential(std::istringstream& in, const Header& header) {
+  Alignment alignment;
+  for (std::size_t t = 0; t < header.num_taxa; ++t) {
+    std::string name;
+    if (!(in >> name)) throw std::runtime_error("PHYLIP: missing taxon name");
+    std::basic_string<BaseCode> row;
+    while (row.size() < header.num_sites) {
+      const int c = in.get();
+      if (c == EOF) {
+        throw std::runtime_error("PHYLIP: unexpected end of file in taxon " + name);
+      }
+      const char ch = static_cast<char>(c);
+      if (std::isspace(static_cast<unsigned char>(ch)) ||
+          std::isdigit(static_cast<unsigned char>(ch))) {
+        continue;
+      }
+      const BaseCode code = char_to_code(ch);
+      if (code == 0) {
+        throw std::runtime_error(std::string("PHYLIP: invalid character '") + ch +
+                                 "' in taxon " + name);
+      }
+      row.push_back(code);
+    }
+    alignment.add_sequence(name, std::move(row));
+  }
+  return alignment;
+}
+
+}  // namespace
+
+Alignment read_phylip_string(const std::string& text, PhylipLayout layout) {
+  if (layout == PhylipLayout::kAuto) {
+    try {
+      return read_phylip_string(text, PhylipLayout::kInterleaved);
+    } catch (const std::exception&) {
+      return read_phylip_string(text, PhylipLayout::kSequential);
+    }
+  }
+  std::istringstream in(text);
+  const Header header = parse_header(in);
+  return layout == PhylipLayout::kInterleaved ? parse_interleaved(in, header)
+                                              : parse_sequential(in, header);
+}
+
+Alignment read_phylip(std::istream& in, PhylipLayout layout) {
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return read_phylip_string(buffer.str(), layout);
+}
+
+Alignment read_phylip_file(const std::string& path, PhylipLayout layout) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  return read_phylip(in, layout);
+}
+
+void write_phylip(std::ostream& out, const Alignment& alignment,
+                  PhylipLayout layout) {
+  constexpr std::size_t kBlock = 60;
+  const std::size_t n = alignment.num_taxa();
+  const std::size_t sites = alignment.num_sites();
+  out << " " << n << " " << sites << "\n";
+
+  std::size_t name_width = 10;
+  for (std::size_t t = 0; t < n; ++t) {
+    name_width = std::max(name_width, alignment.name(t).size() + 1);
+  }
+
+  auto emit_name = [&](std::size_t t) {
+    std::string name = alignment.name(t);
+    name.resize(name_width, ' ');
+    out << name;
+  };
+  auto emit_chunk = [&](std::size_t t, std::size_t from, std::size_t count) {
+    for (std::size_t s = from; s < from + count; ++s) {
+      out << code_to_char(alignment.at(t, s));
+    }
+    out << "\n";
+  };
+
+  if (layout == PhylipLayout::kSequential) {
+    for (std::size_t t = 0; t < n; ++t) {
+      emit_name(t);
+      out << "\n";
+      for (std::size_t from = 0; from < sites; from += kBlock) {
+        emit_chunk(t, from, std::min(kBlock, sites - from));
+      }
+    }
+    return;
+  }
+
+  for (std::size_t from = 0; from < sites; from += kBlock) {
+    const std::size_t count = std::min(kBlock, sites - from);
+    for (std::size_t t = 0; t < n; ++t) {
+      if (from == 0) {
+        emit_name(t);
+      } else {
+        out << std::string(name_width, ' ');
+      }
+      emit_chunk(t, from, count);
+    }
+    if (from + count < sites) out << "\n";
+  }
+}
+
+void write_phylip_file(const std::string& path, const Alignment& alignment,
+                       PhylipLayout layout) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write " + path);
+  write_phylip(out, alignment, layout);
+}
+
+Alignment read_fasta(std::istream& in) {
+  Alignment alignment;
+  std::string line;
+  std::string name;
+  std::basic_string<BaseCode> row;
+  auto flush = [&] {
+    if (!name.empty()) alignment.add_sequence(name, std::move(row));
+    row.clear();
+  };
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    if (line[0] == '>') {
+      flush();
+      std::istringstream ls(line.substr(1));
+      ls >> name;
+      if (name.empty()) throw std::runtime_error("FASTA: empty record name");
+    } else {
+      if (name.empty()) throw std::runtime_error("FASTA: data before first header");
+      for (char c : line) {
+        if (std::isspace(static_cast<unsigned char>(c))) continue;
+        const BaseCode code = char_to_code(c);
+        if (code == 0) {
+          throw std::runtime_error(std::string("FASTA: invalid character '") + c + "'");
+        }
+        row.push_back(code);
+      }
+    }
+  }
+  flush();
+  if (alignment.num_taxa() == 0) throw std::runtime_error("FASTA: no records");
+  return alignment;
+}
+
+Alignment read_fasta_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  return read_fasta(in);
+}
+
+void write_fasta(std::ostream& out, const Alignment& alignment) {
+  constexpr std::size_t kBlock = 70;
+  for (std::size_t t = 0; t < alignment.num_taxa(); ++t) {
+    out << ">" << alignment.name(t) << "\n";
+    const std::size_t sites = alignment.num_sites();
+    for (std::size_t from = 0; from < sites; from += kBlock) {
+      const std::size_t count = std::min(kBlock, sites - from);
+      for (std::size_t s = from; s < from + count; ++s) {
+        out << code_to_char(alignment.at(t, s));
+      }
+      out << "\n";
+    }
+  }
+}
+
+void write_fasta_file(const std::string& path, const Alignment& alignment) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write " + path);
+  write_fasta(out, alignment);
+}
+
+}  // namespace fdml

@@ -1,0 +1,48 @@
+// PHYLIP-format alignment reader/writer.
+//
+// fastDNAml consumes "a minimal PHYLIP format DNA (or RNA) sequence file":
+// a header line with the taxon and site counts, then sequence blocks in
+// either interleaved (default) or sequential layout. We accept relaxed
+// taxon names (any non-whitespace token) in addition to the strict 10-column
+// names of classic PHYLIP.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "seq/alignment.hpp"
+
+namespace fdml {
+
+enum class PhylipLayout {
+  kInterleaved,
+  kSequential,
+  kAuto,  // try interleaved, fall back to sequential
+};
+
+/// Parses a PHYLIP file from a stream. Throws std::runtime_error with a
+/// descriptive message on malformed input.
+Alignment read_phylip(std::istream& in, PhylipLayout layout = PhylipLayout::kAuto);
+
+/// Parses PHYLIP from a string (convenience for tests and embedded data).
+Alignment read_phylip_string(const std::string& text,
+                             PhylipLayout layout = PhylipLayout::kAuto);
+
+/// Parses a PHYLIP file from disk.
+Alignment read_phylip_file(const std::string& path,
+                           PhylipLayout layout = PhylipLayout::kAuto);
+
+/// Writes interleaved (or sequential) PHYLIP with 60-character line blocks.
+void write_phylip(std::ostream& out, const Alignment& alignment,
+                  PhylipLayout layout = PhylipLayout::kInterleaved);
+
+void write_phylip_file(const std::string& path, const Alignment& alignment,
+                       PhylipLayout layout = PhylipLayout::kInterleaved);
+
+/// FASTA support (common interchange format for the simulated datasets).
+Alignment read_fasta(std::istream& in);
+Alignment read_fasta_file(const std::string& path);
+void write_fasta(std::ostream& out, const Alignment& alignment);
+void write_fasta_file(const std::string& path, const Alignment& alignment);
+
+}  // namespace fdml

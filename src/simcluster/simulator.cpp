@@ -1,0 +1,253 @@
+#include "simcluster/simulator.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+namespace fdml {
+
+namespace {
+
+struct InFlight {
+  double arrival;  ///< when the result reaches the foreman
+  int worker;
+  bool speculative;
+  bool operator>(const InFlight& other) const { return arrival > other.arrival; }
+};
+
+/// Machine state threaded through rounds.
+struct MachineState {
+  double foreman_free = 0.0;
+  std::vector<double> worker_ready;
+};
+
+struct RoundOutcomeSim {
+  double first_completion = -1.0;
+  double last_completion = 0.0;   ///< foreman time of the round's last result
+  double speculative_done = 0.0;  ///< completion time of speculative tasks
+  std::size_t speculative_completed = 0;
+};
+
+/// Schedules one round (optionally with a speculative tail of next-round
+/// tasks) through the foreman/worker pipeline. Task and byte lists for the
+/// main round come first; `speculative` tasks are dispatched only to
+/// workers that would otherwise idle after the main queue drains.
+RoundOutcomeSim run_round_sim(const RoundTrace& round,
+                              const RoundTrace* speculative,
+                              const SimClusterConfig& config,
+                              MachineState& machine) {
+  const double overhead = config.message_overhead_seconds;
+  const double latency = config.latency_seconds;
+  const double inv_bandwidth = 1.0 / config.bandwidth_bytes_per_second;
+
+  auto transfer = [&](const RoundTrace& source, std::size_t task) {
+    const double bytes = task < source.task_bytes.size()
+                             ? static_cast<double>(source.task_bytes[task]) * 0.5
+                             : 256.0;
+    return bytes * inv_bandwidth;
+  };
+
+  const std::size_t n = round.task_cpu_seconds.size();
+  const std::size_t n_spec =
+      speculative != nullptr ? speculative->task_cpu_seconds.size() : 0;
+  std::priority_queue<InFlight, std::vector<InFlight>, std::greater<>> in_flight;
+
+  std::size_t next = 0;       // next main task
+  std::size_t next_spec = 0;  // next speculative task
+  auto dispatch_to = [&](int worker) {
+    const bool spec = next >= n;
+    if (spec && next_spec >= n_spec) return false;
+    const RoundTrace& source = spec ? *speculative : round;
+    const std::size_t task = spec ? next_spec++ : next++;
+    machine.foreman_free =
+        std::max(machine.foreman_free,
+                 machine.worker_ready[static_cast<std::size_t>(worker)]) +
+        overhead;
+    const double start =
+        machine.foreman_free + latency + transfer(source, task);
+    const double done = start + source.task_cpu_seconds[task];
+    in_flight.push({done + latency + transfer(source, task), worker, spec});
+    return true;
+  };
+
+  for (int w = 0; w < static_cast<int>(machine.worker_ready.size()); ++w) {
+    dispatch_to(w);
+  }
+
+  RoundOutcomeSim outcome;
+  while (!in_flight.empty()) {
+    const InFlight flight = in_flight.top();
+    in_flight.pop();
+    machine.foreman_free = std::max(machine.foreman_free, flight.arrival) + overhead;
+    machine.worker_ready[static_cast<std::size_t>(flight.worker)] = flight.arrival;
+    if (flight.speculative) {
+      outcome.speculative_done =
+          std::max(outcome.speculative_done, machine.foreman_free);
+      ++outcome.speculative_completed;
+    } else {
+      if (outcome.first_completion < 0.0) {
+        outcome.first_completion = machine.foreman_free;
+      }
+      outcome.last_completion =
+          std::max(outcome.last_completion, machine.foreman_free);
+    }
+    dispatch_to(flight.worker);
+  }
+  return outcome;
+}
+
+void check_layout(const SimClusterConfig& config) {
+  if (config.processors != 1 && config.processors < 4) {
+    throw std::invalid_argument(
+        "simulate_trace: the instrumented parallel layout needs >= 4 "
+        "processors (master, foreman, monitor + workers); use 1 for serial");
+  }
+}
+
+SimResult simulate_serial(const SearchTrace& trace, const SimClusterConfig& config) {
+  SimResult result;
+  result.busy_seconds = trace.total_task_seconds();
+  double clock = 0.0;
+  for (const RoundTrace& round : trace.rounds) {
+    const double begin = clock;
+    clock += round.master_seconds * config.master_speed;
+    for (double cpu : round.task_cpu_seconds) clock += cpu;
+    result.round_durations.push_back(clock - begin);
+  }
+  result.wall_seconds = clock;
+  result.worker_utilization = clock > 0.0 ? result.busy_seconds / clock : 0.0;
+  result.mean_round_slack_seconds = 0.0;
+  return result;
+}
+
+/// True when `next` would re-run with a different tree if `current`
+/// improved — i.e. speculation across this boundary is discarded on
+/// improvement. Improvement is detectable from the trace: an improving
+/// rearrangement round is followed by another rearrangement round at the
+/// same taxon count.
+bool round_improved(const SearchTrace& trace, std::size_t index) {
+  if (index + 1 >= trace.rounds.size()) return false;
+  const RoundTrace& current = trace.rounds[index];
+  const RoundTrace& next = trace.rounds[index + 1];
+  return current.kind == RoundKind::kRearrange &&
+         next.kind == RoundKind::kRearrange &&
+         next.taxa_in_tree == current.taxa_in_tree;
+}
+
+}  // namespace
+
+SimResult simulate_trace(const SearchTrace& trace, const SimClusterConfig& config) {
+  check_layout(config);
+  if (config.processors == 1) return simulate_serial(trace, config);
+
+  SimResult result;
+  result.busy_seconds = trace.total_task_seconds();
+  const int workers = config.workers();
+
+  double clock = 0.0;
+  double total_slack = 0.0;
+  std::size_t slack_rounds = 0;
+  for (const RoundTrace& round : trace.rounds) {
+    const double round_begin = clock;
+    MachineState machine;
+    machine.foreman_free = clock + round.master_seconds * config.master_speed +
+                           config.latency_seconds;
+    machine.worker_ready.assign(static_cast<std::size_t>(workers), round_begin);
+    const RoundOutcomeSim outcome = run_round_sim(round, nullptr, config, machine);
+    if (outcome.first_completion >= 0.0) {
+      total_slack += outcome.last_completion - outcome.first_completion;
+      ++slack_rounds;
+    }
+    clock = outcome.last_completion + config.latency_seconds;
+    result.round_durations.push_back(clock - round_begin);
+  }
+
+  result.wall_seconds = clock;
+  result.worker_utilization =
+      clock > 0.0 ? result.busy_seconds / (clock * workers) : 0.0;
+  result.mean_round_slack_seconds =
+      slack_rounds > 0 ? total_slack / static_cast<double>(slack_rounds) : 0.0;
+  return result;
+}
+
+SpeculativeResult simulate_trace_speculative(const SearchTrace& trace,
+                                             const SimClusterConfig& config) {
+  check_layout(config);
+  SpeculativeResult out;
+  if (config.processors == 1) {
+    out.sim = simulate_serial(trace, config);
+    return out;
+  }
+  out.sim.busy_seconds = trace.total_task_seconds();
+  const int workers = config.workers();
+
+  double clock = 0.0;
+  std::size_t index = 0;
+  while (index < trace.rounds.size()) {
+    const RoundTrace& round = trace.rounds[index];
+    const bool can_speculate = round.kind == RoundKind::kRearrange &&
+                               index + 1 < trace.rounds.size();
+    const RoundTrace* next_round =
+        can_speculate ? &trace.rounds[index + 1] : nullptr;
+
+    const double round_begin = clock;
+    MachineState machine;
+    machine.foreman_free = clock + round.master_seconds * config.master_speed +
+                           config.latency_seconds;
+    machine.worker_ready.assign(static_cast<std::size_t>(workers), round_begin);
+    const RoundOutcomeSim outcome =
+        run_round_sim(round, next_round, config, machine);
+
+    if (!can_speculate) {
+      clock = outcome.last_completion + config.latency_seconds;
+      out.sim.round_durations.push_back(clock - round_begin);
+      ++index;
+      continue;
+    }
+    ++out.speculated_rounds;
+    if (round_improved(trace, index)) {
+      // The tree changed: discard speculative work; next round reruns.
+      ++out.wasted_speculations;
+      clock = outcome.last_completion + config.latency_seconds;
+      out.sim.round_durations.push_back(clock - round_begin);
+      ++index;
+    } else if (outcome.speculative_completed ==
+               next_round->task_cpu_seconds.size()) {
+      // Entire next round rode along; both barriers close together.
+      clock = std::max(outcome.last_completion, outcome.speculative_done) +
+              config.latency_seconds;
+      out.sim.round_durations.push_back(clock - round_begin);
+      index += 2;
+    } else {
+      // Partial speculation is not modeled (workers would need result
+      // caching); treat as no speculation for this boundary.
+      clock = outcome.last_completion + config.latency_seconds;
+      out.sim.round_durations.push_back(clock - round_begin);
+      ++index;
+    }
+  }
+
+  out.sim.wall_seconds = clock;
+  out.sim.worker_utilization =
+      clock > 0.0 ? out.sim.busy_seconds / (clock * workers) : 0.0;
+  return out;
+}
+
+SimClusterConfig sp_era_config(int processors, double cpu_slowdown) {
+  SimClusterConfig config;
+  config.processors = processors;
+  config.message_overhead_seconds *= cpu_slowdown;
+  config.latency_seconds = 2e-5;               // SP Switch2 class
+  config.bandwidth_bytes_per_second = 150e6;   // ~GB/s-class link of the era
+  return config;
+}
+
+double simulated_speedup(const SearchTrace& trace, const SimClusterConfig& config) {
+  SimClusterConfig serial = config;
+  serial.processors = 1;
+  const double serial_time = simulate_trace(trace, serial).wall_seconds;
+  const double parallel_time = simulate_trace(trace, config).wall_seconds;
+  return parallel_time > 0.0 ? serial_time / parallel_time : 0.0;
+}
+
+}  // namespace fdml

@@ -1,0 +1,185 @@
+#include "tree/consensus.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+namespace fdml {
+
+namespace {
+
+// Mean length of each nontrivial split's edge, across the trees containing
+// that split; consensus branch lengths are these means (leaf edges are
+// averaged per taxon directly).
+struct SplitStats {
+  double frequency = 0.0;
+  double mean_length = 0.0;
+};
+
+void accumulate_split_lengths(const Tree& tree, int node, int from, int ref,
+                              const std::vector<std::uint64_t>& full_mask,
+                              std::map<std::vector<std::uint64_t>,
+                                       std::pair<int, double>>& acc,
+                              std::vector<std::uint64_t>& mask_out) {
+  std::vector<std::uint64_t> mask(full_mask.size(), 0);
+  if (tree.is_tip(node)) {
+    mask[static_cast<std::size_t>(node) / 64] |=
+        std::uint64_t{1} << (static_cast<std::size_t>(node) % 64);
+  } else {
+    for (int s = 0; s < 3; ++s) {
+      const int nbr = tree.neighbor(node, s);
+      if (nbr == Tree::kNoNode || nbr == from) continue;
+      std::vector<std::uint64_t> child;
+      accumulate_split_lengths(tree, nbr, node, ref, full_mask, acc, child);
+      for (std::size_t w = 0; w < mask.size(); ++w) mask[w] |= child[w];
+    }
+  }
+  if (from >= 0) {
+    std::vector<std::uint64_t> canon = mask;
+    const bool has_ref = (canon[static_cast<std::size_t>(ref) / 64] >>
+                          (static_cast<std::size_t>(ref) % 64)) &
+                         1;
+    if (has_ref) {
+      for (std::size_t w = 0; w < canon.size(); ++w) {
+        canon[w] = ~canon[w] & full_mask[w];
+      }
+    }
+    int count = 0;
+    for (std::uint64_t w : canon) count += __builtin_popcountll(w);
+    if (count >= 2 && tree.tip_count() - count >= 2) {
+      auto& entry = acc[canon];
+      entry.first += 1;
+      entry.second += tree.length(from, node);
+    }
+  }
+  mask_out = std::move(mask);
+}
+
+}  // namespace
+
+std::vector<SplitFrequency> split_frequencies(const std::vector<Tree>& trees) {
+  if (trees.empty()) throw std::invalid_argument("split_frequencies: no trees");
+  const auto taxa = trees.front().tips();
+  for (const Tree& tree : trees) {
+    if (tree.tips() != taxa) {
+      throw std::invalid_argument("split_frequencies: taxon sets differ");
+    }
+  }
+  std::map<Split, int> counts;
+  for (const Tree& tree : trees) {
+    for (const Split& split : tree_splits(tree)) counts[split] += 1;
+  }
+  std::vector<SplitFrequency> out;
+  out.reserve(counts.size());
+  for (const auto& [split, count] : counts) {
+    out.push_back({split, static_cast<double>(count) / trees.size()});
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.frequency > b.frequency;
+  });
+  return out;
+}
+
+GeneralTree consensus_tree(const std::vector<Tree>& trees,
+                           const std::vector<std::string>& names,
+                           const ConsensusOptions& options) {
+  if (trees.empty()) throw std::invalid_argument("consensus_tree: no trees");
+  const auto taxa = trees.front().tips();
+  const int num_taxa = trees.front().num_taxa();
+  const int ref = taxa.front();
+
+  // Tally split frequency and mean edge length.
+  const std::size_t words = (static_cast<std::size_t>(num_taxa) + 63) / 64;
+  std::vector<std::uint64_t> full_mask(words, 0);
+  for (int t : taxa) {
+    full_mask[static_cast<std::size_t>(t) / 64] |=
+        std::uint64_t{1} << (static_cast<std::size_t>(t) % 64);
+  }
+  std::map<std::vector<std::uint64_t>, std::pair<int, double>> acc;
+  std::map<int, double> leaf_length_sums;
+  for (const Tree& tree : trees) {
+    const int root = tree.any_internal();
+    std::vector<std::uint64_t> scratch;
+    accumulate_split_lengths(tree, root, -1, ref, full_mask, acc, scratch);
+    for (int t : taxa) leaf_length_sums[t] += tree.length(t, tree.neighbor(t, 0));
+  }
+
+  struct Cluster {
+    std::vector<std::uint64_t> mask;
+    double frequency;
+    double mean_length;
+    int node_id = -1;
+  };
+  std::vector<Cluster> clusters;
+  for (const auto& [mask, stat] : acc) {
+    const double freq = static_cast<double>(stat.first) / trees.size();
+    if (freq > options.threshold) {
+      clusters.push_back({mask, freq, stat.second / stat.first, -1});
+    }
+  }
+  auto popcount = [](const std::vector<std::uint64_t>& mask) {
+    int n = 0;
+    for (std::uint64_t w : mask) n += __builtin_popcountll(w);
+    return n;
+  };
+  std::sort(clusters.begin(), clusters.end(), [&](const auto& a, const auto& b) {
+    return popcount(a.mask) > popcount(b.mask);
+  });
+
+  auto subset = [](const std::vector<std::uint64_t>& a,
+                   const std::vector<std::uint64_t>& b) {
+    for (std::size_t w = 0; w < a.size(); ++w) {
+      if ((a[w] & ~b[w]) != 0) return false;
+    }
+    return true;
+  };
+
+  GeneralTree out;
+  out.make_root();
+  // Parent of each cluster = smallest selected cluster strictly containing
+  // it; clusters are sorted by descending size so scanning backwards from
+  // the current index finds the tightest container.
+  for (std::size_t i = 0; i < clusters.size(); ++i) {
+    int parent = out.root();
+    for (std::size_t j = i; j-- > 0;) {
+      if (subset(clusters[i].mask, clusters[j].mask) &&
+          clusters[i].mask != clusters[j].mask) {
+        parent = clusters[j].node_id;
+        break;
+      }
+    }
+    clusters[i].node_id = out.add_child(parent, "", clusters[i].mean_length);
+    out.node(clusters[i].node_id).support = clusters[i].frequency;
+  }
+  // Attach leaves to the tightest cluster containing them (root otherwise).
+  for (int t : taxa) {
+    const double mean_leaf = leaf_length_sums[t] / trees.size();
+    if (t == ref) {
+      out.add_child(out.root(), names.at(static_cast<std::size_t>(t)), mean_leaf);
+      continue;
+    }
+    int parent = out.root();
+    for (std::size_t j = clusters.size(); j-- > 0;) {
+      // Smallest cluster containing taxon t: scan from smallest upward.
+      const auto& mask = clusters[j].mask;
+      if ((mask[static_cast<std::size_t>(t) / 64] >>
+           (static_cast<std::size_t>(t) % 64)) &
+          1) {
+        parent = clusters[j].node_id;
+        break;
+      }
+    }
+    out.add_child(parent, names.at(static_cast<std::size_t>(t)), mean_leaf);
+  }
+  out.canonicalize();
+  return out;
+}
+
+GeneralTree strict_consensus(const std::vector<Tree>& trees,
+                             const std::vector<std::string>& names) {
+  ConsensusOptions options;
+  options.threshold = 1.0 - 1e-9;
+  return consensus_tree(trees, names, options);
+}
+
+}  // namespace fdml

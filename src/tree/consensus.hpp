@@ -1,0 +1,44 @@
+// Consensus trees over multiple ML results.
+//
+// The paper's workflow analyzes tens to thousands of random taxon-addition
+// orders and compares the best resulting trees via a consensus (majority
+// rule consensus of maximum likelihood trees; Jermiin, Olsen & Easteal
+// 1997). Consensus trees are generally multifurcating, so the result is a
+// GeneralTree with per-node support = split frequency.
+#pragma once
+
+#include <vector>
+
+#include "tree/general_tree.hpp"
+#include "tree/splits.hpp"
+#include "tree/tree.hpp"
+
+namespace fdml {
+
+struct ConsensusOptions {
+  /// A split enters the consensus when its frequency exceeds this threshold.
+  /// 0.5 = majority rule; 1.0 - epsilon behaves as strict consensus.
+  double threshold = 0.5;
+};
+
+struct SplitFrequency {
+  Split split;
+  double frequency;
+};
+
+/// Tallies nontrivial split frequencies across trees (all trees must cover
+/// the same taxa). Sorted by descending frequency.
+std::vector<SplitFrequency> split_frequencies(const std::vector<Tree>& trees);
+
+/// Majority-rule (or threshold) consensus. Node support values carry the
+/// split frequencies. The tree is rooted at the lowest-id taxon's attachment
+/// for display purposes.
+GeneralTree consensus_tree(const std::vector<Tree>& trees,
+                           const std::vector<std::string>& names,
+                           const ConsensusOptions& options = {});
+
+/// Strict consensus: only splits present in every input tree.
+GeneralTree strict_consensus(const std::vector<Tree>& trees,
+                             const std::vector<std::string>& names);
+
+}  // namespace fdml

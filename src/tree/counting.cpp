@@ -1,0 +1,21 @@
+#include "tree/counting.hpp"
+
+#include "util/special.hpp"
+
+namespace fdml {
+
+LogNumber count_unrooted_topologies(int num_taxa) {
+  if (num_taxa <= 3) return LogNumber::from_value(1.0);
+  return LogNumber::from_log(log_double_factorial(2LL * num_taxa - 5));
+}
+
+LogNumber count_rooted_topologies(int num_taxa) {
+  if (num_taxa <= 2) return LogNumber::from_value(1.0);
+  return LogNumber::from_log(log_double_factorial(2LL * num_taxa - 3));
+}
+
+int insertion_points(int taxa_in_tree_after_insert) {
+  return 2 * taxa_in_tree_after_insert - 5;
+}
+
+}  // namespace fdml

@@ -1,0 +1,22 @@
+// Counting tree topologies. The paper motivates ML search difficulty with
+// the number of unrooted bifurcating trees on n taxa,
+// (2n-5)! / ((n-3)! 2^(n-3)) = (2n-5)!! — e.g. 2.8e74 for 50 taxa,
+// 1.7e182 for 100, 4.2e284 for 150 (Felsenstein 1978).
+#pragma once
+
+#include "util/lognumber.hpp"
+
+namespace fdml {
+
+/// Number of distinct unrooted bifurcating topologies on n labeled taxa:
+/// (2n-5)!! for n >= 3; 1 for n <= 3.
+LogNumber count_unrooted_topologies(int num_taxa);
+
+/// Number of distinct rooted bifurcating topologies: (2n-3)!!.
+LogNumber count_rooted_topologies(int num_taxa);
+
+/// Number of branches a new (i-th) taxon can be inserted into during
+/// stepwise addition: 2i-5 (the paper's step 3).
+int insertion_points(int taxa_in_tree_after_insert);
+
+}  // namespace fdml

@@ -1,0 +1,146 @@
+#include "tree/general_tree.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "tree/tree.hpp"
+
+namespace fdml {
+
+int GeneralTree::make_root(std::string label) {
+  if (!nodes_.empty()) throw std::logic_error("make_root: tree not empty");
+  Node node;
+  node.label = std::move(label);
+  nodes_.push_back(std::move(node));
+  root_ = 0;
+  return root_;
+}
+
+int GeneralTree::add_child(int parent, std::string label, double length) {
+  Node node;
+  node.label = std::move(label);
+  node.length = length;
+  node.parent = parent;
+  const int id = static_cast<int>(nodes_.size());
+  nodes_.push_back(std::move(node));
+  nodes_[static_cast<std::size_t>(parent)].children.push_back(id);
+  return id;
+}
+
+std::size_t GeneralTree::leaf_count() const {
+  std::size_t count = 0;
+  for (const auto& node : nodes_) {
+    if (node.children.empty()) ++count;
+  }
+  return count;
+}
+
+std::vector<int> GeneralTree::leaves() const {
+  std::vector<int> out;
+  for (int id : preorder()) {
+    if (is_leaf(id)) out.push_back(id);
+  }
+  return out;
+}
+
+std::vector<int> GeneralTree::preorder() const {
+  std::vector<int> order;
+  if (empty()) return order;
+  std::vector<int> stack{root_};
+  while (!stack.empty()) {
+    const int id = stack.back();
+    stack.pop_back();
+    order.push_back(id);
+    const auto& kids = node(id).children;
+    for (auto it = kids.rbegin(); it != kids.rend(); ++it) stack.push_back(*it);
+  }
+  return order;
+}
+
+std::vector<int> GeneralTree::postorder() const {
+  std::vector<int> order = preorder();
+  std::reverse(order.begin(), order.end());
+  return order;
+}
+
+double GeneralTree::max_depth() const {
+  if (empty()) return 0.0;
+  std::vector<double> depth(size(), 0.0);
+  double best = 0.0;
+  for (int id : preorder()) {
+    if (id != root_) {
+      depth[static_cast<std::size_t>(id)] =
+          depth[static_cast<std::size_t>(node(id).parent)] + node(id).length;
+    }
+    best = std::max(best, depth[static_cast<std::size_t>(id)]);
+  }
+  return best;
+}
+
+void GeneralTree::canonicalize() {
+  if (empty()) return;
+  // Smallest leaf label in each subtree, computed bottom-up.
+  std::vector<std::string> min_label(size());
+  for (int id : postorder()) {
+    Node& n = node(id);
+    if (n.children.empty()) {
+      min_label[static_cast<std::size_t>(id)] = n.label;
+      continue;
+    }
+    std::sort(n.children.begin(), n.children.end(), [&](int a, int b) {
+      return min_label[static_cast<std::size_t>(a)] <
+             min_label[static_cast<std::size_t>(b)];
+    });
+    min_label[static_cast<std::size_t>(id)] =
+        min_label[static_cast<std::size_t>(n.children.front())];
+  }
+}
+
+GeneralTree GeneralTree::from_tree(const Tree& tree,
+                                   const std::vector<std::string>& names) {
+  if (tree.tip_count() < 3) {
+    throw std::invalid_argument("from_tree: need at least 3 tips");
+  }
+  int lowest_tip = -1;
+  for (int t = 0; t < tree.num_taxa(); ++t) {
+    if (tree.contains(t)) {
+      lowest_tip = t;
+      break;
+    }
+  }
+  const int root_node = tree.neighbor(lowest_tip, 0);
+
+  GeneralTree out;
+  out.make_root();
+
+  // Iterative DFS copying the unrooted tree as rooted at root_node.
+  struct Frame {
+    int tree_node;
+    int tree_from;
+    int out_parent;
+  };
+  std::vector<Frame> stack{{root_node, -1, -1}};
+  while (!stack.empty()) {
+    const Frame f = stack.back();
+    stack.pop_back();
+    int out_id;
+    if (f.out_parent < 0) {
+      out_id = out.root();
+    } else {
+      const double length = tree.length(f.tree_from, f.tree_node);
+      std::string label;
+      if (tree.is_tip(f.tree_node)) {
+        label = names.at(static_cast<std::size_t>(f.tree_node));
+      }
+      out_id = out.add_child(f.out_parent, std::move(label), length);
+    }
+    for (int s = 2; s >= 0; --s) {
+      const int nbr = tree.neighbor(f.tree_node, s);
+      if (nbr == Tree::kNoNode || nbr == f.tree_from) continue;
+      stack.push_back({nbr, f.tree_node, out_id});
+    }
+  }
+  return out;
+}
+
+}  // namespace fdml

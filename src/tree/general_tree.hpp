@@ -1,0 +1,68 @@
+// Rooted, possibly multifurcating tree. Used for Newick parsing, consensus
+// trees (which are rarely fully resolved) and visualization layouts.
+#pragma once
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+namespace fdml {
+
+class Tree;
+
+class GeneralTree {
+ public:
+  struct Node {
+    std::string label;          ///< taxon name for leaves; optional otherwise
+    double length = 0.0;        ///< length of the edge to the parent
+    double support = std::nan("");  ///< e.g. consensus split frequency
+    int parent = -1;
+    std::vector<int> children;
+  };
+
+  GeneralTree() = default;
+
+  /// Creates the root node; returns its id (always 0).
+  int make_root(std::string label = {});
+
+  /// Adds a child of `parent`; returns the new node id.
+  int add_child(int parent, std::string label = {}, double length = 0.0);
+
+  int root() const { return root_; }
+  bool empty() const { return nodes_.empty(); }
+  std::size_t size() const { return nodes_.size(); }
+
+  Node& node(int id) { return nodes_[static_cast<std::size_t>(id)]; }
+  const Node& node(int id) const { return nodes_[static_cast<std::size_t>(id)]; }
+
+  bool is_leaf(int id) const { return node(id).children.empty(); }
+  std::size_t leaf_count() const;
+
+  /// Leaf ids in left-to-right order.
+  std::vector<int> leaves() const;
+
+  /// Depth-first preorder node ids.
+  std::vector<int> preorder() const;
+  /// Postorder node ids (children before parents).
+  std::vector<int> postorder() const;
+
+  /// Maximum root-to-leaf path length (sum of edge lengths).
+  double max_depth() const;
+
+  /// Canonical "pivot" normalization (the viewer feature from the paper):
+  /// sorts each node's children by the smallest leaf label beneath them, so
+  /// two drawings differing only by branch-order reversals become identical.
+  void canonicalize();
+
+  /// Converts an unrooted bifurcating Tree into a rooted view, rooting at
+  /// the internal node adjacent to the lowest-numbered tip. `names` maps tip
+  /// ids to labels.
+  static GeneralTree from_tree(const Tree& tree,
+                               const std::vector<std::string>& names);
+
+ private:
+  std::vector<Node> nodes_;
+  int root_ = -1;
+};
+
+}  // namespace fdml

@@ -1,0 +1,59 @@
+#include "tree/neighborhood.hpp"
+
+namespace fdml {
+
+namespace {
+
+void walk_targets(const Tree& tree, int node, int from, int skip, int depth,
+                  int max_cross, std::vector<std::pair<int, int>>& out) {
+  for (int s = 0; s < 3; ++s) {
+    const int nbr = tree.neighbor(node, s);
+    if (nbr == Tree::kNoNode || nbr == from || nbr == skip) continue;
+    out.emplace_back(node, nbr);
+    if (!tree.is_tip(nbr) && depth < max_cross) {
+      walk_targets(tree, nbr, node, skip, depth + 1, max_cross, out);
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<std::pair<int, int>> insertion_edges(const Tree& tree) {
+  return tree.edges();
+}
+
+std::vector<std::pair<int, int>> rearrangement_targets(const Tree& tree,
+                                                       int junction,
+                                                       int subtree_neighbor,
+                                                       int max_cross) {
+  std::vector<std::pair<int, int>> out;
+  if (max_cross < 1) return out;
+  // After the prune, junction's other two neighbors a and b become joined by
+  // one edge; walking outward from a (resp. b) with junction masked off
+  // enumerates the pruned tree's branches, counting crossed vertices.
+  for (int s = 0; s < 3; ++s) {
+    const int nbr = tree.neighbor(junction, s);
+    if (nbr == Tree::kNoNode || nbr == subtree_neighbor) continue;
+    if (tree.is_tip(nbr)) continue;
+    walk_targets(tree, nbr, junction, junction, 1, max_cross, out);
+  }
+  return out;
+}
+
+std::vector<SprMove> rearrangement_moves(const Tree& tree, int max_cross) {
+  std::vector<SprMove> moves;
+  for (int j = tree.num_taxa(); j < tree.max_nodes(); ++j) {
+    if (!tree.contains(j)) continue;
+    for (int s = 0; s < 3; ++s) {
+      const int subtree = tree.neighbor(j, s);
+      if (subtree == Tree::kNoNode) continue;
+      for (const auto& [u, v] :
+           rearrangement_targets(tree, j, subtree, max_cross)) {
+        moves.push_back({j, subtree, u, v});
+      }
+    }
+  }
+  return moves;
+}
+
+}  // namespace fdml

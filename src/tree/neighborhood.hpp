@@ -1,0 +1,45 @@
+// Enumeration of tree modifications used by the fastDNAml search:
+//  * insertion points for stepwise addition (every branch; 2i-5 of them when
+//    the i-th taxon goes in), and
+//  * subtree rearrangements "crossing" up to k internal vertices (the
+//    paper's steps 4 and 5; k=1 yields the classic (2i-6) local
+//    rearrangements, larger k searches more thoroughly and — per the paper —
+//    improves parallel scalability by putting more work between barriers).
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "tree/tree.hpp"
+
+namespace fdml {
+
+/// One subtree-regraft move: prune the subtree hanging off `junction` on the
+/// `subtree_neighbor` side, then reinsert it into edge (target_u, target_v).
+struct SprMove {
+  int junction;
+  int subtree_neighbor;
+  int target_u;
+  int target_v;
+};
+
+/// Every branch of the tree (candidate insertion points for a new taxon).
+/// Equivalent to tree.edges(); named for intent at call sites.
+std::vector<std::pair<int, int>> insertion_edges(const Tree& tree);
+
+/// All subtree rearrangements that cross between 1 and `max_cross` vertices.
+/// For every (junction, subtree) pair, target edges are found by walking
+/// outward from the edge that closes when the subtree is pruned, crossing at
+/// most `max_cross` vertices. The original position is excluded. Moves can
+/// produce duplicate topologies across different subtree choices; the search
+/// layer deduplicates by topology hash.
+std::vector<SprMove> rearrangement_moves(const Tree& tree, int max_cross);
+
+/// Target edges for rearranging one specific subtree (helper of the above;
+/// exposed for tests).
+std::vector<std::pair<int, int>> rearrangement_targets(const Tree& tree,
+                                                       int junction,
+                                                       int subtree_neighbor,
+                                                       int max_cross);
+
+}  // namespace fdml

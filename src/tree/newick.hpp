@@ -1,0 +1,37 @@
+// Newick tree serialization.
+//
+// The parallel runtime serializes candidate topologies as Newick strings
+// (the paper's workers exchange "trees, branch lengths, and likelihood
+// values"), so the writer supports full double round-trip precision.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tree/general_tree.hpp"
+#include "tree/tree.hpp"
+
+namespace fdml {
+
+/// Serializes a rooted GeneralTree. `precision` is the number of significant
+/// digits for branch lengths; 17 guarantees double round-trip. Support
+/// values, when present, are written as internal node labels.
+std::string to_newick(const GeneralTree& tree, int precision = 10);
+
+/// Serializes an unrooted bifurcating tree as a trifurcation at an internal
+/// node. Tip ids are mapped through `names`.
+std::string to_newick(const Tree& tree, const std::vector<std::string>& names,
+                      int precision = 10);
+
+/// Parses a Newick string into a rooted GeneralTree. Accepts unquoted and
+/// single-quoted labels, branch lengths, nested comments in [brackets], and
+/// numeric internal labels (stored as support values).
+GeneralTree parse_newick(const std::string& text);
+
+/// Parses a Newick string into an unrooted bifurcating Tree over the given
+/// taxon namespace. A degree-2 root is suppressed. Throws if the topology is
+/// not bifurcating or a leaf label is not in `names`.
+Tree tree_from_newick(const std::string& text,
+                      const std::vector<std::string>& names);
+
+}  // namespace fdml

@@ -1,0 +1,50 @@
+#include "tree/random.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fdml {
+
+namespace {
+
+double draw_length(Rng& rng, const RandomTreeOptions& options) {
+  const double t = rng.exponential(1.0 / options.mean_branch_length);
+  return std::clamp(t, options.min_branch_length, kMaxBranchLength);
+}
+
+}  // namespace
+
+Tree random_tree(int num_taxa, Rng& rng, const RandomTreeOptions& options) {
+  if (num_taxa < 3) throw std::invalid_argument("random_tree: need >= 3 taxa");
+  Tree tree(num_taxa);
+  std::vector<int> order(static_cast<std::size_t>(num_taxa));
+  for (int t = 0; t < num_taxa; ++t) order[static_cast<std::size_t>(t)] = t;
+  rng.shuffle(order);
+  tree.make_triplet(order[0], order[1], order[2], draw_length(rng, options),
+                    draw_length(rng, options), draw_length(rng, options));
+  for (int i = 3; i < num_taxa; ++i) {
+    const auto edges = tree.edges();
+    const auto& [u, v] = edges[rng.below(edges.size())];
+    tree.insert_tip(order[static_cast<std::size_t>(i)], u, v,
+                    draw_length(rng, options));
+  }
+  return tree;
+}
+
+Tree random_yule_tree(int num_taxa, Rng& rng, const RandomTreeOptions& options) {
+  if (num_taxa < 3) throw std::invalid_argument("random_yule_tree: need >= 3 taxa");
+  Tree tree(num_taxa);
+  tree.make_triplet(0, 1, 2, draw_length(rng, options), draw_length(rng, options),
+                    draw_length(rng, options));
+  // Pure birth: each new taxon splits off a uniformly chosen *pendant* edge,
+  // i.e. an existing leaf lineage bifurcates.
+  for (int tip = 3; tip < num_taxa; ++tip) {
+    std::vector<int> extant = tree.tips();
+    const int chosen = extant[rng.below(extant.size())];
+    const int parent = tree.neighbor(chosen, 0);
+    tree.insert_tip(tip, chosen, parent, draw_length(rng, options));
+  }
+  return tree;
+}
+
+}  // namespace fdml

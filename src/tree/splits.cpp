@@ -1,0 +1,168 @@
+#include "tree/splits.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+namespace fdml {
+
+namespace {
+
+int lowest_present_taxon(const Tree& tree) {
+  for (int t = 0; t < tree.num_taxa(); ++t) {
+    if (tree.contains(t)) return t;
+  }
+  throw std::invalid_argument("splits: empty tree");
+}
+
+std::size_t words_for(int num_taxa) {
+  return (static_cast<std::size_t>(num_taxa) + 63) / 64;
+}
+
+void set_bit(std::vector<std::uint64_t>& bits, int taxon) {
+  bits[static_cast<std::size_t>(taxon) / 64] |=
+      std::uint64_t{1} << (static_cast<std::size_t>(taxon) % 64);
+}
+
+// Collects splits via DFS: the mask of each directed edge (parent -> child)
+// is the union of the child's subtree tips.
+struct SplitCollector {
+  const Tree& tree;
+  std::vector<std::uint64_t> full_mask;
+  int reference_taxon;
+  bool include_trivial;
+  std::vector<Split> out;
+
+  std::vector<std::uint64_t> walk(int node, int from) {
+    std::vector<std::uint64_t> mask(words_for(tree.num_taxa()), 0);
+    if (tree.is_tip(node)) {
+      set_bit(mask, node);
+    } else {
+      for (int s = 0; s < 3; ++s) {
+        const int nbr = tree.neighbor(node, s);
+        if (nbr == Tree::kNoNode || nbr == from) continue;
+        const auto child = walk(nbr, node);
+        for (std::size_t w = 0; w < mask.size(); ++w) mask[w] |= child[w];
+      }
+    }
+    if (from >= 0) emit(mask);
+    return mask;
+  }
+
+  void emit(std::vector<std::uint64_t> mask) {
+    // Canonical orientation: complement if the reference taxon is inside.
+    const bool has_ref = (mask[static_cast<std::size_t>(reference_taxon) / 64] >>
+                          (static_cast<std::size_t>(reference_taxon) % 64)) &
+                         1;
+    if (has_ref) {
+      for (std::size_t w = 0; w < mask.size(); ++w) {
+        mask[w] = ~mask[w] & full_mask[w];
+      }
+    }
+    int count = 0;
+    for (std::uint64_t w : mask) count += std::popcount(w);
+    const int total = tree.tip_count();
+    if (!include_trivial && (count < 2 || total - count < 2)) return;
+    if (count == 0) return;  // the full split (edge to the reference tip)
+    out.emplace_back(std::move(mask), tree.num_taxa());
+  }
+};
+
+std::vector<Split> collect(const Tree& tree, bool include_trivial) {
+  const int ref = lowest_present_taxon(tree);
+  SplitCollector collector{tree,
+                           std::vector<std::uint64_t>(words_for(tree.num_taxa()), 0),
+                           ref,
+                           include_trivial,
+                           {}};
+  for (int t : tree.tips()) set_bit(collector.full_mask, t);
+  const int root = tree.any_internal();
+  if (root == Tree::kNoNode) return {};
+  collector.walk(root, -1);
+  std::sort(collector.out.begin(), collector.out.end());
+  collector.out.erase(std::unique(collector.out.begin(), collector.out.end()),
+                      collector.out.end());
+  return std::move(collector.out);
+}
+
+}  // namespace
+
+Split::Split(std::vector<std::uint64_t> bits, int num_taxa)
+    : bits_(std::move(bits)), num_taxa_(num_taxa) {}
+
+int Split::count() const {
+  int n = 0;
+  for (std::uint64_t w : bits_) n += std::popcount(w);
+  return n;
+}
+
+bool Split::subset_of(const Split& other) const {
+  for (std::size_t w = 0; w < bits_.size(); ++w) {
+    if ((bits_[w] & ~other.bits_[w]) != 0) return false;
+  }
+  return true;
+}
+
+bool Split::compatible_with(const Split& other) const {
+  // With both splits oriented away from the reference taxon, compatibility
+  // holds iff one side is a subset of the other or they are disjoint.
+  bool disjoint = true;
+  for (std::size_t w = 0; w < bits_.size(); ++w) {
+    if ((bits_[w] & other.bits_[w]) != 0) disjoint = false;
+  }
+  return disjoint || subset_of(other) || other.subset_of(*this);
+}
+
+std::vector<Split> tree_splits(const Tree& tree) { return collect(tree, false); }
+
+std::vector<Split> tree_splits_all(const Tree& tree) { return collect(tree, true); }
+
+int robinson_foulds(const Tree& a, const Tree& b) {
+  if (a.tips() != b.tips()) {
+    throw std::invalid_argument("robinson_foulds: trees cover different taxa");
+  }
+  const auto sa = tree_splits(a);
+  const auto sb = tree_splits(b);
+  std::size_t shared = 0;
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < sa.size() && j < sb.size()) {
+    if (sa[i] == sb[j]) {
+      ++shared;
+      ++i;
+      ++j;
+    } else if (sa[i] < sb[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return static_cast<int>(sa.size() + sb.size() - 2 * shared);
+}
+
+double robinson_foulds_normalized(const Tree& a, const Tree& b) {
+  const int n = a.tip_count();
+  const int max_rf = 2 * std::max(0, n - 3);
+  if (max_rf == 0) return 0.0;
+  return static_cast<double>(robinson_foulds(a, b)) / max_rf;
+}
+
+std::uint64_t topology_hash(const Tree& tree) {
+  std::uint64_t hash = 0x9e3779b97f4a7c15ULL ^
+                       static_cast<std::uint64_t>(tree.tip_count());
+  for (const Split& split : tree_splits(tree)) {
+    // FNV-1a over the split words, combined order-independently by addition
+    // (the split list is already sorted, but addition keeps this robust).
+    std::uint64_t h = 1469598103934665603ULL;
+    for (std::uint64_t w : split.bits()) {
+      for (int byte = 0; byte < 8; ++byte) {
+        h ^= (w >> (8 * byte)) & 0xff;
+        h *= 1099511628211ULL;
+      }
+    }
+    hash += h;
+  }
+  return hash;
+}
+
+}  // namespace fdml

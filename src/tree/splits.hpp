@@ -1,0 +1,64 @@
+// Bipartitions (splits), topology hashing, and Robinson–Foulds distance.
+//
+// Every edge of an unrooted tree bipartitions the taxa. Nontrivial splits
+// (both sides >= 2 taxa) characterize the topology: two trees are
+// topologically identical iff their split sets are equal. The consensus
+// builder, the rearrangement deduplicator, and the tree viewer's
+// "topologically different vs merely redrawn" check all run on splits.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tree/tree.hpp"
+
+namespace fdml {
+
+/// One side of a bipartition, as a bitset over taxon ids, canonically
+/// oriented: the side NOT containing the lowest-numbered taxon present.
+class Split {
+ public:
+  Split(std::vector<std::uint64_t> bits, int num_taxa);
+
+  bool test(int taxon) const {
+    return (bits_[static_cast<std::size_t>(taxon) / 64] >>
+            (static_cast<std::size_t>(taxon) % 64)) &
+           1;
+  }
+  int count() const;
+  const std::vector<std::uint64_t>& bits() const { return bits_; }
+  int num_taxa() const { return num_taxa_; }
+
+  /// True if this split's taxon set is a subset of `other`'s.
+  bool subset_of(const Split& other) const;
+  /// Compatibility: splits are compatible iff they can coexist in one tree.
+  bool compatible_with(const Split& other) const;
+
+  auto operator<=>(const Split& other) const { return bits_ <=> other.bits_; }
+  bool operator==(const Split& other) const { return bits_ == other.bits_; }
+
+ private:
+  std::vector<std::uint64_t> bits_;
+  int num_taxa_;
+};
+
+/// All nontrivial splits of a tree, sorted. Only taxa present in the tree
+/// participate; canonical orientation uses the lowest present taxon.
+std::vector<Split> tree_splits(const Tree& tree);
+
+/// Trivial + nontrivial splits (one per edge).
+std::vector<Split> tree_splits_all(const Tree& tree);
+
+/// Robinson–Foulds distance: the size of the symmetric difference of the
+/// two trees' nontrivial split sets. Trees must cover the same taxa.
+int robinson_foulds(const Tree& a, const Tree& b);
+
+/// Normalized RF in [0, 1] (divides by 2(n-3), the maximum).
+double robinson_foulds_normalized(const Tree& a, const Tree& b);
+
+/// Order-independent hash of the topology (ignores branch lengths). Used by
+/// the search to deduplicate rearrangement candidates — the paper reports
+/// (2i-6) *topologically different* trees per default rearrangement round.
+std::uint64_t topology_hash(const Tree& tree);
+
+}  // namespace fdml

@@ -1,0 +1,62 @@
+#include "util/cli.hpp"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace fdml {
+
+CliArgs::CliArgs(int argc, const char* const* argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      options_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      options_[arg] = argv[++i];
+    } else {
+      options_[arg] = "true";
+    }
+  }
+}
+
+std::string CliArgs::get(const std::string& key, const std::string& fallback) const {
+  const auto it = options_.find(key);
+  return it == options_.end() ? fallback : it->second;
+}
+
+std::int64_t CliArgs::get_int(const std::string& key, std::int64_t fallback) const {
+  const auto it = options_.find(key);
+  return it == options_.end() ? fallback : std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double CliArgs::get_double(const std::string& key, double fallback) const {
+  const auto it = options_.find(key);
+  return it == options_.end() ? fallback : std::strtod(it->second.c_str(), nullptr);
+}
+
+bool CliArgs::get_bool(const std::string& key, bool fallback) const {
+  const auto it = options_.find(key);
+  if (it == options_.end()) return fallback;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+std::vector<std::int64_t> CliArgs::get_int_list(
+    const std::string& key, std::vector<std::int64_t> fallback) const {
+  const auto it = options_.find(key);
+  if (it == options_.end()) return fallback;
+  std::vector<std::int64_t> out;
+  std::stringstream ss(it->second);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(std::strtoll(item.c_str(), nullptr, 10));
+  }
+  return out;
+}
+
+}  // namespace fdml

@@ -1,0 +1,211 @@
+#include "util/linalg.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fdml {
+
+Mat4 mat4_identity() {
+  Mat4 m{};
+  for (std::size_t i = 0; i < kNumStates; ++i) m[i][i] = 1.0;
+  return m;
+}
+
+Mat4 mat4_mul(const Mat4& a, const Mat4& b) {
+  Mat4 out{};
+  for (std::size_t i = 0; i < kNumStates; ++i) {
+    for (std::size_t k = 0; k < kNumStates; ++k) {
+      const double aik = a[i][k];
+      for (std::size_t j = 0; j < kNumStates; ++j) {
+        out[i][j] += aik * b[k][j];
+      }
+    }
+  }
+  return out;
+}
+
+Vec4 mat4_mul_vec(const Mat4& a, const Vec4& v) {
+  Vec4 out{};
+  for (std::size_t i = 0; i < kNumStates; ++i) {
+    double sum = 0.0;
+    for (std::size_t j = 0; j < kNumStates; ++j) sum += a[i][j] * v[j];
+    out[i] = sum;
+  }
+  return out;
+}
+
+Mat4 mat4_transpose(const Mat4& a) {
+  Mat4 out{};
+  for (std::size_t i = 0; i < kNumStates; ++i) {
+    for (std::size_t j = 0; j < kNumStates; ++j) out[i][j] = a[j][i];
+  }
+  return out;
+}
+
+double mat4_max_abs_diff(const Mat4& a, const Mat4& b) {
+  double worst = 0.0;
+  for (std::size_t i = 0; i < kNumStates; ++i) {
+    for (std::size_t j = 0; j < kNumStates; ++j) {
+      worst = std::max(worst, std::fabs(a[i][j] - b[i][j]));
+    }
+  }
+  return worst;
+}
+
+Mat4 mat4_expm(const Mat4& a) {
+  // Scale by 2^s so the norm is small, Taylor-expand, square s times.
+  double norm = 0.0;
+  for (const auto& row : a) {
+    double sum = 0.0;
+    for (double x : row) sum += std::fabs(x);
+    norm = std::max(norm, sum);
+  }
+  int s = 0;
+  while (norm > 0.5) {
+    norm *= 0.5;
+    ++s;
+  }
+  Mat4 scaled = a;
+  const double factor = std::ldexp(1.0, -s);
+  for (auto& row : scaled) {
+    for (double& x : row) x *= factor;
+  }
+  Mat4 result = mat4_identity();
+  Mat4 term = mat4_identity();
+  for (int k = 1; k <= 24; ++k) {
+    term = mat4_mul(term, scaled);
+    for (auto& row : term) {
+      for (double& x : row) x /= static_cast<double>(k);
+    }
+    for (std::size_t i = 0; i < kNumStates; ++i) {
+      for (std::size_t j = 0; j < kNumStates; ++j) result[i][j] += term[i][j];
+    }
+  }
+  for (int k = 0; k < s; ++k) result = mat4_mul(result, result);
+  return result;
+}
+
+void jacobi_eigen_symmetric(const Mat4& matrix, Vec4& values, Mat4& vectors) {
+  Mat4 a = matrix;
+  vectors = mat4_identity();
+  constexpr int kMaxSweeps = 64;
+  for (int sweep = 0; sweep < kMaxSweeps; ++sweep) {
+    double off = 0.0;
+    for (std::size_t p = 0; p < kNumStates; ++p) {
+      for (std::size_t q = p + 1; q < kNumStates; ++q) off += a[p][q] * a[p][q];
+    }
+    if (off < 1e-30) break;
+    for (std::size_t p = 0; p < kNumStates; ++p) {
+      for (std::size_t q = p + 1; q < kNumStates; ++q) {
+        if (std::fabs(a[p][q]) < 1e-300) continue;
+        const double theta = (a[q][q] - a[p][p]) / (2.0 * a[p][q]);
+        const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                         (std::fabs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        // Apply rotation G(p,q,theta): A <- G^T A G, V <- V G.
+        for (std::size_t k = 0; k < kNumStates; ++k) {
+          const double akp = a[k][p];
+          const double akq = a[k][q];
+          a[k][p] = c * akp - s * akq;
+          a[k][q] = s * akp + c * akq;
+        }
+        for (std::size_t k = 0; k < kNumStates; ++k) {
+          const double apk = a[p][k];
+          const double aqk = a[q][k];
+          a[p][k] = c * apk - s * aqk;
+          a[q][k] = s * apk + c * aqk;
+        }
+        for (std::size_t k = 0; k < kNumStates; ++k) {
+          const double vkp = vectors[k][p];
+          const double vkq = vectors[k][q];
+          vectors[k][p] = c * vkp - s * vkq;
+          vectors[k][q] = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+  for (std::size_t i = 0; i < kNumStates; ++i) values[i] = a[i][i];
+
+  // Sort eigenpairs by descending eigenvalue (selection sort, swap columns).
+  for (std::size_t i = 0; i < kNumStates; ++i) {
+    std::size_t best = i;
+    for (std::size_t j = i + 1; j < kNumStates; ++j) {
+      if (values[j] > values[best]) best = j;
+    }
+    if (best != i) {
+      std::swap(values[i], values[best]);
+      for (std::size_t k = 0; k < kNumStates; ++k) {
+        std::swap(vectors[k][i], vectors[k][best]);
+      }
+    }
+  }
+}
+
+void jacobi_eigen_symmetric_n(const std::vector<double>& matrix, int n,
+                              std::vector<double>& values,
+                              std::vector<double>& vectors) {
+  const std::size_t un = static_cast<std::size_t>(n);
+  std::vector<double> a = matrix;
+  vectors.assign(un * un, 0.0);
+  for (std::size_t i = 0; i < un; ++i) vectors[i * un + i] = 1.0;
+
+  auto at = [&](std::vector<double>& m, std::size_t r, std::size_t c) -> double& {
+    return m[r * un + c];
+  };
+
+  const int max_sweeps = 100;
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    double off = 0.0;
+    for (std::size_t p = 0; p < un; ++p) {
+      for (std::size_t q = p + 1; q < un; ++q) off += at(a, p, q) * at(a, p, q);
+    }
+    if (off < 1e-26) break;
+    for (std::size_t p = 0; p < un; ++p) {
+      for (std::size_t q = p + 1; q < un; ++q) {
+        if (std::fabs(at(a, p, q)) < 1e-300) continue;
+        const double theta = (at(a, q, q) - at(a, p, p)) / (2.0 * at(a, p, q));
+        const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                         (std::fabs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        for (std::size_t k = 0; k < un; ++k) {
+          const double akp = at(a, k, p);
+          const double akq = at(a, k, q);
+          at(a, k, p) = c * akp - s * akq;
+          at(a, k, q) = s * akp + c * akq;
+        }
+        for (std::size_t k = 0; k < un; ++k) {
+          const double apk = at(a, p, k);
+          const double aqk = at(a, q, k);
+          at(a, p, k) = c * apk - s * aqk;
+          at(a, q, k) = s * apk + c * aqk;
+        }
+        for (std::size_t k = 0; k < un; ++k) {
+          const double vkp = at(vectors, k, p);
+          const double vkq = at(vectors, k, q);
+          at(vectors, k, p) = c * vkp - s * vkq;
+          at(vectors, k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+  values.resize(un);
+  for (std::size_t i = 0; i < un; ++i) values[i] = a[i * un + i];
+
+  // Sort descending, swapping eigenvector columns along.
+  for (std::size_t i = 0; i < un; ++i) {
+    std::size_t best = i;
+    for (std::size_t j = i + 1; j < un; ++j) {
+      if (values[j] > values[best]) best = j;
+    }
+    if (best != i) {
+      std::swap(values[i], values[best]);
+      for (std::size_t k = 0; k < un; ++k) {
+        std::swap(vectors[k * un + i], vectors[k * un + best]);
+      }
+    }
+  }
+}
+
+}  // namespace fdml

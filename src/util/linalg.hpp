@@ -1,0 +1,49 @@
+// Small dense linear algebra for 4-state substitution models.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+namespace fdml {
+
+inline constexpr std::size_t kNumStates = 4;
+
+using Vec4 = std::array<double, kNumStates>;
+using Mat4 = std::array<std::array<double, kNumStates>, kNumStates>;
+
+/// Returns the 4x4 identity matrix.
+Mat4 mat4_identity();
+
+/// Matrix product a * b.
+Mat4 mat4_mul(const Mat4& a, const Mat4& b);
+
+/// Matrix-vector product a * v.
+Vec4 mat4_mul_vec(const Mat4& a, const Vec4& v);
+
+/// Transpose.
+Mat4 mat4_transpose(const Mat4& a);
+
+/// Max-abs entry of (a - b); convergence / test helper.
+double mat4_max_abs_diff(const Mat4& a, const Mat4& b);
+
+/// Dense matrix exponential via scaling-and-squaring with a Taylor core.
+/// Used only as a test oracle against the eigendecomposition path.
+Mat4 mat4_expm(const Mat4& a);
+
+/// Jacobi eigensolver for a symmetric 4x4 matrix.
+/// On return, `values[i]` is the i-th eigenvalue and column i of `vectors`
+/// is the corresponding unit eigenvector (vectors is orthogonal).
+/// Eigenvalues are sorted in descending order.
+void jacobi_eigen_symmetric(const Mat4& matrix, Vec4& values, Mat4& vectors);
+
+/// Jacobi eigensolver for a symmetric n x n matrix in row-major storage
+/// (used by the N-state models: 5-state DNA+gap, 20-state protein).
+/// `matrix` is n*n row-major and is left unmodified; on return `values` has
+/// n eigenvalues (descending) and `vectors` is n*n row-major with column i
+/// the i-th unit eigenvector.
+void jacobi_eigen_symmetric_n(const std::vector<double>& matrix, int n,
+                              std::vector<double>& values,
+                              std::vector<double>& vectors);
+
+}  // namespace fdml

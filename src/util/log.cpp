@@ -1,0 +1,23 @@
+#include "util/log.hpp"
+
+namespace fdml {
+
+namespace detail {
+
+LogLevel& global_log_level() {
+  static LogLevel level = LogLevel::kWarn;
+  return level;
+}
+
+std::mutex& log_mutex() {
+  static std::mutex mutex;
+  return mutex;
+}
+
+}  // namespace detail
+
+void set_log_level(LogLevel level) { detail::global_log_level() = level; }
+
+LogLevel log_level() { return detail::global_log_level(); }
+
+}  // namespace fdml

@@ -1,0 +1,66 @@
+// Minimal leveled, thread-safe logger. The parallel roles run on separate
+// threads, so lines are serialized under a global mutex.
+#pragma once
+
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace fdml {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+namespace detail {
+LogLevel& global_log_level();
+std::mutex& log_mutex();
+}  // namespace detail
+
+/// Sets the process-wide minimum level that is emitted.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Stream-style log statement: LogLine(LogLevel::kInfo, "foreman") << ...;
+/// Emits on destruction.
+class LogLine {
+ public:
+  LogLine(LogLevel level, std::string_view component)
+      : level_(level), enabled_(level >= log_level()) {
+    if (enabled_) stream_ << "[" << name(level) << "] " << component << ": ";
+  }
+
+  ~LogLine() {
+    if (!enabled_) return;
+    std::lock_guard lock(detail::log_mutex());
+    std::cerr << stream_.str() << "\n";
+  }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  static const char* name(LogLevel level) {
+    switch (level) {
+      case LogLevel::kDebug: return "debug";
+      case LogLevel::kInfo: return "info";
+      case LogLevel::kWarn: return "warn";
+      case LogLevel::kError: return "error";
+      default: return "?";
+    }
+  }
+
+  LogLevel level_;
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+#define FDML_LOG(level, component) ::fdml::LogLine(level, component)
+#define FDML_DEBUG(component) FDML_LOG(::fdml::LogLevel::kDebug, component)
+#define FDML_INFO(component) FDML_LOG(::fdml::LogLevel::kInfo, component)
+#define FDML_WARN(component) FDML_LOG(::fdml::LogLevel::kWarn, component)
+#define FDML_ERROR(component) FDML_LOG(::fdml::LogLevel::kError, component)
+
+}  // namespace fdml

@@ -1,0 +1,26 @@
+#include "util/lognumber.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace fdml {
+
+std::string LogNumber::to_string(int significant_digits) const {
+  if (std::isinf(log_value_) && log_value_ < 0) return "0";
+  const double l10 = log10();
+  double exponent = std::floor(l10);
+  double mantissa = std::pow(10.0, l10 - exponent);
+  // Guard against mantissa rounding to 10 when formatted.
+  const double rounding = 0.5 * std::pow(10.0, -(significant_digits - 1));
+  if (mantissa + rounding >= 10.0) {
+    mantissa /= 10.0;
+    exponent += 1.0;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*fe%+03lld", significant_digits - 1,
+                mantissa, static_cast<long long>(exponent));
+  return buf;
+}
+
+}  // namespace fdml

@@ -1,0 +1,53 @@
+// A nonnegative number stored as its natural log, for quantities like the
+// (2n-5)!! tree counts that overflow double (4.2e284 fits, but 200 taxa do
+// not). Supports the few operations tree counting and reporting need.
+#pragma once
+
+#include <cmath>
+#include <string>
+
+namespace fdml {
+
+class LogNumber {
+ public:
+  LogNumber() : log_value_(-std::numeric_limits<double>::infinity()) {}
+
+  static LogNumber from_value(double v) {
+    LogNumber n;
+    n.log_value_ = std::log(v);
+    return n;
+  }
+  static LogNumber from_log(double lg) {
+    LogNumber n;
+    n.log_value_ = lg;
+    return n;
+  }
+
+  double log() const { return log_value_; }
+  double log10() const { return log_value_ / std::log(10.0); }
+
+  /// Value as double; +inf if it overflows.
+  double value() const { return std::exp(log_value_); }
+
+  LogNumber operator*(const LogNumber& o) const {
+    return from_log(log_value_ + o.log_value_);
+  }
+  LogNumber operator/(const LogNumber& o) const {
+    return from_log(log_value_ - o.log_value_);
+  }
+  LogNumber& operator*=(const LogNumber& o) {
+    log_value_ += o.log_value_;
+    return *this;
+  }
+
+  bool operator<(const LogNumber& o) const { return log_value_ < o.log_value_; }
+  bool operator>(const LogNumber& o) const { return log_value_ > o.log_value_; }
+
+  /// Scientific-notation string like "2.84e+74" regardless of magnitude.
+  std::string to_string(int significant_digits = 3) const;
+
+ private:
+  double log_value_;
+};
+
+}  // namespace fdml

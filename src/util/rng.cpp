@@ -1,0 +1,73 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+namespace fdml {
+
+double Rng::exponential(double rate) noexcept {
+  double u;
+  do {
+    u = uniform();
+  } while (u <= 0.0);
+  return -std::log(u) / rate;
+}
+
+double Rng::normal() noexcept {
+  // Marsaglia polar method; discards the second variate for simplicity.
+  for (;;) {
+    const double x = uniform(-1.0, 1.0);
+    const double y = uniform(-1.0, 1.0);
+    const double s = x * x + y * y;
+    if (s > 0.0 && s < 1.0) {
+      return x * std::sqrt(-2.0 * std::log(s) / s);
+    }
+  }
+}
+
+double Rng::gamma(double shape) noexcept {
+  if (shape < 1.0) {
+    // Ahrens-Dieter boost: Gamma(a) = Gamma(a+1) * U^(1/a).
+    const double g = gamma(shape + 1.0);
+    double u;
+    do {
+      u = uniform();
+    } while (u <= 0.0);
+    return g * std::pow(u, 1.0 / shape);
+  }
+  // Marsaglia & Tsang.
+  const double d = shape - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  for (;;) {
+    double x;
+    double v;
+    do {
+      x = normal();
+      v = 1.0 + c * x;
+    } while (v <= 0.0);
+    v = v * v * v;
+    const double u = uniform();
+    if (u < 1.0 - 0.0331 * x * x * x * x) return d * v;
+    if (u > 0.0 && std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v))) {
+      return d * v;
+    }
+  }
+}
+
+double Rng::lognormal_mean_cv(double mean, double cv) noexcept {
+  const double sigma2 = std::log(1.0 + cv * cv);
+  const double mu = std::log(mean) - 0.5 * sigma2;
+  return std::exp(normal(mu, std::sqrt(sigma2)));
+}
+
+std::size_t Rng::categorical(const std::vector<double>& weights) noexcept {
+  double total = 0.0;
+  for (double w : weights) total += w;
+  double pick = uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    pick -= weights[i];
+    if (pick <= 0.0) return i;
+  }
+  return weights.empty() ? 0 : weights.size() - 1;
+}
+
+}  // namespace fdml

@@ -1,0 +1,129 @@
+// Pseudo-random number generation for fastdnaml++.
+//
+// fastDNAml used a multiplicative congruential generator and adjusted
+// even-valued user seeds so the generator attains its maximum period.  We
+// keep that user-facing semantic (see adjust_user_seed) but generate with
+// xoshiro256**, seeded through splitmix64, which is fast, has a 2^256-1
+// period, and is reproducible across platforms.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace fdml {
+
+/// Replicates fastDNAml's treatment of user-supplied random seeds: an even
+/// seed cannot drive a multiplicative congruential generator at full period,
+/// so even seeds are nudged to the next odd value. Zero becomes 1.
+constexpr std::uint64_t adjust_user_seed(std::uint64_t seed) noexcept {
+  if (seed == 0) return 1;
+  return (seed % 2 == 0) ? seed + 1 : seed;
+}
+
+/// splitmix64: used to expand a single 64-bit seed into xoshiro state.
+constexpr std::uint64_t splitmix64_next(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** PRNG. Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 1) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    std::uint64_t sm = adjust_user_seed(seed);
+    for (auto& word : state_) word = splitmix64_next(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~std::uint64_t{0}; }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Uniform integer in [0, n). n must be > 0. Uses rejection to stay
+  /// unbiased.
+  std::uint64_t below(std::uint64_t n) noexcept {
+    const std::uint64_t threshold = (0 - n) % n;  // 2^64 mod n
+    for (;;) {
+      const std::uint64_t r = (*this)();
+      if (r >= threshold) return r % n;
+    }
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) noexcept {
+    return lo + static_cast<std::int64_t>(
+                    below(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// Exponential variate with the given rate (mean 1/rate).
+  double exponential(double rate) noexcept;
+
+  /// Standard normal variate (Marsaglia polar method).
+  double normal() noexcept;
+
+  /// Normal variate with mean/sd.
+  double normal(double mean, double sd) noexcept { return mean + sd * normal(); }
+
+  /// Gamma variate with the given shape, unit scale
+  /// (Marsaglia & Tsang 2000, with Ahrens boost for shape < 1).
+  double gamma(double shape) noexcept;
+
+  /// Lognormal variate parameterised by the mean/cv of the *result*.
+  double lognormal_mean_cv(double mean, double cv) noexcept;
+
+  /// Samples an index in [0, weights.size()) proportional to weights.
+  std::size_t categorical(const std::vector<double>& weights) noexcept;
+
+  /// Fisher–Yates shuffle.
+  template <typename Container>
+  void shuffle(Container& items) noexcept {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(below(i));
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// Forks an independent stream (hash-mixed), for per-worker RNGs.
+  Rng fork() noexcept {
+    std::uint64_t child_seed = (*this)() | 1ULL;
+    return Rng(child_seed);
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace fdml

@@ -1,0 +1,152 @@
+#include "util/special.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace fdml {
+
+namespace {
+
+// Series representation of P(a,x), valid/fast for x < a + 1.
+double gamma_p_series(double a, double x) {
+  const double gln = std::lgamma(a);
+  double ap = a;
+  double sum = 1.0 / a;
+  double del = sum;
+  for (int n = 0; n < 500; ++n) {
+    ap += 1.0;
+    del *= x / ap;
+    sum += del;
+    if (std::fabs(del) < std::fabs(sum) * 1e-15) break;
+  }
+  return sum * std::exp(-x + a * std::log(x) - gln);
+}
+
+// Continued-fraction representation of Q(a,x) = 1 - P(a,x), for x >= a + 1.
+double gamma_q_contfrac(double a, double x) {
+  const double gln = std::lgamma(a);
+  const double tiny = 1e-300;
+  double b = x + 1.0 - a;
+  double c = 1.0 / tiny;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i <= 500; ++i) {
+    const double an = -static_cast<double>(i) * (static_cast<double>(i) - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::fabs(d) < tiny) d = tiny;
+    c = b + an / c;
+    if (std::fabs(c) < tiny) c = tiny;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < 1e-15) break;
+  }
+  return std::exp(-x + a * std::log(x) - gln) * h;
+}
+
+}  // namespace
+
+double gamma_p(double a, double x) {
+  if (a <= 0.0) throw std::invalid_argument("gamma_p: shape must be > 0");
+  if (x < 0.0) throw std::invalid_argument("gamma_p: x must be >= 0");
+  if (x == 0.0) return 0.0;
+  if (x < a + 1.0) return gamma_p_series(a, x);
+  return 1.0 - gamma_q_contfrac(a, x);
+}
+
+double gamma_p_inverse(double a, double p) {
+  if (p <= 0.0) return 0.0;
+  if (p >= 1.0) return std::numeric_limits<double>::infinity();
+  // Wilson–Hilferty: chi2_df quantile ~ df * (1 - 2/(9 df) + z sqrt(2/(9 df)))^3
+  // with a = df/2, x = chi2/2.
+  const double df = 2.0 * a;
+  // Inverse-normal via Acklam-style rational approximation.
+  auto inv_normal = [](double q) {
+    static const double a1 = -3.969683028665376e+01, a2 = 2.209460984245205e+02,
+                        a3 = -2.759285104469687e+02, a4 = 1.383577518672690e+02,
+                        a5 = -3.066479806614716e+01, a6 = 2.506628277459239e+00;
+    static const double b1 = -5.447609879822406e+01, b2 = 1.615858368580409e+02,
+                        b3 = -1.556989798598866e+02, b4 = 6.680131188771972e+01,
+                        b5 = -1.328068155288572e+01;
+    static const double c1 = -7.784894002430293e-03, c2 = -3.223964580411365e-01,
+                        c3 = -2.400758277161838e+00, c4 = -2.549732539343734e+00,
+                        c5 = 4.374664141464968e+00, c6 = 2.938163982698783e+00;
+    static const double d1 = 7.784695709041462e-03, d2 = 3.224671290700398e-01,
+                        d3 = 2.445134137142996e+00, d4 = 3.754408661907416e+00;
+    const double plow = 0.02425, phigh = 1.0 - plow;
+    if (q < plow) {
+      const double r = std::sqrt(-2.0 * std::log(q));
+      return (((((c1 * r + c2) * r + c3) * r + c4) * r + c5) * r + c6) /
+             ((((d1 * r + d2) * r + d3) * r + d4) * r + 1.0);
+    }
+    if (q > phigh) {
+      const double r = std::sqrt(-2.0 * std::log(1.0 - q));
+      return -(((((c1 * r + c2) * r + c3) * r + c4) * r + c5) * r + c6) /
+             ((((d1 * r + d2) * r + d3) * r + d4) * r + 1.0);
+    }
+    const double r = q - 0.5;
+    const double s = r * r;
+    return (((((a1 * s + a2) * s + a3) * s + a4) * s + a5) * s + a6) * r /
+           (((((b1 * s + b2) * s + b3) * s + b4) * s + b5) * s + 1.0);
+  };
+  const double z = inv_normal(p);
+  const double wh = 1.0 - 2.0 / (9.0 * df) + z * std::sqrt(2.0 / (9.0 * df));
+  double x = 0.5 * df * wh * wh * wh;
+  if (!(x > 0.0)) x = 0.5 * std::exp((std::log(p * df) + std::lgamma(a)) / a);
+
+  // Bracketed Newton on f(x) = P(a, x) - p. For small shapes the quantile
+  // can be ~1e-18 while the initial guess is O(1), so the bracket (with
+  // geometric bisection fallback) is what guarantees convergence.
+  double lo = 0.0;
+  double hi = std::max(x, 1.0);
+  while (gamma_p(a, hi) < p) hi *= 4.0;
+  if (!(x > lo && x < hi)) x = 0.5 * hi;
+  const double gln = std::lgamma(a);
+  for (int iter = 0; iter < 200; ++iter) {
+    const double f = gamma_p(a, x) - p;
+    if (std::fabs(f) < 1e-13) break;
+    if (f > 0.0) {
+      hi = x;
+    } else {
+      lo = x;
+    }
+    const double logpdf = -x + (a - 1.0) * std::log(x) - gln;
+    const double pdf = std::exp(logpdf);
+    double next = pdf > 0.0 ? x - f / pdf : -1.0;
+    if (!(next > lo && next < hi)) {
+      // Geometric bisection handles quantiles spanning many decades.
+      next = lo > 0.0 ? std::sqrt(lo * hi) : 0.5 * hi;
+    }
+    if (hi - lo < 1e-15 * hi) {
+      x = next;
+      break;
+    }
+    x = next;
+  }
+  return x;
+}
+
+double gamma_quantile(double p, double shape, double scale) {
+  return gamma_p_inverse(shape, p) * scale;
+}
+
+double chi_square_quantile(double p, double df) {
+  return 2.0 * gamma_p_inverse(0.5 * df, p);
+}
+
+double log_double_factorial(long long k) {
+  if (k <= 0) return 0.0;
+  // (2m-1)!! = (2m)! / (2^m m!)  for odd k = 2m-1.
+  if (k % 2 == 1) {
+    const double m = static_cast<double>((k + 1) / 2);
+    return std::lgamma(2.0 * m + 1.0) - m * std::log(2.0) -
+           std::lgamma(m + 1.0);
+  }
+  // (2m)!! = 2^m m!
+  const double m = static_cast<double>(k / 2);
+  return m * std::log(2.0) + std::lgamma(m + 1.0);
+}
+
+}  // namespace fdml

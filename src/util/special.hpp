@@ -1,0 +1,24 @@
+// Special functions used by the rate-heterogeneity model (discrete gamma).
+#pragma once
+
+namespace fdml {
+
+/// Regularized lower incomplete gamma function P(a, x) = γ(a,x) / Γ(a).
+/// Series expansion for x < a+1, continued fraction otherwise.
+double gamma_p(double a, double x);
+
+/// Inverse of gamma_p in x: returns x such that P(a, x) = p, for p in (0,1).
+/// Wilson–Hilferty initial guess refined by Newton iterations.
+double gamma_p_inverse(double a, double p);
+
+/// Quantile of the Gamma(shape, scale) distribution.
+double gamma_quantile(double p, double shape, double scale);
+
+/// Quantile of the chi-square distribution with `df` degrees of freedom.
+double chi_square_quantile(double p, double df);
+
+/// Natural log of the double factorial (2n-5)!! — the count of unrooted
+/// bifurcating tree topologies on n taxa has this form.
+double log_double_factorial(long long k);
+
+}  // namespace fdml

@@ -1,0 +1,49 @@
+// Wall-clock and CPU timers used by the monitor instrumentation and the
+// trace recorder.
+#pragma once
+
+#include <chrono>
+#include <ctime>
+
+namespace fdml {
+
+/// Monotonic wall-clock stopwatch.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double millis() const { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Per-thread CPU-time stopwatch (used to cost individual tree evaluations
+/// for the scaling-trace recorder; wall time would be polluted by the other
+/// in-process roles sharing the core).
+class CpuTimer {
+ public:
+  CpuTimer() : start_(now()) {}
+
+  void reset() { start_ = now(); }
+
+  double seconds() const { return now() - start_; }
+
+ private:
+  static double now() {
+    timespec ts{};
+    clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+    return static_cast<double>(ts.tv_sec) + 1e-9 * static_cast<double>(ts.tv_nsec);
+  }
+
+  double start_;
+};
+
+}  // namespace fdml

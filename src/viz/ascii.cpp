@@ -1,0 +1,80 @@
+#include "viz/ascii.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "viz/layout.hpp"
+
+namespace fdml {
+
+std::string render_ascii(const GeneralTree& tree, const AsciiOptions& options) {
+  if (tree.empty()) return "";
+  const TreeLayout layout = rectangular_layout(tree, options.use_branch_lengths);
+  const int rows = static_cast<int>(std::lround(layout.height)) + 1;
+  const double scale =
+      layout.width > 0.0 ? (options.width - 1) / layout.width : 0.0;
+
+  auto column = [&](int id) {
+    return static_cast<int>(std::lround(
+        layout.positions[static_cast<std::size_t>(id)].x * scale));
+  };
+  auto row = [&](int id) {
+    return static_cast<int>(std::lround(
+        layout.positions[static_cast<std::size_t>(id)].y * 2.0));
+  };
+
+  // Double vertical resolution so internal nodes land between leaf rows.
+  std::vector<std::string> canvas(static_cast<std::size_t>(2 * rows),
+                                  std::string(static_cast<std::size_t>(options.width) + 2, ' '));
+
+  for (int id : tree.preorder()) {
+    const auto& node = tree.node(id);
+    const int r = row(id);
+    const int c = column(id);
+    if (id != tree.root()) {
+      const int pc = column(node.parent);
+      const int pr = row(node.parent);
+      auto& line = canvas[static_cast<std::size_t>(r)];
+      for (int x = pc; x < c; ++x) line[static_cast<std::size_t>(x)] = '-';
+      if (c >= pc) line[static_cast<std::size_t>(pc)] = '+';
+      // Vertical connector at the parent's column.
+      const int lo = std::min(r, pr);
+      const int hi = std::max(r, pr);
+      for (int y = lo + 1; y < hi; ++y) {
+        char& cell = canvas[static_cast<std::size_t>(y)][static_cast<std::size_t>(pc)];
+        if (cell == ' ') cell = '|';
+      }
+    }
+  }
+  // Labels after the leaf tips; support values at internal nodes.
+  std::string out;
+  for (int id : tree.preorder()) {
+    const auto& node = tree.node(id);
+    const int r = row(id);
+    const int c = column(id);
+    auto& line = canvas[static_cast<std::size_t>(r)];
+    if (node.children.empty()) {
+      line.resize(std::max(line.size(), static_cast<std::size_t>(c) + 2), ' ');
+      line.replace(static_cast<std::size_t>(c) + 1, node.label.size() + 1,
+                   " " + node.label);
+    } else if (options.show_support && !std::isnan(node.support)) {
+      char buf[16];
+      std::snprintf(buf, sizeof(buf), "%.0f", 100.0 * node.support);
+      line.resize(std::max(line.size(), static_cast<std::size_t>(c) + 8), ' ');
+      line.replace(static_cast<std::size_t>(c) + 1, std::strlen(buf), buf);
+    }
+  }
+  for (auto& line : canvas) {
+    while (!line.empty() && line.back() == ' ') line.pop_back();
+    if (!line.empty()) {
+      out += line;
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+}  // namespace fdml

@@ -1,0 +1,21 @@
+// Plain-text tree rendering for terminals and logs.
+#pragma once
+
+#include <string>
+
+#include "tree/general_tree.hpp"
+
+namespace fdml {
+
+struct AsciiOptions {
+  /// Character columns available for the tree body (labels extra).
+  int width = 60;
+  bool use_branch_lengths = true;
+  /// Show support values (e.g. consensus frequencies) at internal nodes.
+  bool show_support = false;
+};
+
+/// Renders a rooted tree as text art, one leaf per line.
+std::string render_ascii(const GeneralTree& tree, const AsciiOptions& options = {});
+
+}  // namespace fdml

@@ -1,0 +1,117 @@
+#include "viz/layout.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fdml {
+
+TreeLayout rectangular_layout(const GeneralTree& tree, bool use_branch_lengths) {
+  TreeLayout layout;
+  layout.positions.resize(tree.size());
+  if (tree.empty()) return layout;
+
+  // x: depth from root.
+  for (int id : tree.preorder()) {
+    const auto& node = tree.node(id);
+    const double step = use_branch_lengths ? node.length : 1.0;
+    layout.positions[static_cast<std::size_t>(id)].x =
+        id == tree.root()
+            ? 0.0
+            : layout.positions[static_cast<std::size_t>(node.parent)].x + step;
+  }
+  // y: leaves at consecutive ranks, internal nodes centered.
+  double next_rank = 0.0;
+  for (int id : tree.postorder()) {
+    auto& point = layout.positions[static_cast<std::size_t>(id)];
+    const auto& node = tree.node(id);
+    if (node.children.empty()) {
+      point.y = next_rank;
+      next_rank += 1.0;
+    } else {
+      double lo = 1e300;
+      double hi = -1e300;
+      for (int child : node.children) {
+        const double y = layout.positions[static_cast<std::size_t>(child)].y;
+        lo = std::min(lo, y);
+        hi = std::max(hi, y);
+      }
+      point.y = 0.5 * (lo + hi);
+    }
+  }
+  for (const auto& point : layout.positions) {
+    layout.width = std::max(layout.width, point.x);
+    layout.height = std::max(layout.height, point.y);
+  }
+  return layout;
+}
+
+TreeLayout equal_angle_layout(const GeneralTree& tree, bool use_branch_lengths) {
+  TreeLayout layout;
+  layout.positions.resize(tree.size());
+  if (tree.empty()) return layout;
+
+  // Leaf counts per subtree.
+  std::vector<int> leaf_count(tree.size(), 0);
+  for (int id : tree.postorder()) {
+    const auto& node = tree.node(id);
+    if (node.children.empty()) {
+      leaf_count[static_cast<std::size_t>(id)] = 1;
+    } else {
+      for (int child : node.children) {
+        leaf_count[static_cast<std::size_t>(id)] +=
+            leaf_count[static_cast<std::size_t>(child)];
+      }
+    }
+  }
+
+  // Assign each subtree a wedge proportional to its leaves and place each
+  // node along the bisector of its wedge, at its branch-length radius.
+  struct Wedge {
+    int id;
+    double from;
+    double to;
+  };
+  std::vector<Wedge> stack{{tree.root(), 0.0, 2.0 * M_PI}};
+  layout.positions[static_cast<std::size_t>(tree.root())] = {0.0, 0.0};
+  while (!stack.empty()) {
+    const Wedge wedge = stack.back();
+    stack.pop_back();
+    const auto& node = tree.node(wedge.id);
+    const auto& origin = layout.positions[static_cast<std::size_t>(wedge.id)];
+    double angle = wedge.from;
+    const int total =
+        std::max(1, leaf_count[static_cast<std::size_t>(wedge.id)]);
+    for (int child : node.children) {
+      const double share = (wedge.to - wedge.from) *
+                           leaf_count[static_cast<std::size_t>(child)] / total;
+      const double mid = angle + 0.5 * share;
+      const double radius =
+          use_branch_lengths ? std::max(tree.node(child).length, 1e-6) : 1.0;
+      layout.positions[static_cast<std::size_t>(child)] = {
+          origin.x + radius * std::cos(mid), origin.y + radius * std::sin(mid)};
+      stack.push_back({child, angle, angle + share});
+      angle += share;
+    }
+  }
+
+  // Normalize to a positive bounding box.
+  double min_x = 1e300;
+  double min_y = 1e300;
+  double max_x = -1e300;
+  double max_y = -1e300;
+  for (const auto& point : layout.positions) {
+    min_x = std::min(min_x, point.x);
+    min_y = std::min(min_y, point.y);
+    max_x = std::max(max_x, point.x);
+    max_y = std::max(max_y, point.y);
+  }
+  for (auto& point : layout.positions) {
+    point.x -= min_x;
+    point.y -= min_y;
+  }
+  layout.width = max_x - min_x;
+  layout.height = max_y - min_y;
+  return layout;
+}
+
+}  // namespace fdml

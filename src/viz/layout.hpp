@@ -1,0 +1,37 @@
+// Planar tree layouts for the viewer. The paper's companion tool converts
+// "ASCII-encoded tree files into planar 3D representations"; the geometry
+// underneath is a 2D embedding per tree, which these functions compute:
+// a rectangular (phylogram) layout for rooted display and the classic
+// equal-angle layout for unrooted display.
+#pragma once
+
+#include <vector>
+
+#include "tree/general_tree.hpp"
+
+namespace fdml {
+
+struct LayoutPoint {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+struct TreeLayout {
+  /// Position per GeneralTree node id.
+  std::vector<LayoutPoint> positions;
+  double width = 0.0;
+  double height = 0.0;
+};
+
+/// Rectangular phylogram: x = cumulative branch length from the root,
+/// y = leaf rank (internal nodes centered over their children).
+/// `use_branch_lengths` false gives a cladogram (unit edge depth).
+TreeLayout rectangular_layout(const GeneralTree& tree,
+                              bool use_branch_lengths = true);
+
+/// Felsenstein's equal-angle layout: each subtree receives an angular
+/// wedge proportional to its leaf count; edges radiate with their lengths.
+TreeLayout equal_angle_layout(const GeneralTree& tree,
+                              bool use_branch_lengths = true);
+
+}  // namespace fdml

@@ -1,0 +1,166 @@
+#include "viz/svg.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "viz/layout.hpp"
+
+namespace fdml {
+
+namespace {
+
+const char* kTraceColors[] = {"#d62728", "#1f77b4", "#2ca02c", "#ff7f0e",
+                              "#9467bd", "#8c564b", "#e377c2", "#17becf"};
+
+std::string escape_xml(const std::string& text) {
+  std::string out;
+  for (char c : text) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string fmt(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f", v);
+  return buf;
+}
+
+struct PanelGeometry {
+  TreeLayout layout;
+  double offset_x = 0.0;
+  double offset_y = 0.0;
+  double scale_x = 1.0;
+  double scale_y = 1.0;
+
+  LayoutPoint at(int id) const {
+    const auto& p = layout.positions[static_cast<std::size_t>(id)];
+    return {offset_x + p.x * scale_x, offset_y + p.y * scale_y};
+  }
+};
+
+PanelGeometry fit_panel(const GeneralTree& tree, const SvgOptions& options,
+                        double offset_x, double offset_y) {
+  PanelGeometry geometry;
+  geometry.layout = options.radial
+                        ? equal_angle_layout(tree, options.use_branch_lengths)
+                        : rectangular_layout(tree, options.use_branch_lengths);
+  const double usable_w = options.panel_width - 2.0 * options.margin - 70.0;
+  const double usable_h = options.panel_height - 2.0 * options.margin;
+  geometry.scale_x =
+      geometry.layout.width > 0 ? usable_w / geometry.layout.width : 1.0;
+  geometry.scale_y =
+      geometry.layout.height > 0 ? usable_h / geometry.layout.height : 1.0;
+  if (options.radial) {
+    // Keep the aspect ratio for radial layouts.
+    geometry.scale_x = geometry.scale_y =
+        std::min(geometry.scale_x, geometry.scale_y);
+  }
+  geometry.offset_x = offset_x + options.margin;
+  geometry.offset_y = offset_y + options.margin;
+  return geometry;
+}
+
+void draw_tree(std::ostringstream& svg, const GeneralTree& tree,
+               const PanelGeometry& geometry, const SvgOptions& options) {
+  for (int id : tree.preorder()) {
+    const auto& node = tree.node(id);
+    if (id != tree.root()) {
+      const LayoutPoint parent = geometry.at(node.parent);
+      const LayoutPoint self = geometry.at(id);
+      if (options.radial) {
+        svg << "<line x1='" << fmt(parent.x) << "' y1='" << fmt(parent.y)
+            << "' x2='" << fmt(self.x) << "' y2='" << fmt(self.y)
+            << "' stroke='#333' stroke-width='1.2'/>\n";
+      } else {
+        // Right-angle phylogram: vertical at the parent, then horizontal.
+        svg << "<path d='M " << fmt(parent.x) << " " << fmt(parent.y) << " V "
+            << fmt(self.y) << " H " << fmt(self.x)
+            << "' fill='none' stroke='#333' stroke-width='1.2'/>\n";
+      }
+    }
+    if (node.children.empty()) {
+      const LayoutPoint self = geometry.at(id);
+      svg << "<text x='" << fmt(self.x + 4) << "' y='" << fmt(self.y + 3)
+          << "' font-size='9' font-family='sans-serif'>"
+          << escape_xml(node.label) << "</text>\n";
+    } else if (options.show_support && !std::isnan(node.support)) {
+      const LayoutPoint self = geometry.at(id);
+      svg << "<text x='" << fmt(self.x + 2) << "' y='" << fmt(self.y - 2)
+          << "' font-size='8' fill='#777' font-family='sans-serif'>"
+          << fmt(100.0 * node.support) << "</text>\n";
+    }
+  }
+}
+
+}  // namespace
+
+std::string render_svg(const GeneralTree& tree, const SvgOptions& options) {
+  std::ostringstream svg;
+  svg << "<svg xmlns='http://www.w3.org/2000/svg' width='"
+      << fmt(options.panel_width) << "' height='" << fmt(options.panel_height)
+      << "'>\n";
+  const PanelGeometry geometry = fit_panel(tree, options, 0.0, 0.0);
+  draw_tree(svg, tree, geometry, options);
+  svg << "</svg>\n";
+  return svg.str();
+}
+
+std::string render_comparison_svg(std::vector<GeneralTree> trees,
+                                  const std::vector<std::string>& traced_taxa,
+                                  const std::vector<std::string>& titles,
+                                  const SvgOptions& options) {
+  std::ostringstream svg;
+  const double total_width = options.panel_width * trees.size();
+  const double total_height = options.panel_height + 18.0;
+  svg << "<svg xmlns='http://www.w3.org/2000/svg' width='" << fmt(total_width)
+      << "' height='" << fmt(total_height) << "'>\n";
+
+  std::vector<PanelGeometry> panels;
+  for (std::size_t t = 0; t < trees.size(); ++t) {
+    // Pivot normalization: differences that remain are real topology
+    // differences, not reversed branch orderings.
+    trees[t].canonicalize();
+    const double offset_x = options.panel_width * static_cast<double>(t);
+    panels.push_back(fit_panel(trees[t], options, offset_x, 16.0));
+    if (t < titles.size()) {
+      svg << "<text x='" << fmt(offset_x + options.margin) << "' y='12'"
+          << " font-size='11' font-family='sans-serif' font-weight='bold'>"
+          << escape_xml(titles[t]) << "</text>\n";
+    }
+    draw_tree(svg, trees[t], panels.back(), options);
+  }
+
+  // Taxon traces across panels.
+  for (std::size_t k = 0; k < traced_taxa.size(); ++k) {
+    const char* color = kTraceColors[k % (sizeof(kTraceColors) / sizeof(char*))];
+    std::ostringstream points;
+    bool found_any = false;
+    for (std::size_t t = 0; t < trees.size(); ++t) {
+      for (int id : trees[t].leaves()) {
+        if (trees[t].node(id).label != traced_taxa[k]) continue;
+        const LayoutPoint p = panels[t].at(id);
+        points << fmt(p.x) << "," << fmt(p.y) << " ";
+        svg << "<circle cx='" << fmt(p.x) << "' cy='" << fmt(p.y)
+            << "' r='3' fill='" << color << "'/>\n";
+        found_any = true;
+        break;
+      }
+    }
+    if (found_any) {
+      svg << "<polyline points='" << points.str() << "' fill='none' stroke='"
+          << color << "' stroke-width='1' stroke-dasharray='4 3' opacity='0.7'/>\n";
+    }
+  }
+  svg << "</svg>\n";
+  return svg.str();
+}
+
+}  // namespace fdml

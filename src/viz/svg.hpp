@@ -1,0 +1,40 @@
+// SVG rendering: single trees and the paper's multi-tree comparison view.
+//
+// The paper's second viewer application loads "any number of tree files ...
+// arranged for direct visual comparison" with the ability to "trace
+// individual taxa or groups of taxa across multiple trees" (Figure 5).
+// render_comparison_svg reproduces that: one panel per tree, with traced
+// taxa connected by colored polylines across panels. Trees are
+// canonicalized first (the viewer's subtree "pivot"), so drawings differ
+// only where topologies actually differ.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tree/general_tree.hpp"
+
+namespace fdml {
+
+struct SvgOptions {
+  double panel_width = 360.0;
+  double panel_height = 300.0;
+  double margin = 28.0;
+  bool use_branch_lengths = true;
+  /// "rect" phylogram or "radial" equal-angle.
+  bool radial = false;
+  bool show_support = false;
+};
+
+/// One tree as a standalone SVG document.
+std::string render_svg(const GeneralTree& tree, const SvgOptions& options = {});
+
+/// Side-by-side panels with taxon traces. `traced_taxa` lists leaf labels
+/// to connect across panels (each gets a distinct color). `titles` may be
+/// empty or one per tree.
+std::string render_comparison_svg(std::vector<GeneralTree> trees,
+                                  const std::vector<std::string>& traced_taxa,
+                                  const std::vector<std::string>& titles = {},
+                                  const SvgOptions& options = {});
+
+}  // namespace fdml

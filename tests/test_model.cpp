@@ -1,0 +1,325 @@
+// Tests for substitution models, rate heterogeneity and the sequence
+// simulator.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "model/rates.hpp"
+#include "model/simulate.hpp"
+#include "model/submodel.hpp"
+#include "tree/random.hpp"
+#include "util/linalg.hpp"
+#include "util/rng.hpp"
+
+namespace fdml {
+namespace {
+
+std::vector<SubstModel> all_models() {
+  const Vec4 pi{0.3, 0.2, 0.15, 0.35};
+  std::vector<SubstModel> models;
+  models.push_back(SubstModel::jc69());
+  models.push_back(SubstModel::k80(3.0));
+  models.push_back(SubstModel::f81(pi));
+  models.push_back(SubstModel::hky85(pi, 4.0));
+  models.push_back(SubstModel::f84(pi, 1.5));
+  models.push_back(SubstModel::gtr(pi, {1.2, 3.0, 0.7, 1.1, 4.2, 1.0}));
+  return models;
+}
+
+class AllModels : public ::testing::TestWithParam<int> {
+ protected:
+  SubstModel model() const {
+    return all_models()[static_cast<std::size_t>(GetParam())];
+  }
+};
+
+INSTANTIATE_TEST_SUITE_P(Family, AllModels, ::testing::Range(0, 6));
+
+TEST_P(AllModels, RowsOfPSumToOne) {
+  const SubstModel m = model();
+  Mat4 p{};
+  for (double t : {0.0, 0.01, 0.1, 1.0, 10.0, 60.0}) {
+    m.transition(t, p);
+    for (int i = 0; i < 4; ++i) {
+      double row = 0.0;
+      for (int j = 0; j < 4; ++j) {
+        EXPECT_GE(p[i][j], 0.0);
+        row += p[i][j];
+      }
+      EXPECT_NEAR(row, 1.0, 1e-10) << m.name() << " t=" << t << " row " << i;
+    }
+  }
+}
+
+TEST_P(AllModels, PZeroIsIdentity) {
+  const SubstModel m = model();
+  Mat4 p{};
+  m.transition(0.0, p);
+  EXPECT_LT(mat4_max_abs_diff(p, mat4_identity()), 1e-12) << m.name();
+}
+
+TEST_P(AllModels, PInfinityIsStationary) {
+  const SubstModel m = model();
+  Mat4 p{};
+  m.transition(500.0, p);
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      EXPECT_NEAR(p[i][j], m.frequencies()[j], 1e-9) << m.name();
+    }
+  }
+}
+
+TEST_P(AllModels, DetailedBalance) {
+  const SubstModel m = model();
+  const Vec4& pi = m.frequencies();
+  Mat4 p{};
+  for (double t : {0.05, 0.5, 2.0}) {
+    m.transition(t, p);
+    for (int i = 0; i < 4; ++i) {
+      for (int j = 0; j < 4; ++j) {
+        EXPECT_NEAR(pi[i] * p[i][j], pi[j] * p[j][i], 1e-12)
+            << m.name() << " reversibility at t=" << t;
+      }
+    }
+  }
+}
+
+TEST_P(AllModels, MatchesDenseMatrixExponential) {
+  const SubstModel m = model();
+  for (double t : {0.02, 0.3, 1.7}) {
+    Mat4 qt = m.rate_matrix();
+    for (auto& row : qt) {
+      for (double& x : row) x *= t;
+    }
+    const Mat4 oracle = mat4_expm(qt);
+    Mat4 p{};
+    m.transition(t, p);
+    EXPECT_LT(mat4_max_abs_diff(p, oracle), 1e-10) << m.name() << " t=" << t;
+  }
+}
+
+TEST_P(AllModels, UnitMeanRate) {
+  const SubstModel m = model();
+  const Mat4& q = m.rate_matrix();
+  double mu = 0.0;
+  for (int i = 0; i < 4; ++i) mu -= m.frequencies()[i] * q[i][i];
+  EXPECT_NEAR(mu, 1.0, 1e-12) << m.name();
+}
+
+TEST_P(AllModels, DerivativesMatchFiniteDifferences) {
+  const SubstModel m = model();
+  Mat4 p{};
+  Mat4 dp{};
+  Mat4 d2p{};
+  Mat4 plus{};
+  Mat4 minus{};
+  const double t = 0.37;
+  const double h = 1e-5;
+  m.transition_with_derivs(t, p, dp, d2p);
+  m.transition(t + h, plus);
+  m.transition(t - h, minus);
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      const double fd1 = (plus[i][j] - minus[i][j]) / (2.0 * h);
+      const double fd2 = (plus[i][j] - 2.0 * p[i][j] + minus[i][j]) / (h * h);
+      EXPECT_NEAR(dp[i][j], fd1, 1e-6) << m.name();
+      EXPECT_NEAR(d2p[i][j], fd2, 1e-4) << m.name();
+    }
+  }
+}
+
+TEST(SubstModel, Jc69ClosedForm) {
+  const SubstModel m = SubstModel::jc69();
+  Mat4 p{};
+  for (double t : {0.1, 0.5, 2.0}) {
+    m.transition(t, p);
+    // JC69: P_ii = 1/4 + 3/4 e^{-4t/3}, P_ij = 1/4 - 1/4 e^{-4t/3}.
+    const double e = std::exp(-4.0 * t / 3.0);
+    EXPECT_NEAR(p[0][0], 0.25 + 0.75 * e, 1e-12);
+    EXPECT_NEAR(p[0][1], 0.25 - 0.25 * e, 1e-12);
+    EXPECT_NEAR(p[2][3], 0.25 - 0.25 * e, 1e-12);
+  }
+}
+
+TEST(SubstModel, K80TransitionsExceedTransversions) {
+  const SubstModel m = SubstModel::k80(5.0);
+  Mat4 p{};
+  m.transition(0.2, p);
+  EXPECT_GT(p[0][2], p[0][1]) << "A->G (transition) > A->C (transversion)";
+  EXPECT_GT(p[1][3], p[1][0]);
+}
+
+TEST(SubstModel, F84TstvRoundTrip) {
+  const Vec4 pi{0.28, 0.21, 0.26, 0.25};
+  for (double ratio : {1.0, 2.0, 4.0}) {
+    const SubstModel m = SubstModel::f84_from_tstv(pi, ratio);
+    EXPECT_NEAR(m.tstv_ratio(), ratio, 1e-9);
+  }
+}
+
+TEST(SubstModel, F84ZeroKEqualsF81) {
+  const Vec4 pi{0.3, 0.2, 0.15, 0.35};
+  const SubstModel f84 = SubstModel::f84(pi, 0.0);
+  const SubstModel f81 = SubstModel::f81(pi);
+  Mat4 a{};
+  Mat4 b{};
+  f84.transition(0.42, a);
+  f81.transition(0.42, b);
+  EXPECT_LT(mat4_max_abs_diff(a, b), 1e-12);
+}
+
+TEST(SubstModel, F84RejectsImpossibleRatio) {
+  const Vec4 pi{0.25, 0.25, 0.25, 0.25};
+  EXPECT_THROW(SubstModel::f84_from_tstv(pi, 0.01), std::invalid_argument);
+}
+
+TEST(SubstModel, RejectsBadInput) {
+  EXPECT_THROW(SubstModel::f81({0.5, 0.5, 0.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW(SubstModel::k80(-1.0), std::invalid_argument);
+  EXPECT_THROW(SubstModel::gtr({0.25, 0.25, 0.25, 0.25}, {1, 1, 1, 1, 1, -2}),
+               std::invalid_argument);
+}
+
+// --- rates ---
+
+TEST(Rates, UniformIsSingleUnitCategory) {
+  const RateModel r = RateModel::uniform();
+  EXPECT_EQ(r.num_categories(), 1u);
+  EXPECT_DOUBLE_EQ(r.rate(0), 1.0);
+  EXPECT_DOUBLE_EQ(r.mean_rate(), 1.0);
+}
+
+class GammaCategories : public ::testing::TestWithParam<std::tuple<double, int>> {};
+
+TEST_P(GammaCategories, MeanOneAndMonotone) {
+  const auto [alpha, k] = GetParam();
+  const RateModel r = RateModel::discrete_gamma(alpha, k);
+  EXPECT_EQ(r.num_categories(), static_cast<std::size_t>(k));
+  EXPECT_NEAR(r.mean_rate(), 1.0, 1e-9);
+  for (std::size_t c = 0; c + 1 < r.num_categories(); ++c) {
+    EXPECT_LT(r.rate(c), r.rate(c + 1));
+    EXPECT_NEAR(r.probability(c), 1.0 / k, 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, GammaCategories,
+    ::testing::Combine(::testing::Values(0.2, 0.5, 1.0, 2.0, 10.0),
+                       ::testing::Values(1, 2, 4, 8)));
+
+TEST(Rates, GammaSpreadShrinksWithAlpha) {
+  const RateModel dispersed = RateModel::discrete_gamma(0.3, 4);
+  const RateModel tight = RateModel::discrete_gamma(20.0, 4);
+  const double spread_dispersed = dispersed.rate(3) - dispersed.rate(0);
+  const double spread_tight = tight.rate(3) - tight.rate(0);
+  EXPECT_GT(spread_dispersed, 5.0 * spread_tight);
+}
+
+TEST(Rates, GammaInvariantAddsZeroCategory) {
+  const RateModel r = RateModel::gamma_invariant(0.5, 4, 0.2);
+  EXPECT_EQ(r.num_categories(), 5u);
+  EXPECT_DOUBLE_EQ(r.rate(0), 0.0);
+  EXPECT_NEAR(r.probability(0), 0.2, 1e-12);
+  EXPECT_NEAR(r.mean_rate(), 1.0, 1e-9);
+}
+
+TEST(Rates, UserCategoriesAreNormalized) {
+  const RateModel r = RateModel::user({2.0, 6.0}, {3.0, 1.0});
+  EXPECT_NEAR(r.probability(0), 0.75, 1e-12);
+  EXPECT_NEAR(r.mean_rate(), 1.0, 1e-12);
+  // Relative spacing preserved: r1/r0 = 3.
+  EXPECT_NEAR(r.rate(1) / r.rate(0), 3.0, 1e-12);
+}
+
+TEST(Rates, RejectsBadInput) {
+  EXPECT_THROW(RateModel::discrete_gamma(-1.0, 4), std::invalid_argument);
+  EXPECT_THROW(RateModel::discrete_gamma(1.0, 0), std::invalid_argument);
+  EXPECT_THROW(RateModel::user({1.0}, {1.0, 2.0}), std::invalid_argument);
+  EXPECT_THROW(RateModel::user({0.0}, {1.0}), std::invalid_argument);
+}
+
+// --- simulator ---
+
+TEST(Simulate, ReproducibleAndShapedCorrectly) {
+  Rng rng1(9);
+  Rng rng2(9);
+  Tree tree = random_yule_tree(12, rng1);
+  Rng sim1(5);
+  Rng sim2(5);
+  SimulateOptions options;
+  options.num_sites = 300;
+  const SubstModel model = SubstModel::jc69();
+  const RateModel rates = RateModel::uniform();
+  const auto names = default_taxon_names(12);
+  const Alignment a = simulate_alignment(tree, names, model, rates, options, sim1);
+  const Alignment b = simulate_alignment(tree, names, model, rates, options, sim2);
+  EXPECT_TRUE(a == b);
+  EXPECT_EQ(a.num_taxa(), 12u);
+  EXPECT_EQ(a.num_sites(), 300u);
+}
+
+TEST(Simulate, BaseCompositionTracksModel) {
+  Rng rng(21);
+  Tree tree = random_yule_tree(20, rng);
+  const Vec4 pi{0.4, 0.1, 0.1, 0.4};
+  const SubstModel model = SubstModel::f81(pi);
+  SimulateOptions options;
+  options.num_sites = 4000;
+  const Alignment alignment = simulate_alignment(
+      tree, default_taxon_names(20), model, RateModel::uniform(), options, rng);
+  const Vec4 freq = alignment.base_frequencies();
+  for (int b = 0; b < 4; ++b) EXPECT_NEAR(freq[b], pi[b], 0.03);
+}
+
+TEST(Simulate, DivergenceGrowsWithBranchLength) {
+  // Two-taxon comparison via a 3-taxon tree with one variable branch.
+  const auto names = default_taxon_names(3);
+  const SubstModel model = SubstModel::jc69();
+  SimulateOptions options;
+  options.num_sites = 3000;
+  double previous_identity = 1.0;
+  for (double t : {0.01, 0.2, 1.0}) {
+    Tree tree(3);
+    tree.make_triplet(0, 1, 2, t / 2, t / 2, 0.01);
+    Rng rng(33);
+    const Alignment alignment =
+        simulate_alignment(tree, names, model, RateModel::uniform(), options, rng);
+    std::size_t same = 0;
+    for (std::size_t s = 0; s < alignment.num_sites(); ++s) {
+      if (alignment.at(0, s) == alignment.at(1, s)) ++same;
+    }
+    const double identity = static_cast<double>(same) / alignment.num_sites();
+    EXPECT_LT(identity, previous_identity + 0.02);
+    previous_identity = identity;
+  }
+  EXPECT_LT(previous_identity, 0.65) << "t=1.0 should show heavy divergence";
+}
+
+TEST(Simulate, MissingDataFractionRespected) {
+  Rng rng(44);
+  Tree tree = random_yule_tree(8, rng);
+  SimulateOptions options;
+  options.num_sites = 2000;
+  options.missing_fraction = 0.1;
+  const Alignment alignment =
+      simulate_alignment(tree, default_taxon_names(8), SubstModel::jc69(),
+                         RateModel::uniform(), options, rng);
+  EXPECT_NEAR(alignment.ambiguous_fraction(), 0.1, 0.015);
+}
+
+TEST(Simulate, PaperLikeDatasetDimensions) {
+  Tree truth(3);
+  const Alignment alignment = make_paper_like_dataset(50, 500, 42, &truth);
+  EXPECT_EQ(alignment.num_taxa(), 50u);
+  EXPECT_EQ(alignment.num_sites(), 500u);
+  EXPECT_EQ(truth.tip_count(), 50);
+  // Deterministic for a given seed. (Note: even seeds are adjusted to the
+  // next odd value per fastDNAml, so 42 and 43 would collide by design.)
+  const Alignment again = make_paper_like_dataset(50, 500, 42);
+  EXPECT_TRUE(alignment == again);
+  const Alignment different = make_paper_like_dataset(50, 500, 45);
+  EXPECT_FALSE(alignment == different);
+}
+
+}  // namespace
+}  // namespace fdml

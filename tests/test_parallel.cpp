@@ -1,0 +1,329 @@
+// Tests for the message fabric, the protocol codecs, and the full
+// master/foreman/worker/monitor runtime — including the paper's timeout
+// fault tolerance (requeue, delinquency, reinstatement).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+
+#include "comm/fault.hpp"
+#include "comm/transport.hpp"
+#include "model/simulate.hpp"
+#include "parallel/cluster.hpp"
+#include "parallel/protocol.hpp"
+#include "search/search.hpp"
+#include "tree/newick.hpp"
+#include "tree/random.hpp"
+#include "tree/splits.hpp"
+
+namespace fdml {
+namespace {
+
+TEST(Fabric, PointToPointDelivery) {
+  ThreadFabric fabric(4);
+  auto a = fabric.endpoint(0);
+  auto b = fabric.endpoint(3);
+  a->send(3, MessageTag::kTask, {1, 2, 3});
+  const auto message = b->recv();
+  ASSERT_TRUE(message.has_value());
+  EXPECT_EQ(message->source, 0);
+  EXPECT_EQ(message->tag, MessageTag::kTask);
+  EXPECT_EQ(message->payload, (std::vector<std::uint8_t>{1, 2, 3}));
+  EXPECT_EQ(fabric.messages_sent(), 1u);
+  EXPECT_EQ(fabric.bytes_sent(), 3u);
+}
+
+TEST(Fabric, RecvForTimesOutAndCloseUnblocks) {
+  ThreadFabric fabric(2);
+  auto endpoint = fabric.endpoint(1);
+  EXPECT_FALSE(endpoint->recv_for(std::chrono::milliseconds(10)).has_value());
+  EXPECT_FALSE(endpoint->closed());
+
+  std::thread closer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    fabric.close();
+  });
+  const auto message = endpoint->recv();
+  EXPECT_FALSE(message.has_value());
+  EXPECT_TRUE(endpoint->closed());
+  closer.join();
+}
+
+TEST(Fabric, CrossThreadPingPong) {
+  ThreadFabric fabric(2);
+  std::thread echo([&] {
+    auto endpoint = fabric.endpoint(1);
+    while (auto message = endpoint->recv()) {
+      if (message->tag == MessageTag::kShutdown) break;
+      endpoint->send(0, MessageTag::kResult, std::move(message->payload));
+    }
+  });
+  auto endpoint = fabric.endpoint(0);
+  for (std::uint8_t i = 0; i < 50; ++i) {
+    endpoint->send(1, MessageTag::kTask, {i});
+    const auto reply = endpoint->recv();
+    ASSERT_TRUE(reply.has_value());
+    EXPECT_EQ(reply->payload[0], i);
+  }
+  endpoint->send(1, MessageTag::kShutdown, {});
+  echo.join();
+}
+
+TEST(Fabric, RejectsBadRanks) {
+  ThreadFabric fabric(3);
+  EXPECT_THROW(fabric.endpoint(5), std::out_of_range);
+  auto endpoint = fabric.endpoint(0);
+  EXPECT_THROW(endpoint->send(7, MessageTag::kTask, {}), std::out_of_range);
+  EXPECT_THROW(ThreadFabric(1), std::invalid_argument);
+}
+
+TEST(Protocol, RoundMessageRoundTrip) {
+  RoundMessage round;
+  round.round_id = 12;
+  for (int i = 0; i < 3; ++i) {
+    TreeTask task;
+    task.task_id = static_cast<std::uint64_t>(100 + i);
+    task.newick = "(a:1,b:1,c:1);";
+    task.focus_taxon = i;
+    round.tasks.push_back(task);
+  }
+  const RoundMessage back = RoundMessage::unpack(round.pack());
+  EXPECT_EQ(back.round_id, 12u);
+  ASSERT_EQ(back.tasks.size(), 3u);
+  EXPECT_EQ(back.tasks[2].task_id, 102u);
+  EXPECT_EQ(back.tasks[2].focus_taxon, 2);
+}
+
+TEST(Protocol, RoundDoneAndMonitorEventRoundTrip) {
+  RoundDoneMessage done;
+  done.round_id = 5;
+  done.best.task_id = 9;
+  done.best.log_likelihood = -321.75;
+  done.best.newick = "(x:1,y:1,z:1);";
+  done.stats.push_back({9, 0.125, 512, 4});
+  const RoundDoneMessage back = RoundDoneMessage::unpack(done.pack());
+  EXPECT_DOUBLE_EQ(back.best.log_likelihood, -321.75);
+  ASSERT_EQ(back.stats.size(), 1u);
+  EXPECT_EQ(back.stats[0].bytes, 512u);
+  EXPECT_EQ(back.stats[0].worker, 4);
+
+  MonitorEvent event;
+  event.kind = MonitorEventKind::kRequeue;
+  event.round_id = 5;
+  event.task_id = 9;
+  event.worker = 6;
+  event.at_seconds = 1.5;
+  const MonitorEvent eback = MonitorEvent::unpack(event.pack());
+  EXPECT_EQ(eback.kind, MonitorEventKind::kRequeue);
+  EXPECT_EQ(eback.worker, 6);
+  EXPECT_DOUBLE_EQ(eback.at_seconds, 1.5);
+}
+
+// --- full runtime ---
+
+struct ParallelFixture {
+  ParallelFixture(int taxa = 9, std::size_t sites = 200)
+      : truth(3), alignment(make(taxa, sites, truth)), data(alignment) {}
+
+  static Alignment make(int taxa, std::size_t sites, Tree& truth_out) {
+    Rng rng(77);
+    truth_out = random_yule_tree(taxa, rng);
+    SimulateOptions options;
+    options.num_sites = sites;
+    return simulate_alignment(truth_out, default_taxon_names(taxa),
+                              SubstModel::jc69(), RateModel::uniform(), options,
+                              rng);
+  }
+
+  Tree truth;
+  Alignment alignment;
+  PatternAlignment data;
+};
+
+TEST(Cluster, OneWorkerMatchesSerialExactly) {
+  ParallelFixture fx;
+  SearchOptions options;
+  options.seed = 5;
+
+  SerialTaskRunner serial(fx.data, SubstModel::jc69(), RateModel::uniform());
+  const SearchResult serial_result =
+      StepwiseSearch(fx.data, options).run(serial);
+
+  ClusterOptions cluster_options;
+  cluster_options.num_workers = 1;
+  InProcessCluster cluster(fx.data, SubstModel::jc69(), RateModel::uniform(),
+                           cluster_options);
+  const SearchResult parallel_result =
+      StepwiseSearch(fx.data, options).run(cluster.runner());
+
+  EXPECT_EQ(parallel_result.best_newick, serial_result.best_newick);
+  EXPECT_DOUBLE_EQ(parallel_result.best_log_likelihood,
+                   serial_result.best_log_likelihood);
+  EXPECT_EQ(parallel_result.trees_evaluated, serial_result.trees_evaluated);
+}
+
+TEST(Cluster, FourWorkersFindEquallyGoodTree) {
+  ParallelFixture fx;
+  SearchOptions options;
+  options.seed = 5;
+
+  SerialTaskRunner serial(fx.data, SubstModel::jc69(), RateModel::uniform());
+  const SearchResult serial_result =
+      StepwiseSearch(fx.data, options).run(serial);
+
+  ClusterOptions cluster_options;
+  cluster_options.num_workers = 4;
+  InProcessCluster cluster(fx.data, SubstModel::jc69(), RateModel::uniform(),
+                           cluster_options);
+  const SearchResult parallel_result =
+      StepwiseSearch(fx.data, options).run(cluster.runner());
+
+  // Completion order may break likelihood ties differently, so compare
+  // quality, not identity.
+  EXPECT_NEAR(parallel_result.best_log_likelihood,
+              serial_result.best_log_likelihood, 1e-6);
+
+  // Monitor events are asynchronous; shut down (joining the monitor thread,
+  // which drains its queue first) before snapshotting.
+  cluster.shutdown();
+  const MonitorReport report = cluster.monitor_report();
+  EXPECT_EQ(report.completions, parallel_result.trees_evaluated);
+  EXPECT_EQ(report.requeues, 0u);
+  // Work actually spread across workers.
+  int busy_workers = 0;
+  for (const auto& [worker, count] : report.tasks_per_worker) {
+    if (count > 0) ++busy_workers;
+  }
+  EXPECT_GE(busy_workers, 2);
+  EXPECT_EQ(report.rounds, parallel_result.trace.rounds.size());
+}
+
+TEST(Cluster, WorkerStatsCarriedInTrace) {
+  ParallelFixture fx;
+  ClusterOptions cluster_options;
+  cluster_options.num_workers = 2;
+  InProcessCluster cluster(fx.data, SubstModel::jc69(), RateModel::uniform(),
+                           cluster_options);
+  SearchOptions options;
+  options.seed = 3;
+  const SearchResult result = StepwiseSearch(fx.data, options).run(cluster.runner());
+  for (const auto& round : result.trace.rounds) {
+    ASSERT_EQ(round.task_bytes.size(), round.task_cpu_seconds.size());
+    for (std::size_t i = 0; i < round.task_bytes.size(); ++i) {
+      EXPECT_GT(round.task_bytes[i], 0u);
+      EXPECT_GE(round.task_cpu_seconds[i], 0.0);
+    }
+  }
+}
+
+TEST(Cluster, DroppedResultIsRequeuedToAnotherWorker) {
+  ParallelFixture fx(8, 120);
+  ClusterOptions cluster_options;
+  cluster_options.num_workers = 2;
+  cluster_options.foreman.worker_timeout = std::chrono::milliseconds(100);
+  // Worker rank 3 silently drops its first result: a "crashed" worker.
+  auto drop_count = std::make_shared<std::atomic<int>>(0);
+  cluster_options.wrap_worker_transport =
+      [drop_count](int rank, std::unique_ptr<Transport> inner)
+      -> std::unique_ptr<Transport> {
+    if (rank != kFirstWorkerRank) return inner;
+    return std::make_unique<FaultyTransport>(
+        std::move(inner),
+        [drop_count](const Message& message) {
+          return message.tag == MessageTag::kResult &&
+                 drop_count->fetch_add(1) == 0;
+        },
+        nullptr);
+  };
+  InProcessCluster cluster(fx.data, SubstModel::jc69(), RateModel::uniform(),
+                           cluster_options);
+  SearchOptions options;
+  options.seed = 9;
+  const SearchResult result = StepwiseSearch(fx.data, options).run(cluster.runner());
+  EXPECT_LT(result.best_log_likelihood, 0.0);
+  cluster.shutdown();
+  EXPECT_GE(cluster.foreman_stats().requeues, 1u);
+  EXPECT_GE(cluster.foreman_stats().delinquencies, 1u);
+  EXPECT_EQ(cluster.foreman_stats().tasks_completed, result.trees_evaluated);
+  const MonitorReport report = cluster.monitor_report();
+  EXPECT_GE(report.requeues, 1u);
+}
+
+TEST(Cluster, SlowWorkerIsReinstatedAfterLateReply) {
+  ParallelFixture fx(8, 120);
+  ClusterOptions cluster_options;
+  cluster_options.num_workers = 2;
+  cluster_options.foreman.worker_timeout = std::chrono::milliseconds(80);
+  // Worker rank 3 delays its first result well past the timeout, then
+  // behaves normally — the paper's geographically-distributed-PVM scenario.
+  auto slow_count = std::make_shared<std::atomic<int>>(0);
+  cluster_options.wrap_worker_transport =
+      [slow_count](int rank, std::unique_ptr<Transport> inner)
+      -> std::unique_ptr<Transport> {
+    if (rank != kFirstWorkerRank) return inner;
+    return std::make_unique<FaultyTransport>(
+        std::move(inner), nullptr, [slow_count](const Message& message) {
+          if (message.tag == MessageTag::kResult &&
+              slow_count->fetch_add(1) == 0) {
+            return std::chrono::milliseconds(250);
+          }
+          return std::chrono::milliseconds(0);
+        });
+  };
+  InProcessCluster cluster(fx.data, SubstModel::jc69(), RateModel::uniform(),
+                           cluster_options);
+  SearchOptions options;
+  options.seed = 13;
+  const SearchResult result = StepwiseSearch(fx.data, options).run(cluster.runner());
+  EXPECT_LT(result.best_log_likelihood, 0.0);
+  // The search can outrun the delayed reply; give the late result time to
+  // reach the foreman before tearing the cluster down.
+  std::this_thread::sleep_for(std::chrono::milliseconds(400));
+  cluster.shutdown();
+  EXPECT_GE(cluster.foreman_stats().requeues, 1u);
+  EXPECT_GE(cluster.foreman_stats().reinstatements, 1u);
+  EXPECT_GE(cluster.foreman_stats().late_duplicate_results, 1u);
+}
+
+TEST(Cluster, ShutdownIsIdempotent) {
+  ParallelFixture fx(8, 60);
+  ClusterOptions cluster_options;
+  cluster_options.num_workers = 2;
+  InProcessCluster cluster(fx.data, SubstModel::jc69(), RateModel::uniform(),
+                           cluster_options);
+  TreeTask task;
+  Rng rng(1);
+  const Tree tree = random_tree(8, rng);
+  task.task_id = 1;
+  task.newick = to_newick(tree, fx.data.names(), 17);
+  const RoundOutcome outcome = cluster.runner().run_round({task});
+  EXPECT_EQ(outcome.stats.size(), 1u);
+  cluster.shutdown();
+  cluster.shutdown();  // second call must be a no-op
+}
+
+TEST(Cluster, MonitorMeasuresRoundSlack) {
+  ParallelFixture fx(9, 150);
+  ClusterOptions cluster_options;
+  cluster_options.num_workers = 3;
+  InProcessCluster cluster(fx.data, SubstModel::jc69(), RateModel::uniform(),
+                           cluster_options);
+  SearchOptions options;
+  options.seed = 21;
+  const SearchResult result = StepwiseSearch(fx.data, options).run(cluster.runner());
+  (void)result;
+  cluster.shutdown();  // join the monitor so every event is tallied
+  const MonitorReport report = cluster.monitor_report();
+  EXPECT_EQ(report.round_slack_seconds.size(), report.rounds);
+  EXPECT_EQ(report.round_duration_seconds.size(), report.rounds);
+  for (std::size_t r = 0; r < report.rounds; ++r) {
+    EXPECT_GE(report.round_slack_seconds[r], 0.0);
+    EXPECT_GE(report.round_duration_seconds[r],
+              report.round_slack_seconds[r] - 1e-9)
+        << "slack cannot exceed the round duration";
+  }
+}
+
+}  // namespace
+}  // namespace fdml

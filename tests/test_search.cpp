@@ -1,0 +1,336 @@
+// Tests for the stepwise-addition + rearrangement search and its task
+// machinery.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "model/simulate.hpp"
+#include "search/search.hpp"
+#include "tree/newick.hpp"
+#include "tree/random.hpp"
+#include "tree/splits.hpp"
+
+namespace fdml {
+namespace {
+
+struct Fixture {
+  Fixture(int taxa, std::size_t sites, std::uint64_t seed = 21)
+      : truth(3), alignment(make_dataset(taxa, sites, seed, truth)), data(alignment) {}
+
+  static Alignment make_dataset(int taxa, std::size_t sites, std::uint64_t seed,
+                                Tree& truth_out) {
+    Rng rng(seed);
+    truth_out = random_yule_tree(taxa, rng);
+    SimulateOptions options;
+    options.num_sites = sites;
+    return simulate_alignment(truth_out, default_taxon_names(taxa),
+                              SubstModel::jc69(), RateModel::uniform(), options,
+                              rng);
+  }
+
+  SerialTaskRunner runner() {
+    return SerialTaskRunner(data, SubstModel::jc69(), RateModel::uniform());
+  }
+
+  Tree truth;
+  Alignment alignment;
+  PatternAlignment data;
+};
+
+TEST(TaskCodec, RoundTrip) {
+  TreeTask task;
+  task.task_id = 42;
+  task.round_id = 7;
+  task.newick = "(a:1,b:2,(c:0.5,d:0.5):1);";
+  task.focus_taxon = 3;
+  task.smooth_passes = 2;
+  Packer packer;
+  task.pack(packer);
+  Unpacker unpacker(packer.data());
+  const TreeTask back = TreeTask::unpack(unpacker);
+  EXPECT_EQ(back.task_id, 42u);
+  EXPECT_EQ(back.newick, task.newick);
+  EXPECT_EQ(back.focus_taxon, 3);
+
+  TaskResult result;
+  result.task_id = 42;
+  result.round_id = 7;
+  result.log_likelihood = -1234.5;
+  result.newick = task.newick;
+  result.cpu_seconds = 0.25;
+  result.worker = 9;
+  Packer rp;
+  result.pack(rp);
+  Unpacker ru(rp.data());
+  const TaskResult rback = TaskResult::unpack(ru);
+  EXPECT_DOUBLE_EQ(rback.log_likelihood, -1234.5);
+  EXPECT_EQ(rback.worker, 9);
+}
+
+TEST(TaskEvaluatorTest, FocusTaskOnlyTouchesAttachmentEdges) {
+  Fixture fx(8, 200);
+  TaskEvaluator evaluator(fx.data, SubstModel::jc69(), RateModel::uniform());
+
+  Rng rng(5);
+  Tree tree = random_tree(8, rng);
+  const auto names = fx.data.names();
+  TreeTask task;
+  task.task_id = 1;
+  task.newick = to_newick(tree, names, 17);
+  task.focus_taxon = 4;
+  task.smooth_passes = 3;
+  const TaskResult result = evaluator.evaluate(task);
+  const Tree optimized = tree_from_newick(result.newick, names);
+
+  // Internal node ids are not stable across Newick, so compare the sorted
+  // multiset of lengths away from the attachment junction: it must be
+  // untouched by a focus task.
+  auto lengths_excluding_junction = [](const Tree& t) {
+    const int junction = t.neighbor(4, 0);
+    std::multiset<double> lengths;
+    for (const auto& [u, v] : t.edges()) {
+      if (u == junction || v == junction) continue;
+      lengths.insert(t.length(u, v));
+    }
+    return lengths;
+  };
+  const auto before = lengths_excluding_junction(tree);
+  const auto after = lengths_excluding_junction(optimized);
+  ASSERT_EQ(before.size(), after.size());
+  auto ib = before.begin();
+  auto ia = after.begin();
+  for (; ib != before.end(); ++ib, ++ia) EXPECT_NEAR(*ib, *ia, 1e-12);
+  EXPECT_EQ(robinson_foulds(tree, optimized), 0) << "topology unchanged";
+}
+
+TEST(TaskEvaluatorTest, FullTaskImprovesOnFocusTask) {
+  Fixture fx(8, 300);
+  TaskEvaluator evaluator(fx.data, SubstModel::jc69(), RateModel::uniform());
+  Rng rng(6);
+  Tree tree = random_tree(8, rng);
+  TreeTask focus_task;
+  focus_task.newick = to_newick(tree, fx.data.names(), 17);
+  focus_task.focus_taxon = 2;
+  focus_task.smooth_passes = 2;
+  TreeTask full_task = focus_task;
+  full_task.focus_taxon = -1;
+  full_task.smooth_passes = 8;
+  const double focus_lnl = evaluator.evaluate(focus_task).log_likelihood;
+  const double full_lnl = evaluator.evaluate(full_task).log_likelihood;
+  EXPECT_GE(full_lnl, focus_lnl - 1e-6);
+}
+
+TEST(Search, RecoversSimulatedTopology) {
+  Fixture fx(10, 600);
+  auto runner = fx.runner();
+  SearchOptions options;
+  options.seed = 3;
+  StepwiseSearch search(fx.data, options);
+  const SearchResult result = search.run(runner);
+  const Tree best = tree_from_newick(result.best_newick, fx.data.names());
+  EXPECT_LE(robinson_foulds(best, fx.truth), 2)
+      << "600 JC sites should pin down a 10-taxon Yule tree (almost)";
+  EXPECT_LT(result.best_log_likelihood, 0.0);
+}
+
+TEST(Search, DeterministicForSeed) {
+  Fixture fx(8, 200);
+  auto runner = fx.runner();
+  SearchOptions options;
+  options.seed = 11;
+  StepwiseSearch search(fx.data, options);
+  const SearchResult a = search.run(runner);
+  const SearchResult b = search.run(runner);
+  EXPECT_EQ(a.best_newick, b.best_newick);
+  EXPECT_DOUBLE_EQ(a.best_log_likelihood, b.best_log_likelihood);
+  EXPECT_EQ(a.addition_order, b.addition_order);
+}
+
+TEST(Search, AdditionOrderIsSeededPermutation) {
+  Fixture fx(8, 100);
+  auto runner = fx.runner();
+  SearchOptions options;
+  options.seed = 11;
+  options.rearrange_cross = 0;
+  options.final_rearrange_cross = 0;
+  const SearchResult a = StepwiseSearch(fx.data, options).run(runner);
+  options.seed = 13;
+  const SearchResult b = StepwiseSearch(fx.data, options).run(runner);
+  std::set<int> pa(a.addition_order.begin(), a.addition_order.end());
+  EXPECT_EQ(pa.size(), 8u);
+  EXPECT_NE(a.addition_order, b.addition_order) << "different seeds, different orders";
+}
+
+TEST(Search, TraceHasPaperTaskStructure) {
+  Fixture fx(9, 150);
+  auto runner = fx.runner();
+  SearchOptions options;
+  options.seed = 7;
+  options.rearrange_after_each_addition = false;
+  options.final_rearrange_cross = 1;
+  StepwiseSearch search(fx.data, options);
+  const SearchResult result = search.run(runner);
+  const SearchTrace& trace = result.trace;
+
+  ASSERT_FALSE(trace.rounds.empty());
+  EXPECT_EQ(trace.rounds.front().kind, RoundKind::kInitial);
+  EXPECT_EQ(trace.rounds.front().task_cpu_seconds.size(), 1u);
+
+  // Insertion rounds must offer 2i-5 candidates for the i-th taxon.
+  int expected_taxa = 4;
+  for (const auto& round : trace.rounds) {
+    if (round.kind != RoundKind::kInsertion) continue;
+    EXPECT_EQ(round.taxa_in_tree, expected_taxa);
+    EXPECT_EQ(static_cast<int>(round.task_cpu_seconds.size()),
+              2 * expected_taxa - 5);
+    ++expected_taxa;
+  }
+  EXPECT_EQ(expected_taxa, 10) << "one insertion round per taxon 4..9";
+
+  // Rearrangement rounds at k=1 dispatch at most 2n-6 distinct topologies.
+  for (const auto& round : trace.rounds) {
+    if (round.kind != RoundKind::kRearrange) continue;
+    EXPECT_LE(static_cast<int>(round.task_cpu_seconds.size()),
+              2 * round.taxa_in_tree - 6);
+    EXPECT_GT(round.task_cpu_seconds.size(), 0u);
+  }
+
+  // Byte accounting present for every task.
+  for (const auto& round : trace.rounds) {
+    EXPECT_EQ(round.task_bytes.size(), round.task_cpu_seconds.size());
+    for (std::uint64_t bytes : round.task_bytes) EXPECT_GT(bytes, 0u);
+  }
+  EXPECT_EQ(trace.total_tasks(), result.trees_evaluated);
+}
+
+TEST(Search, EventLikelihoodsImproveWithinRearrangement) {
+  Fixture fx(9, 300);
+  auto runner = fx.runner();
+  SearchOptions options;
+  options.seed = 9;
+  StepwiseSearch search(fx.data, options);
+  const SearchResult result = search.run(runner);
+  ASSERT_FALSE(result.events.empty());
+  EXPECT_EQ(result.events.back().log_likelihood, result.best_log_likelihood);
+  for (std::size_t i = 1; i < result.events.size(); ++i) {
+    if (result.events[i].taxa_in_tree == result.events[i - 1].taxa_in_tree) {
+      EXPECT_GT(result.events[i].log_likelihood,
+                result.events[i - 1].log_likelihood)
+          << "rearrangement events must strictly improve";
+    }
+  }
+}
+
+TEST(Search, FinalRearrangementNeverHurts) {
+  Fixture fx(9, 250);
+  auto runner = fx.runner();
+  SearchOptions no_rearrange;
+  no_rearrange.seed = 15;
+  no_rearrange.rearrange_cross = 0;
+  no_rearrange.final_rearrange_cross = 0;
+  SearchOptions with_rearrange = no_rearrange;
+  with_rearrange.final_rearrange_cross = 2;
+  const SearchResult plain = StepwiseSearch(fx.data, no_rearrange).run(runner);
+  const SearchResult improved =
+      StepwiseSearch(fx.data, with_rearrange).run(runner);
+  EXPECT_GE(improved.best_log_likelihood, plain.best_log_likelihood - 1e-6);
+}
+
+TEST(Search, QuickaddOffStillWorks) {
+  Fixture fx(8, 200);
+  auto runner = fx.runner();
+  SearchOptions options;
+  options.seed = 17;
+  options.quickadd = false;
+  StepwiseSearch search(fx.data, options);
+  const SearchResult result = search.run(runner);
+  EXPECT_LT(result.best_log_likelihood, 0.0);
+  // Without quickadd there are no winner rounds.
+  for (const auto& round : result.trace.rounds) {
+    EXPECT_NE(round.kind, RoundKind::kWinner);
+  }
+}
+
+TEST(Search, RejectsBadOrder) {
+  Fixture fx(8, 100);
+  auto runner = fx.runner();
+  SearchOptions options;
+  StepwiseSearch search(fx.data, options);
+  EXPECT_THROW(search.run(runner, {0, 1, 2, 3, 4, 5, 6, 6}),
+               std::invalid_argument);
+  EXPECT_THROW(search.run(runner, {0, 1, 2}), std::invalid_argument);
+}
+
+TEST(Search, JumblesProduceCountedRunsAndBestIndex) {
+  Fixture fx(8, 200);
+  auto runner = fx.runner();
+  SearchOptions options;
+  options.seed = 2;  // even: adjusted internally
+  const JumbleResult jumbles = run_jumbles(fx.data, options, 3, runner);
+  ASSERT_EQ(jumbles.runs.size(), 3u);
+  for (const auto& run : jumbles.runs) {
+    EXPECT_LE(run.best_log_likelihood,
+              jumbles.runs[jumbles.best_index].best_log_likelihood + 1e-12);
+  }
+  // Orders differ across jumbles (with overwhelming probability).
+  EXPECT_FALSE(jumbles.runs[0].addition_order == jumbles.runs[1].addition_order &&
+               jumbles.runs[1].addition_order == jumbles.runs[2].addition_order);
+}
+
+TEST(Trace, SaveLoadRoundTrip) {
+  Fixture fx(8, 150);
+  auto runner = fx.runner();
+  SearchOptions options;
+  options.seed = 19;
+  StepwiseSearch search(fx.data, options);
+  SearchResult result = search.run(runner);
+  result.trace.dataset = "unit-test dataset";
+
+  std::stringstream buffer;
+  result.trace.save(buffer);
+  const SearchTrace back = SearchTrace::load(buffer);
+  EXPECT_EQ(back.dataset, "unit-test dataset");
+  EXPECT_EQ(back.num_taxa, result.trace.num_taxa);
+  EXPECT_EQ(back.rounds.size(), result.trace.rounds.size());
+  EXPECT_EQ(back.total_tasks(), result.trace.total_tasks());
+  EXPECT_NEAR(back.total_task_seconds(), result.trace.total_task_seconds(), 1e-9);
+  for (std::size_t r = 0; r < back.rounds.size(); ++r) {
+    EXPECT_EQ(back.rounds[r].kind, result.trace.rounds[r].kind);
+    EXPECT_EQ(back.rounds[r].task_bytes, result.trace.rounds[r].task_bytes);
+  }
+}
+
+TEST(Trace, EmptyDatasetLineSurvivesRoundTrip) {
+  // Regression: an empty dataset name used to shift the parse by one line.
+  SearchTrace trace;
+  trace.dataset = "";
+  trace.num_taxa = 5;
+  RoundTrace round;
+  round.kind = RoundKind::kInitial;
+  round.taxa_in_tree = 3;
+  round.task_cpu_seconds = {0.5};
+  round.task_bytes = {100};
+  trace.rounds.push_back(round);
+  std::stringstream buffer;
+  trace.save(buffer);
+  const SearchTrace back = SearchTrace::load(buffer);
+  EXPECT_EQ(back.dataset, "");
+  EXPECT_EQ(back.num_taxa, 5);
+  ASSERT_EQ(back.rounds.size(), 1u);
+  EXPECT_DOUBLE_EQ(back.rounds[0].task_cpu_seconds[0], 0.5);
+}
+
+TEST(Trace, ScaleCostsIsLinear) {
+  SearchTrace trace;
+  RoundTrace round;
+  round.task_cpu_seconds = {1.0, 2.0};
+  round.master_seconds = 0.5;
+  trace.rounds.push_back(round);
+  trace.scale_costs(3.0);
+  EXPECT_DOUBLE_EQ(trace.total_task_seconds(), 9.0);
+  EXPECT_DOUBLE_EQ(trace.total_master_seconds(), 1.5);
+}
+
+}  // namespace
+}  // namespace fdml

@@ -1,0 +1,224 @@
+// Tests for the sequence substrate: alphabet, alignment container, pattern
+// compression, PHYLIP and FASTA I/O.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "seq/alignment.hpp"
+#include "seq/alphabet.hpp"
+#include "seq/phylip.hpp"
+
+namespace fdml {
+namespace {
+
+TEST(Alphabet, SingleBases) {
+  EXPECT_EQ(char_to_code('A'), kBaseA);
+  EXPECT_EQ(char_to_code('c'), kBaseC);
+  EXPECT_EQ(char_to_code('G'), kBaseG);
+  EXPECT_EQ(char_to_code('t'), kBaseT);
+  EXPECT_EQ(char_to_code('U'), kBaseT) << "RNA uracil maps to T";
+}
+
+TEST(Alphabet, AmbiguityCodes) {
+  EXPECT_EQ(char_to_code('R'), kBaseA | kBaseG);
+  EXPECT_EQ(char_to_code('Y'), kBaseC | kBaseT);
+  EXPECT_EQ(char_to_code('N'), kBaseUnknown);
+  EXPECT_EQ(char_to_code('-'), kBaseUnknown) << "gaps are missing data";
+  EXPECT_EQ(char_to_code('?'), kBaseUnknown);
+  EXPECT_EQ(char_to_code('Z'), 0) << "invalid characters map to 0";
+}
+
+TEST(Alphabet, RoundTripThroughChar) {
+  for (int code = 1; code <= 15; ++code) {
+    const char c = code_to_char(static_cast<BaseCode>(code));
+    EXPECT_EQ(char_to_code(c), code) << "code " << code << " char " << c;
+  }
+}
+
+TEST(Alphabet, CardinalityAndAmbiguity) {
+  EXPECT_TRUE(is_unambiguous(kBaseA));
+  EXPECT_FALSE(is_unambiguous(kBaseA | kBaseG));
+  EXPECT_EQ(base_cardinality(kBaseUnknown), 4);
+  EXPECT_EQ(base_cardinality(kBaseA | kBaseC | kBaseT), 3);
+}
+
+TEST(Alphabet, StringConversionRejectsGarbage) {
+  EXPECT_EQ(codes_to_string(string_to_codes("ACGTN-")), "ACGTNN");
+  EXPECT_THROW(string_to_codes("ACJT"), std::invalid_argument);
+}
+
+TEST(Alignment, EnforcesInvariants) {
+  Alignment alignment;
+  alignment.add_sequence("a", string_to_codes("ACGT"));
+  EXPECT_THROW(alignment.add_sequence("b", string_to_codes("ACG")),
+               std::invalid_argument);
+  EXPECT_THROW(alignment.add_sequence("a", string_to_codes("ACGT")),
+               std::invalid_argument);
+  EXPECT_THROW(alignment.add_sequence("", string_to_codes("ACGT")),
+               std::invalid_argument);
+  alignment.add_sequence("b", string_to_codes("AAAA"));
+  EXPECT_EQ(alignment.num_taxa(), 2u);
+  EXPECT_EQ(alignment.num_sites(), 4u);
+  EXPECT_EQ(alignment.find_taxon("b"), 1);
+  EXPECT_EQ(alignment.find_taxon("zzz"), -1);
+}
+
+TEST(Alignment, BaseFrequenciesCountFractionalAmbiguity) {
+  Alignment alignment;
+  alignment.add_sequence("a", string_to_codes("AACC"));
+  alignment.add_sequence("b", string_to_codes("RRNN"));  // R = A/G, N skipped
+  const Vec4 freq = alignment.base_frequencies();
+  // Counts: A: 2 + 2*0.5 = 3, C: 2, G: 2*0.5 = 1, T: 0 -> total 6.
+  EXPECT_NEAR(freq[0], 3.0 / 6.0, 1e-12);
+  EXPECT_NEAR(freq[1], 2.0 / 6.0, 1e-12);
+  EXPECT_NEAR(freq[2], 1.0 / 6.0, 1e-12);
+  EXPECT_NEAR(freq[3], 0.0, 1e-12);
+}
+
+TEST(Alignment, SubsetOperations) {
+  Alignment alignment;
+  alignment.add_sequence("a", string_to_codes("ACGTAC"));
+  alignment.add_sequence("b", string_to_codes("TTGGCC"));
+  alignment.add_sequence("c", string_to_codes("AAAAAA"));
+  const Alignment taxa = alignment.subset_taxa({2, 0});
+  EXPECT_EQ(taxa.num_taxa(), 2u);
+  EXPECT_EQ(taxa.name(0), "c");
+  const Alignment sites = alignment.subset_sites(2, 3);
+  EXPECT_EQ(sites.num_sites(), 3u);
+  EXPECT_EQ(codes_to_string(sites.row(0)), "GTA");
+  EXPECT_THROW(alignment.subset_sites(4, 5), std::out_of_range);
+}
+
+TEST(Patterns, MergesIdenticalColumns) {
+  Alignment alignment;
+  alignment.add_sequence("a", string_to_codes("AAGA"));
+  alignment.add_sequence("b", string_to_codes("CCGC"));
+  alignment.add_sequence("c", string_to_codes("GGGG"));
+  const PatternAlignment patterns(alignment);
+  // Columns 0, 1, 3 identical; column 2 distinct.
+  EXPECT_EQ(patterns.num_patterns(), 2u);
+  EXPECT_EQ(patterns.num_sites(), 4u);
+  EXPECT_DOUBLE_EQ(patterns.total_weight(), 4.0);
+  const std::size_t p0 = patterns.pattern_of_site(0);
+  EXPECT_EQ(patterns.pattern_of_site(1), p0);
+  EXPECT_EQ(patterns.pattern_of_site(3), p0);
+  EXPECT_NE(patterns.pattern_of_site(2), p0);
+  EXPECT_DOUBLE_EQ(patterns.weight(p0), 3.0);
+}
+
+TEST(Patterns, HonorsSiteWeights) {
+  Alignment alignment;
+  alignment.add_sequence("a", string_to_codes("ACG"));
+  alignment.add_sequence("b", string_to_codes("ACG"));
+  alignment.add_sequence("c", string_to_codes("ACG"));
+  const PatternAlignment patterns(alignment, {2, 0, 5});
+  EXPECT_EQ(patterns.num_patterns(), 2u);
+  EXPECT_DOUBLE_EQ(patterns.total_weight(), 7.0);
+  EXPECT_THROW(PatternAlignment(alignment, {1, 1}), std::invalid_argument);
+  EXPECT_THROW(PatternAlignment(alignment, {1, -1, 1}), std::invalid_argument);
+}
+
+TEST(Patterns, AmbiguityDistinguishesPatterns) {
+  Alignment alignment;
+  alignment.add_sequence("a", string_to_codes("AA"));
+  alignment.add_sequence("b", string_to_codes("AR"));
+  alignment.add_sequence("c", string_to_codes("AA"));
+  const PatternAlignment patterns(alignment);
+  EXPECT_EQ(patterns.num_patterns(), 2u) << "A and R columns must not merge";
+}
+
+constexpr const char* kInterleaved =
+    " 3 12\n"
+    "Homo       AAGCTT CACCGG\n"
+    "Pan        AAGCTT TACCGG\n"
+    "Gorilla    AAGCTT CACTGG\n";
+
+constexpr const char* kInterleavedTwoBlocks =
+    " 3 12\n"
+    "Homo       AAGCTT\n"
+    "Pan        AAGCTT\n"
+    "Gorilla    AAGCTT\n"
+    "\n"
+    "CACCGG\n"
+    "TACCGG\n"
+    "CACTGG\n";
+
+constexpr const char* kSequential =
+    "3 12\n"
+    "Homo\n"
+    "AAGCTT\n"
+    "CACCGG\n"
+    "Pan\n"
+    "AAGCTTTACCGG\n"
+    "Gorilla\n"
+    "AAGCTT CACTGG\n";
+
+TEST(Phylip, ReadsInterleavedSingleBlock) {
+  const Alignment a = read_phylip_string(kInterleaved);
+  EXPECT_EQ(a.num_taxa(), 3u);
+  EXPECT_EQ(a.num_sites(), 12u);
+  EXPECT_EQ(a.name(1), "Pan");
+  EXPECT_EQ(codes_to_string(a.row(0)), "AAGCTTCACCGG");
+}
+
+TEST(Phylip, ReadsInterleavedMultipleBlocks) {
+  const Alignment a = read_phylip_string(kInterleavedTwoBlocks);
+  EXPECT_EQ(codes_to_string(a.row(2)), "AAGCTTCACTGG");
+}
+
+TEST(Phylip, ReadsSequentialViaAutoFallback) {
+  const Alignment a = read_phylip_string(kSequential);
+  EXPECT_EQ(a.num_taxa(), 3u);
+  EXPECT_EQ(codes_to_string(a.row(1)), "AAGCTTTACCGG");
+}
+
+TEST(Phylip, AllThreeLayoutsAgree) {
+  const Alignment a = read_phylip_string(kInterleaved, PhylipLayout::kInterleaved);
+  const Alignment b = read_phylip_string(kInterleavedTwoBlocks, PhylipLayout::kInterleaved);
+  const Alignment c = read_phylip_string(kSequential, PhylipLayout::kSequential);
+  EXPECT_TRUE(a == b);
+  EXPECT_TRUE(a == c);
+}
+
+TEST(Phylip, RejectsMalformedInput) {
+  EXPECT_THROW(read_phylip_string("garbage\n"), std::runtime_error);
+  EXPECT_THROW(read_phylip_string(" 2 4\nA AAAA\nB AAAA\n"), std::runtime_error)
+      << "fewer than 3 taxa";
+  EXPECT_THROW(read_phylip_string(" 3 8\nA AAAA\nB AAAA\nC AAAA\n"),
+               std::runtime_error)
+      << "declared more sites than provided";
+}
+
+TEST(Phylip, WriteReadRoundTripBothLayouts) {
+  Alignment alignment;
+  alignment.add_sequence("alpha", string_to_codes(std::string(130, 'A') + "CGT"));
+  alignment.add_sequence("beta_long_name", string_to_codes(std::string(130, 'C') + "GTA"));
+  alignment.add_sequence("g", string_to_codes(std::string(130, 'G') + "TAC"));
+  for (PhylipLayout layout : {PhylipLayout::kInterleaved, PhylipLayout::kSequential}) {
+    std::ostringstream out;
+    write_phylip(out, alignment, layout);
+    const Alignment back = read_phylip_string(out.str(), layout);
+    EXPECT_TRUE(alignment == back);
+  }
+}
+
+TEST(Fasta, RoundTrip) {
+  Alignment alignment;
+  alignment.add_sequence("seq1", string_to_codes("ACGTRYN"));
+  alignment.add_sequence("seq2", string_to_codes("TTTTTTT"));
+  std::ostringstream out;
+  write_fasta(out, alignment);
+  std::istringstream in(out.str());
+  const Alignment back = read_fasta(in);
+  // N and gaps both canonicalize to N; compare canonical forms.
+  EXPECT_EQ(back.num_taxa(), 2u);
+  EXPECT_EQ(codes_to_string(back.row(0)), codes_to_string(alignment.row(0)));
+}
+
+TEST(Fasta, RejectsDataBeforeHeader) {
+  std::istringstream in("ACGT\n>late\nACGT\n");
+  EXPECT_THROW(read_fasta(in), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace fdml
