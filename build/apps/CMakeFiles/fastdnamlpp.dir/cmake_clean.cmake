@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fastdnamlpp.dir/fastdnamlpp.cpp.o"
+  "CMakeFiles/fastdnamlpp.dir/fastdnamlpp.cpp.o.d"
+  "fastdnamlpp"
+  "fastdnamlpp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fastdnamlpp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_falloff.dir/bench_falloff.cpp.o"
+  "CMakeFiles/bench_falloff.dir/bench_falloff.cpp.o.d"
+  "bench_falloff"
+  "bench_falloff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_falloff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ml_vs_parsimony.dir/bench_ml_vs_parsimony.cpp.o"
+  "CMakeFiles/bench_ml_vs_parsimony.dir/bench_ml_vs_parsimony.cpp.o.d"
+  "bench_ml_vs_parsimony"
+  "bench_ml_vs_parsimony.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ml_vs_parsimony.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

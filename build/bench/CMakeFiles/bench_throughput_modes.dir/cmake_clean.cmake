@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_throughput_modes.dir/bench_throughput_modes.cpp.o"
+  "CMakeFiles/bench_throughput_modes.dir/bench_throughput_modes.cpp.o.d"
+  "bench_throughput_modes"
+  "bench_throughput_modes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_throughput_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

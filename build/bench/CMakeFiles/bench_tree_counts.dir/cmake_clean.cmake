@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tree_counts.dir/bench_tree_counts.cpp.o"
+  "CMakeFiles/bench_tree_counts.dir/bench_tree_counts.cpp.o.d"
+  "bench_tree_counts"
+  "bench_tree_counts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tree_counts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

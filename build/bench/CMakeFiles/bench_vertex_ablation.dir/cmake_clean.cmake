@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_vertex_ablation.dir/bench_vertex_ablation.cpp.o"
+  "CMakeFiles/bench_vertex_ablation.dir/bench_vertex_ablation.cpp.o.d"
+  "bench_vertex_ablation"
+  "bench_vertex_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_vertex_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

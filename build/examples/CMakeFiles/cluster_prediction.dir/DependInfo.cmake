@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/cluster_prediction.cpp" "examples/CMakeFiles/cluster_prediction.dir/cluster_prediction.cpp.o" "gcc" "examples/CMakeFiles/cluster_prediction.dir/cluster_prediction.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fdml_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fdml_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fdml_simcluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fdml_search.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fdml_likelihood.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fdml_viz.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fdml_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fdml_nstate.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fdml_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fdml_seq.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fdml_tree.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fdml_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

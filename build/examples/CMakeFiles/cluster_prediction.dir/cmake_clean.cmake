@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_prediction.dir/cluster_prediction.cpp.o"
+  "CMakeFiles/cluster_prediction.dir/cluster_prediction.cpp.o.d"
+  "cluster_prediction"
+  "cluster_prediction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

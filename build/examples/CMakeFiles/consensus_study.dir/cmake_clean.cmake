@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/consensus_study.dir/consensus_study.cpp.o"
+  "CMakeFiles/consensus_study.dir/consensus_study.cpp.o.d"
+  "consensus_study"
+  "consensus_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/consensus_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protein_and_gaps.dir/protein_and_gaps.cpp.o"
+  "CMakeFiles/protein_and_gaps.dir/protein_and_gaps.cpp.o.d"
+  "protein_and_gaps"
+  "protein_and_gaps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protein_and_gaps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

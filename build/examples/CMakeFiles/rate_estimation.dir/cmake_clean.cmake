@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rate_estimation.dir/rate_estimation.cpp.o"
+  "CMakeFiles/rate_estimation.dir/rate_estimation.cpp.o.d"
+  "rate_estimation"
+  "rate_estimation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rate_estimation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

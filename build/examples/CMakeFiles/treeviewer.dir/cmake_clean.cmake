@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/treeviewer.dir/treeviewer.cpp.o"
+  "CMakeFiles/treeviewer.dir/treeviewer.cpp.o.d"
+  "treeviewer"
+  "treeviewer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/treeviewer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fdml_baseline.dir/baseline/nj.cpp.o"
+  "CMakeFiles/fdml_baseline.dir/baseline/nj.cpp.o.d"
+  "CMakeFiles/fdml_baseline.dir/baseline/parsimony.cpp.o"
+  "CMakeFiles/fdml_baseline.dir/baseline/parsimony.cpp.o.d"
+  "libfdml_baseline.a"
+  "libfdml_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fdml_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fdml_comm.dir/comm/transport.cpp.o"
+  "CMakeFiles/fdml_comm.dir/comm/transport.cpp.o.d"
+  "libfdml_comm.a"
+  "libfdml_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fdml_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

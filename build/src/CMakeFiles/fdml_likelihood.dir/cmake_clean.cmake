@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fdml_likelihood.dir/likelihood/engine.cpp.o"
+  "CMakeFiles/fdml_likelihood.dir/likelihood/engine.cpp.o.d"
+  "CMakeFiles/fdml_likelihood.dir/likelihood/evaluator.cpp.o"
+  "CMakeFiles/fdml_likelihood.dir/likelihood/evaluator.cpp.o.d"
+  "CMakeFiles/fdml_likelihood.dir/likelihood/optimize.cpp.o"
+  "CMakeFiles/fdml_likelihood.dir/likelihood/optimize.cpp.o.d"
+  "CMakeFiles/fdml_likelihood.dir/likelihood/site_rates.cpp.o"
+  "CMakeFiles/fdml_likelihood.dir/likelihood/site_rates.cpp.o.d"
+  "libfdml_likelihood.a"
+  "libfdml_likelihood.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fdml_likelihood.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fdml_model.dir/model/rates.cpp.o"
+  "CMakeFiles/fdml_model.dir/model/rates.cpp.o.d"
+  "CMakeFiles/fdml_model.dir/model/simulate.cpp.o"
+  "CMakeFiles/fdml_model.dir/model/simulate.cpp.o.d"
+  "CMakeFiles/fdml_model.dir/model/submodel.cpp.o"
+  "CMakeFiles/fdml_model.dir/model/submodel.cpp.o.d"
+  "libfdml_model.a"
+  "libfdml_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fdml_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

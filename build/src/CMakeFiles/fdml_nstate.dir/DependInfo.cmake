@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nstate/alphabet.cpp" "src/CMakeFiles/fdml_nstate.dir/nstate/alphabet.cpp.o" "gcc" "src/CMakeFiles/fdml_nstate.dir/nstate/alphabet.cpp.o.d"
+  "/root/repo/src/nstate/data.cpp" "src/CMakeFiles/fdml_nstate.dir/nstate/data.cpp.o" "gcc" "src/CMakeFiles/fdml_nstate.dir/nstate/data.cpp.o.d"
+  "/root/repo/src/nstate/engine.cpp" "src/CMakeFiles/fdml_nstate.dir/nstate/engine.cpp.o" "gcc" "src/CMakeFiles/fdml_nstate.dir/nstate/engine.cpp.o.d"
+  "/root/repo/src/nstate/model.cpp" "src/CMakeFiles/fdml_nstate.dir/nstate/model.cpp.o" "gcc" "src/CMakeFiles/fdml_nstate.dir/nstate/model.cpp.o.d"
+  "/root/repo/src/nstate/simulate.cpp" "src/CMakeFiles/fdml_nstate.dir/nstate/simulate.cpp.o" "gcc" "src/CMakeFiles/fdml_nstate.dir/nstate/simulate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fdml_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fdml_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fdml_tree.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fdml_seq.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

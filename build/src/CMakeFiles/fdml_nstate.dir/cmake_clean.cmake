@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fdml_nstate.dir/nstate/alphabet.cpp.o"
+  "CMakeFiles/fdml_nstate.dir/nstate/alphabet.cpp.o.d"
+  "CMakeFiles/fdml_nstate.dir/nstate/data.cpp.o"
+  "CMakeFiles/fdml_nstate.dir/nstate/data.cpp.o.d"
+  "CMakeFiles/fdml_nstate.dir/nstate/engine.cpp.o"
+  "CMakeFiles/fdml_nstate.dir/nstate/engine.cpp.o.d"
+  "CMakeFiles/fdml_nstate.dir/nstate/model.cpp.o"
+  "CMakeFiles/fdml_nstate.dir/nstate/model.cpp.o.d"
+  "CMakeFiles/fdml_nstate.dir/nstate/simulate.cpp.o"
+  "CMakeFiles/fdml_nstate.dir/nstate/simulate.cpp.o.d"
+  "libfdml_nstate.a"
+  "libfdml_nstate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fdml_nstate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

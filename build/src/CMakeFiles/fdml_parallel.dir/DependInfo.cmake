@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/parallel/cluster.cpp" "src/CMakeFiles/fdml_parallel.dir/parallel/cluster.cpp.o" "gcc" "src/CMakeFiles/fdml_parallel.dir/parallel/cluster.cpp.o.d"
+  "/root/repo/src/parallel/foreman.cpp" "src/CMakeFiles/fdml_parallel.dir/parallel/foreman.cpp.o" "gcc" "src/CMakeFiles/fdml_parallel.dir/parallel/foreman.cpp.o.d"
+  "/root/repo/src/parallel/monitor.cpp" "src/CMakeFiles/fdml_parallel.dir/parallel/monitor.cpp.o" "gcc" "src/CMakeFiles/fdml_parallel.dir/parallel/monitor.cpp.o.d"
+  "/root/repo/src/parallel/protocol.cpp" "src/CMakeFiles/fdml_parallel.dir/parallel/protocol.cpp.o" "gcc" "src/CMakeFiles/fdml_parallel.dir/parallel/protocol.cpp.o.d"
+  "/root/repo/src/parallel/worker.cpp" "src/CMakeFiles/fdml_parallel.dir/parallel/worker.cpp.o" "gcc" "src/CMakeFiles/fdml_parallel.dir/parallel/worker.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fdml_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fdml_search.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fdml_likelihood.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fdml_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fdml_tree.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fdml_seq.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fdml_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

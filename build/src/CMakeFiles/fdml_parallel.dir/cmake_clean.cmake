@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fdml_parallel.dir/parallel/cluster.cpp.o"
+  "CMakeFiles/fdml_parallel.dir/parallel/cluster.cpp.o.d"
+  "CMakeFiles/fdml_parallel.dir/parallel/foreman.cpp.o"
+  "CMakeFiles/fdml_parallel.dir/parallel/foreman.cpp.o.d"
+  "CMakeFiles/fdml_parallel.dir/parallel/monitor.cpp.o"
+  "CMakeFiles/fdml_parallel.dir/parallel/monitor.cpp.o.d"
+  "CMakeFiles/fdml_parallel.dir/parallel/protocol.cpp.o"
+  "CMakeFiles/fdml_parallel.dir/parallel/protocol.cpp.o.d"
+  "CMakeFiles/fdml_parallel.dir/parallel/worker.cpp.o"
+  "CMakeFiles/fdml_parallel.dir/parallel/worker.cpp.o.d"
+  "libfdml_parallel.a"
+  "libfdml_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fdml_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/search/bootstrap.cpp" "src/CMakeFiles/fdml_search.dir/search/bootstrap.cpp.o" "gcc" "src/CMakeFiles/fdml_search.dir/search/bootstrap.cpp.o.d"
+  "/root/repo/src/search/runner.cpp" "src/CMakeFiles/fdml_search.dir/search/runner.cpp.o" "gcc" "src/CMakeFiles/fdml_search.dir/search/runner.cpp.o.d"
+  "/root/repo/src/search/search.cpp" "src/CMakeFiles/fdml_search.dir/search/search.cpp.o" "gcc" "src/CMakeFiles/fdml_search.dir/search/search.cpp.o.d"
+  "/root/repo/src/search/task.cpp" "src/CMakeFiles/fdml_search.dir/search/task.cpp.o" "gcc" "src/CMakeFiles/fdml_search.dir/search/task.cpp.o.d"
+  "/root/repo/src/search/task_evaluator.cpp" "src/CMakeFiles/fdml_search.dir/search/task_evaluator.cpp.o" "gcc" "src/CMakeFiles/fdml_search.dir/search/task_evaluator.cpp.o.d"
+  "/root/repo/src/search/trace.cpp" "src/CMakeFiles/fdml_search.dir/search/trace.cpp.o" "gcc" "src/CMakeFiles/fdml_search.dir/search/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fdml_likelihood.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fdml_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fdml_tree.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fdml_seq.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fdml_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

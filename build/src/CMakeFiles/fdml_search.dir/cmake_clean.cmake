@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fdml_search.dir/search/bootstrap.cpp.o"
+  "CMakeFiles/fdml_search.dir/search/bootstrap.cpp.o.d"
+  "CMakeFiles/fdml_search.dir/search/runner.cpp.o"
+  "CMakeFiles/fdml_search.dir/search/runner.cpp.o.d"
+  "CMakeFiles/fdml_search.dir/search/search.cpp.o"
+  "CMakeFiles/fdml_search.dir/search/search.cpp.o.d"
+  "CMakeFiles/fdml_search.dir/search/task.cpp.o"
+  "CMakeFiles/fdml_search.dir/search/task.cpp.o.d"
+  "CMakeFiles/fdml_search.dir/search/task_evaluator.cpp.o"
+  "CMakeFiles/fdml_search.dir/search/task_evaluator.cpp.o.d"
+  "CMakeFiles/fdml_search.dir/search/trace.cpp.o"
+  "CMakeFiles/fdml_search.dir/search/trace.cpp.o.d"
+  "libfdml_search.a"
+  "libfdml_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fdml_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/seq/alignment.cpp" "src/CMakeFiles/fdml_seq.dir/seq/alignment.cpp.o" "gcc" "src/CMakeFiles/fdml_seq.dir/seq/alignment.cpp.o.d"
+  "/root/repo/src/seq/alphabet.cpp" "src/CMakeFiles/fdml_seq.dir/seq/alphabet.cpp.o" "gcc" "src/CMakeFiles/fdml_seq.dir/seq/alphabet.cpp.o.d"
+  "/root/repo/src/seq/phylip.cpp" "src/CMakeFiles/fdml_seq.dir/seq/phylip.cpp.o" "gcc" "src/CMakeFiles/fdml_seq.dir/seq/phylip.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fdml_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fdml_seq.dir/seq/alignment.cpp.o"
+  "CMakeFiles/fdml_seq.dir/seq/alignment.cpp.o.d"
+  "CMakeFiles/fdml_seq.dir/seq/alphabet.cpp.o"
+  "CMakeFiles/fdml_seq.dir/seq/alphabet.cpp.o.d"
+  "CMakeFiles/fdml_seq.dir/seq/phylip.cpp.o"
+  "CMakeFiles/fdml_seq.dir/seq/phylip.cpp.o.d"
+  "libfdml_seq.a"
+  "libfdml_seq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fdml_seq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simcluster/simulator.cpp" "src/CMakeFiles/fdml_simcluster.dir/simcluster/simulator.cpp.o" "gcc" "src/CMakeFiles/fdml_simcluster.dir/simcluster/simulator.cpp.o.d"
+  "/root/repo/src/simcluster/workload.cpp" "src/CMakeFiles/fdml_simcluster.dir/simcluster/workload.cpp.o" "gcc" "src/CMakeFiles/fdml_simcluster.dir/simcluster/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fdml_search.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fdml_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fdml_likelihood.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fdml_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fdml_tree.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fdml_seq.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

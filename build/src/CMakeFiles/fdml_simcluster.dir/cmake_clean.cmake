@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fdml_simcluster.dir/simcluster/simulator.cpp.o"
+  "CMakeFiles/fdml_simcluster.dir/simcluster/simulator.cpp.o.d"
+  "CMakeFiles/fdml_simcluster.dir/simcluster/workload.cpp.o"
+  "CMakeFiles/fdml_simcluster.dir/simcluster/workload.cpp.o.d"
+  "libfdml_simcluster.a"
+  "libfdml_simcluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fdml_simcluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tree/consensus.cpp" "src/CMakeFiles/fdml_tree.dir/tree/consensus.cpp.o" "gcc" "src/CMakeFiles/fdml_tree.dir/tree/consensus.cpp.o.d"
+  "/root/repo/src/tree/counting.cpp" "src/CMakeFiles/fdml_tree.dir/tree/counting.cpp.o" "gcc" "src/CMakeFiles/fdml_tree.dir/tree/counting.cpp.o.d"
+  "/root/repo/src/tree/general_tree.cpp" "src/CMakeFiles/fdml_tree.dir/tree/general_tree.cpp.o" "gcc" "src/CMakeFiles/fdml_tree.dir/tree/general_tree.cpp.o.d"
+  "/root/repo/src/tree/neighborhood.cpp" "src/CMakeFiles/fdml_tree.dir/tree/neighborhood.cpp.o" "gcc" "src/CMakeFiles/fdml_tree.dir/tree/neighborhood.cpp.o.d"
+  "/root/repo/src/tree/newick.cpp" "src/CMakeFiles/fdml_tree.dir/tree/newick.cpp.o" "gcc" "src/CMakeFiles/fdml_tree.dir/tree/newick.cpp.o.d"
+  "/root/repo/src/tree/random.cpp" "src/CMakeFiles/fdml_tree.dir/tree/random.cpp.o" "gcc" "src/CMakeFiles/fdml_tree.dir/tree/random.cpp.o.d"
+  "/root/repo/src/tree/splits.cpp" "src/CMakeFiles/fdml_tree.dir/tree/splits.cpp.o" "gcc" "src/CMakeFiles/fdml_tree.dir/tree/splits.cpp.o.d"
+  "/root/repo/src/tree/tree.cpp" "src/CMakeFiles/fdml_tree.dir/tree/tree.cpp.o" "gcc" "src/CMakeFiles/fdml_tree.dir/tree/tree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fdml_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fdml_tree.dir/tree/consensus.cpp.o"
+  "CMakeFiles/fdml_tree.dir/tree/consensus.cpp.o.d"
+  "CMakeFiles/fdml_tree.dir/tree/counting.cpp.o"
+  "CMakeFiles/fdml_tree.dir/tree/counting.cpp.o.d"
+  "CMakeFiles/fdml_tree.dir/tree/general_tree.cpp.o"
+  "CMakeFiles/fdml_tree.dir/tree/general_tree.cpp.o.d"
+  "CMakeFiles/fdml_tree.dir/tree/neighborhood.cpp.o"
+  "CMakeFiles/fdml_tree.dir/tree/neighborhood.cpp.o.d"
+  "CMakeFiles/fdml_tree.dir/tree/newick.cpp.o"
+  "CMakeFiles/fdml_tree.dir/tree/newick.cpp.o.d"
+  "CMakeFiles/fdml_tree.dir/tree/random.cpp.o"
+  "CMakeFiles/fdml_tree.dir/tree/random.cpp.o.d"
+  "CMakeFiles/fdml_tree.dir/tree/splits.cpp.o"
+  "CMakeFiles/fdml_tree.dir/tree/splits.cpp.o.d"
+  "CMakeFiles/fdml_tree.dir/tree/tree.cpp.o"
+  "CMakeFiles/fdml_tree.dir/tree/tree.cpp.o.d"
+  "libfdml_tree.a"
+  "libfdml_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fdml_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/cli.cpp" "src/CMakeFiles/fdml_util.dir/util/cli.cpp.o" "gcc" "src/CMakeFiles/fdml_util.dir/util/cli.cpp.o.d"
+  "/root/repo/src/util/linalg.cpp" "src/CMakeFiles/fdml_util.dir/util/linalg.cpp.o" "gcc" "src/CMakeFiles/fdml_util.dir/util/linalg.cpp.o.d"
+  "/root/repo/src/util/log.cpp" "src/CMakeFiles/fdml_util.dir/util/log.cpp.o" "gcc" "src/CMakeFiles/fdml_util.dir/util/log.cpp.o.d"
+  "/root/repo/src/util/lognumber.cpp" "src/CMakeFiles/fdml_util.dir/util/lognumber.cpp.o" "gcc" "src/CMakeFiles/fdml_util.dir/util/lognumber.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/fdml_util.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/fdml_util.dir/util/rng.cpp.o.d"
+  "/root/repo/src/util/special.cpp" "src/CMakeFiles/fdml_util.dir/util/special.cpp.o" "gcc" "src/CMakeFiles/fdml_util.dir/util/special.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

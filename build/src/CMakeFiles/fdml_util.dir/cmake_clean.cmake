@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fdml_util.dir/util/cli.cpp.o"
+  "CMakeFiles/fdml_util.dir/util/cli.cpp.o.d"
+  "CMakeFiles/fdml_util.dir/util/linalg.cpp.o"
+  "CMakeFiles/fdml_util.dir/util/linalg.cpp.o.d"
+  "CMakeFiles/fdml_util.dir/util/log.cpp.o"
+  "CMakeFiles/fdml_util.dir/util/log.cpp.o.d"
+  "CMakeFiles/fdml_util.dir/util/lognumber.cpp.o"
+  "CMakeFiles/fdml_util.dir/util/lognumber.cpp.o.d"
+  "CMakeFiles/fdml_util.dir/util/rng.cpp.o"
+  "CMakeFiles/fdml_util.dir/util/rng.cpp.o.d"
+  "CMakeFiles/fdml_util.dir/util/special.cpp.o"
+  "CMakeFiles/fdml_util.dir/util/special.cpp.o.d"
+  "libfdml_util.a"
+  "libfdml_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fdml_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfdml_util.a"
+)

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/viz/ascii.cpp" "src/CMakeFiles/fdml_viz.dir/viz/ascii.cpp.o" "gcc" "src/CMakeFiles/fdml_viz.dir/viz/ascii.cpp.o.d"
+  "/root/repo/src/viz/layout.cpp" "src/CMakeFiles/fdml_viz.dir/viz/layout.cpp.o" "gcc" "src/CMakeFiles/fdml_viz.dir/viz/layout.cpp.o.d"
+  "/root/repo/src/viz/svg.cpp" "src/CMakeFiles/fdml_viz.dir/viz/svg.cpp.o" "gcc" "src/CMakeFiles/fdml_viz.dir/viz/svg.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fdml_tree.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fdml_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fdml_viz.dir/viz/ascii.cpp.o"
+  "CMakeFiles/fdml_viz.dir/viz/ascii.cpp.o.d"
+  "CMakeFiles/fdml_viz.dir/viz/layout.cpp.o"
+  "CMakeFiles/fdml_viz.dir/viz/layout.cpp.o.d"
+  "CMakeFiles/fdml_viz.dir/viz/svg.cpp.o"
+  "CMakeFiles/fdml_viz.dir/viz/svg.cpp.o.d"
+  "libfdml_viz.a"
+  "libfdml_viz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fdml_viz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

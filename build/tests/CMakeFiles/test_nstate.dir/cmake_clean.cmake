@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nstate.dir/test_nstate.cpp.o"
+  "CMakeFiles/test_nstate.dir/test_nstate.cpp.o.d"
+  "test_nstate"
+  "test_nstate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nstate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

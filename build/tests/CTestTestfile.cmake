@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(test_util "/root/repo/build/tests/test_util")
+set_tests_properties(test_util PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;11;fdml_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_seq "/root/repo/build/tests/test_seq")
+set_tests_properties(test_seq PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;11;fdml_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_tree "/root/repo/build/tests/test_tree")
+set_tests_properties(test_tree PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;11;fdml_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_model "/root/repo/build/tests/test_model")
+set_tests_properties(test_model PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;11;fdml_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_likelihood "/root/repo/build/tests/test_likelihood")
+set_tests_properties(test_likelihood PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;11;fdml_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_search "/root/repo/build/tests/test_search")
+set_tests_properties(test_search PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;11;fdml_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_parallel "/root/repo/build/tests/test_parallel")
+set_tests_properties(test_parallel PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;11;fdml_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_simcluster "/root/repo/build/tests/test_simcluster")
+set_tests_properties(test_simcluster PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;11;fdml_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_viz "/root/repo/build/tests/test_viz")
+set_tests_properties(test_viz PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;11;fdml_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_baseline "/root/repo/build/tests/test_baseline")
+set_tests_properties(test_baseline PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;11;fdml_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_extensions "/root/repo/build/tests/test_extensions")
+set_tests_properties(test_extensions PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;11;fdml_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_nstate "/root/repo/build/tests/test_nstate")
+set_tests_properties(test_nstate PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;11;fdml_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_integration "/root/repo/build/tests/test_integration")
+set_tests_properties(test_integration PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;11;fdml_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_checkpoint "/root/repo/build/tests/test_checkpoint")
+set_tests_properties(test_checkpoint PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;11;fdml_add_test;/root/repo/tests/CMakeLists.txt;0;")
