@@ -41,6 +41,21 @@ void BM_TransitionWithDerivatives(benchmark::State& state) {
 }
 BENCHMARK(BM_TransitionWithDerivatives);
 
+void BM_TransitionMatrixCached(benchmark::State& state) {
+  TransitionCache cache(512);
+  Mat4 p{};
+  int i = 0;
+  for (auto _ : state) {
+    // Cycle a fixed set of lengths: steady-state behaviour of smoothing,
+    // where the same effective lengths recur pass after pass.
+    cache.transition(f84_model(), 0.01 + i * 1e-3, p);
+    benchmark::DoNotOptimize(p);
+    i = (i + 1) & 63;
+  }
+  state.counters["hit_rate"] = cache.hit_rate();
+}
+BENCHMARK(BM_TransitionMatrixCached);
+
 struct EngineFixture {
   EngineFixture(int taxa, std::size_t sites)
       : alignment(make_paper_like_dataset(taxa, sites, 7)),
@@ -82,6 +97,10 @@ void BM_EdgeLikelihoodEvaluate(benchmark::State& state) {
     benchmark::DoNotOptimize(f.evaluate(t, &d1, &d2));
     t = t < 0.5 ? t + 1e-4 : 0.05;
   }
+  const KernelCounters counters = fx.engine.counters();
+  state.counters["cache_hit_rate"] = counters.transition_hit_rate();
+  state.counters["scratch_MB_reused"] =
+      static_cast<double>(counters.scratch_bytes_reused) / (1024.0 * 1024.0);
 }
 BENCHMARK(BM_EdgeLikelihoodEvaluate);
 
@@ -97,6 +116,7 @@ void BM_NewtonOptimizeEdge(benchmark::State& state) {
     benchmark::DoNotOptimize(optimizer.optimize_edge(fx.tree, u, v));
     ++e;
   }
+  state.counters["cache_hit_rate"] = fx.engine.counters().transition_hit_rate();
 }
 BENCHMARK(BM_NewtonOptimizeEdge);
 

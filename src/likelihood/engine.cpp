@@ -1,5 +1,7 @@
 #include "likelihood/engine.hpp"
 
+#include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <stdexcept>
 #include <utility>
@@ -14,6 +16,76 @@ constexpr double kScaleThreshold = 0x1.0p-256;
 constexpr double kScaleFactor = 0x1.0p+256;
 constexpr double kLogScaleStep = 256.0 * 0.6931471805599453;  // 256 ln 2
 
+// Log-likelihood assigned to a zero-probability pattern (cannot happen with
+// valid data; keeps the optimizer finite instead of emitting -inf/NaN).
+constexpr double kZeroPatternLogPenalty = -1e30;
+
+// Patterns per tile of the blocked CLV kernel: one block of every
+// category's output plus both child blocks stays L1-resident, and the
+// scaling pass touches each block while it is still hot.
+constexpr std::size_t kPatternBlock = 64;
+
+using KernelClock = std::chrono::steady_clock;
+
+std::uint64_t elapsed_ns(KernelClock::time_point start) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(KernelClock::now() -
+                                                           start)
+          .count());
+}
+
+// One tile of the CLV combine: out[pat][i] = left_i(pat) * right_i(pat)
+// where each factor is either a 16-code table lookup (tip child) or a
+// P-row dot with the child CLV (internal child). The tip tables are built
+// in ascending-j order over set bits, so the tip path is bit-for-bit the
+// dense indicator dot it replaces.
+template <bool ATip, bool BTip>
+void clv_block(std::size_t begin, std::size_t end, const double* a,
+               const double* b, const std::uint8_t* a_codes,
+               const std::uint8_t* b_codes, const Mat4& pa, const Mat4& pb,
+               const double* a_tab, const double* b_tab, double* out) {
+  for (std::size_t pat = begin; pat < end; ++pat) {
+    double left[4];
+    double right[4];
+    if constexpr (ATip) {
+      const double* entry = a_tab + static_cast<std::size_t>(a_codes[pat]) * 4;
+      for (int i = 0; i < 4; ++i) left[i] = entry[i];
+    } else {
+      const double* av = a + pat * 4;
+      for (int i = 0; i < 4; ++i) {
+        left[i] = pa[i][0] * av[0] + pa[i][1] * av[1] + pa[i][2] * av[2] +
+                  pa[i][3] * av[3];
+      }
+    }
+    if constexpr (BTip) {
+      const double* entry = b_tab + static_cast<std::size_t>(b_codes[pat]) * 4;
+      for (int i = 0; i < 4; ++i) right[i] = entry[i];
+    } else {
+      const double* bv = b + pat * 4;
+      for (int i = 0; i < 4; ++i) {
+        right[i] = pb[i][0] * bv[0] + pb[i][1] * bv[1] + pb[i][2] * bv[2] +
+                   pb[i][3] * bv[3];
+      }
+    }
+    double* ov = out + pat * 4;
+    for (int i = 0; i < 4; ++i) ov[i] = left[i] * right[i];
+  }
+}
+
+// tab[code][i] = sum over set bits j of code of p[i][j], ascending j —
+// the dense 0/1-indicator dot product with the zero terms skipped.
+void build_tip_table(const Mat4& p, double* tab) {
+  for (int code = 0; code < 16; ++code) {
+    for (int i = 0; i < 4; ++i) {
+      double s = 0.0;
+      for (int j = 0; j < 4; ++j) {
+        if ((code >> j) & 1) s += p[i][j];
+      }
+      tab[code * 4 + i] = s;
+    }
+  }
+}
+
 }  // namespace
 
 LikelihoodEngine::LikelihoodEngine(const PatternAlignment& data,
@@ -25,20 +97,58 @@ LikelihoodEngine::LikelihoodEngine(const PatternAlignment& data,
       // NB: read rates_ (the member), not the moved-from parameter.
       num_categories_(rates_.num_categories()) {
   build_tip_clvs();
+
+  // Preallocate every kernel arena once; the hot path never allocates.
+  lam_.resize(num_categories_ * 4);
+  rebuild_model_tables();
+  clv_p_.resize(2 * num_categories_);
+  tip_tab_.assign(2 * num_categories_ * 64, 0.0);
+  edge_coeff_.assign(num_categories_ * num_patterns_ * 4, 0.0);
+  edge_site_.assign(num_patterns_, 0.0);
+  edge_site_d1_.assign(num_patterns_, 0.0);
+  edge_site_d2_.assign(num_patterns_, 0.0);
+  edge_ws_.coeff = edge_coeff_.data();
+  edge_ws_.lam = lam_.data();
+  edge_ws_.site = edge_site_.data();
+  edge_ws_.site_d1 = edge_site_d1_.data();
+  edge_ws_.site_d2 = edge_site_d2_.data();
 }
 
 void LikelihoodEngine::build_tip_clvs() {
   const std::size_t num_taxa = data_.num_taxa();
   tip_clvs_.assign(num_taxa * num_patterns_ * 4, 0.0);
+  tip_codes_.assign(num_taxa * num_patterns_, 0);
   for (std::size_t t = 0; t < num_taxa; ++t) {
     for (std::size_t p = 0; p < num_patterns_; ++p) {
       const BaseCode code = data_.at(t, p);
+      tip_codes_[t * num_patterns_ + p] = code;
       double* entry = &tip_clvs_[(t * num_patterns_ + p) * 4];
       for (int s = 0; s < 4; ++s) {
         entry[s] = (code & base_from_index(s)) ? 1.0 : 0.0;
       }
     }
   }
+}
+
+void LikelihoodEngine::rebuild_model_tables() {
+  const Mat4& right = model_.right_eigenvectors();
+  const Vec4& pi = model_.frequencies();
+  const Vec4& lambda = model_.eigenvalues();
+  for (int k = 0; k < 4; ++k) {
+    for (int i = 0; i < 4; ++i) pr_[k][i] = pi[i] * right[i][k];
+  }
+  for (std::size_t cat = 0; cat < num_categories_; ++cat) {
+    for (int k = 0; k < 4; ++k) {
+      lam_[cat * 4 + k] = lambda[k] * rates_.rate(cat);
+    }
+  }
+}
+
+void LikelihoodEngine::set_model(SubstModel model) {
+  model_ = std::move(model);
+  rebuild_model_tables();  // fills in place; workspace pointers stay valid
+  cache_.invalidate();
+  invalidate_all();
 }
 
 void LikelihoodEngine::attach(const Tree& tree) {
@@ -80,8 +190,12 @@ void LikelihoodEngine::compute_internal_clv(int u, int slot) {
   // Tips are handled inline by callers via tip_clvs_; this is internal-only.
   const std::size_t stride = num_patterns_ * 4;
   Clv& clv = clvs_[key(u, slot)];
+  const bool storage_reused = clv.values.size() == num_categories_ * stride;
   clv.values.resize(num_categories_ * stride);
   clv.scale.assign(num_patterns_, 0);
+  if (storage_reused) {
+    counters_.scratch_bytes_reused += clv.values.size() * sizeof(double);
+  }
 
   // The two neighbors other than the direction `slot` points to.
   int children[2];
@@ -96,74 +210,106 @@ void LikelihoodEngine::compute_internal_clv(int u, int slot) {
     ++child_count;
   }
 
-  // Resolve child CLV storage (recursing first so pointers stay stable).
+  // Resolve child CLV storage (recursing first so pointers stay stable, and
+  // so the kernel timer below does not double-count nested computations).
   const double* child_values[2];
+  const std::uint8_t* child_codes[2];
   const std::int32_t* child_scales[2];
-  bool child_has_cats[2];
+  bool child_is_tip[2];
   for (int c = 0; c < 2; ++c) {
     const int node = children[c];
     if (tree_->is_tip(node)) {
       child_values[c] = &tip_clvs_[static_cast<std::size_t>(node) * stride];
+      child_codes[c] = &tip_codes_[static_cast<std::size_t>(node) * num_patterns_];
       child_scales[c] = nullptr;
-      child_has_cats[c] = false;
+      child_is_tip[c] = true;
     } else {
       const int back = tree_->find_slot(node, u);
       const Clv& child = ensure_clv(node, back);
       child_values[c] = child.values.data();
+      child_codes[c] = nullptr;
       child_scales[c] = child.scale.data();
-      child_has_cats[c] = true;
+      child_is_tip[c] = false;
     }
   }
 
-  Mat4 p0{};
-  Mat4 p1{};
+  const auto kernel_start = KernelClock::now();
+
+  // Per-category transition matrices (cache-served) and tip lookup tables,
+  // staged into preallocated scratch before the tiled sweep.
   for (std::size_t cat = 0; cat < num_categories_; ++cat) {
     const double rate = rates_.rate(cat);
-    model_.transition(lengths[0] * rate, p0);
-    model_.transition(lengths[1] * rate, p1);
-    const double* a = child_values[0] + (child_has_cats[0] ? cat * stride : 0);
-    const double* b = child_values[1] + (child_has_cats[1] ? cat * stride : 0);
-    double* out = &clv.values[cat * stride];
-    for (std::size_t pat = 0; pat < num_patterns_; ++pat) {
-      const double* av = a + pat * 4;
-      const double* bv = b + pat * 4;
-      double* ov = out + pat * 4;
-      for (int i = 0; i < 4; ++i) {
-        const double left = p0[i][0] * av[0] + p0[i][1] * av[1] +
-                            p0[i][2] * av[2] + p0[i][3] * av[3];
-        const double right = p1[i][0] * bv[0] + p1[i][1] * bv[1] +
-                             p1[i][2] * bv[2] + p1[i][3] * bv[3];
-        ov[i] = left * right;
+    for (int c = 0; c < 2; ++c) {
+      Mat4& p = clv_p_[static_cast<std::size_t>(c) * num_categories_ + cat];
+      cache_.transition(model_, lengths[c] * rate, p);
+      if (child_is_tip[c]) {
+        build_tip_table(
+            p, &tip_tab_[(static_cast<std::size_t>(c) * num_categories_ + cat) * 64]);
       }
     }
   }
+  counters_.scratch_bytes_reused +=
+      clv_p_.size() * sizeof(Mat4) + tip_tab_.size() * sizeof(double);
 
-  // Combine child scale counters and rescale underflowing patterns.
-  for (std::size_t pat = 0; pat < num_patterns_; ++pat) {
-    std::int32_t scale = 0;
-    for (int c = 0; c < 2; ++c) {
-      if (child_scales[c] != nullptr) scale += child_scales[c][pat];
-    }
-    double max_entry = 0.0;
+  // Pattern-block tiling: compute every category's slice of one block, then
+  // rescale that block while its cache lines are still hot.
+  for (std::size_t begin = 0; begin < num_patterns_; begin += kPatternBlock) {
+    const std::size_t end = std::min(begin + kPatternBlock, num_patterns_);
     for (std::size_t cat = 0; cat < num_categories_; ++cat) {
-      const double* ov = &clv.values[cat * stride + pat * 4];
-      for (int i = 0; i < 4; ++i) {
-        if (ov[i] > max_entry) max_entry = ov[i];
+      const double* a =
+          child_values[0] + (child_is_tip[0] ? 0 : cat * stride);
+      const double* b =
+          child_values[1] + (child_is_tip[1] ? 0 : cat * stride);
+      const Mat4& pa = clv_p_[cat];
+      const Mat4& pb = clv_p_[num_categories_ + cat];
+      const double* a_tab = &tip_tab_[cat * 64];
+      const double* b_tab = &tip_tab_[(num_categories_ + cat) * 64];
+      double* out = &clv.values[cat * stride];
+      if (child_is_tip[0] && child_is_tip[1]) {
+        clv_block<true, true>(begin, end, a, b, child_codes[0], child_codes[1],
+                              pa, pb, a_tab, b_tab, out);
+      } else if (child_is_tip[0]) {
+        clv_block<true, false>(begin, end, a, b, child_codes[0], child_codes[1],
+                               pa, pb, a_tab, b_tab, out);
+      } else if (child_is_tip[1]) {
+        clv_block<false, true>(begin, end, a, b, child_codes[0], child_codes[1],
+                               pa, pb, a_tab, b_tab, out);
+      } else {
+        clv_block<false, false>(begin, end, a, b, child_codes[0],
+                                child_codes[1], pa, pb, a_tab, b_tab, out);
       }
     }
-    if (max_entry > 0.0 && max_entry < kScaleThreshold) {
+
+    // Combine child scale counters and rescale underflowing patterns of
+    // this block (all categories are still L1-resident).
+    for (std::size_t pat = begin; pat < end; ++pat) {
+      std::int32_t scale = 0;
+      for (int c = 0; c < 2; ++c) {
+        if (child_scales[c] != nullptr) scale += child_scales[c][pat];
+      }
+      double max_entry = 0.0;
       for (std::size_t cat = 0; cat < num_categories_; ++cat) {
-        double* ov = &clv.values[cat * stride + pat * 4];
-        for (int i = 0; i < 4; ++i) ov[i] *= kScaleFactor;
+        const double* ov = &clv.values[cat * stride + pat * 4];
+        for (int i = 0; i < 4; ++i) {
+          if (ov[i] > max_entry) max_entry = ov[i];
+        }
       }
-      ++scale;
+      if (max_entry > 0.0 && max_entry < kScaleThreshold) {
+        for (std::size_t cat = 0; cat < num_categories_; ++cat) {
+          double* ov = &clv.values[cat * stride + pat * 4];
+          for (int i = 0; i < 4; ++i) ov[i] *= kScaleFactor;
+        }
+        ++scale;
+      }
+      clv.scale[pat] = scale;
     }
-    clv.scale[pat] = scale;
   }
 
   clv.valid = true;
-  ++clv_computations_;
-  flops_ += num_categories_ * num_patterns_ * 72;
+  ++counters_.clv_computations;
+  counters_.kernel_ns += elapsed_ns(kernel_start);
+  flops_ += num_categories_ * num_patterns_ *
+            (4 + (child_is_tip[0] ? 4u : 32u) + (child_is_tip[1] ? 4u : 32u));
 }
 
 double LikelihoodEngine::log_likelihood() {
@@ -209,29 +355,42 @@ EdgeLikelihood LikelihoodEngine::edge_likelihood(int u, int v) {
     b_cats = true;
   }
 
-  EdgeLikelihood f;
-  f.model_ = &model_;
-  f.rates_ = &rates_;
-  f.num_patterns_ = num_patterns_;
-  f.weighted_.assign(num_categories_ * num_patterns_ * 16, 0.0);
-  f.pattern_weights_.assign(data_.weights().begin(), data_.weights().end());
+  const auto kernel_start = KernelClock::now();
 
-  const Vec4& pi = model_.frequencies();
+  // Project the per-pattern weights into the eigenbasis of Q:
+  //   lnL(t) = sum_p w_p log( sum_c sum_k coeff[c,p,k] exp(lambda_k r_c t) )
+  // with coeff[c,p,k] = (prob_c sum_i pi_i A_i right_ik)(sum_j left_kj B_j).
+  // Four coefficients per (category, pattern) replace the 16-entry P(t)
+  // contraction of the naive formulation; the projection writes into the
+  // engine's preallocated arena.
+  const Mat4& left = model_.left_eigenvectors();
   for (std::size_t cat = 0; cat < num_categories_; ++cat) {
     const double prob = rates_.probability(cat);
     const double* a = a_values + (a_cats ? cat * stride : 0);
     const double* b = b_values + (b_cats ? cat * stride : 0);
-    double* w = &f.weighted_[cat * num_patterns_ * 16];
+    double* coeff = &edge_coeff_[cat * num_patterns_ * 4];
     for (std::size_t pat = 0; pat < num_patterns_; ++pat) {
       const double* av = a + pat * 4;
       const double* bv = b + pat * 4;
-      double* wv = w + pat * 16;
-      for (int i = 0; i < 4; ++i) {
-        const double lhs = prob * pi[i] * av[i];
-        for (int j = 0; j < 4; ++j) wv[i * 4 + j] = lhs * bv[j];
+      double* cv = coeff + pat * 4;
+      for (int k = 0; k < 4; ++k) {
+        const double uk = prob * (pr_[k][0] * av[0] + pr_[k][1] * av[1] +
+                                  pr_[k][2] * av[2] + pr_[k][3] * av[3]);
+        const double vk = left[k][0] * bv[0] + left[k][1] * bv[1] +
+                          left[k][2] * bv[2] + left[k][3] * bv[3];
+        cv[k] = uk * vk;
       }
     }
   }
+
+  EdgeLikelihood f;
+  f.model_ = &model_;
+  f.rates_ = &rates_;
+  f.cache_ = &cache_;
+  f.ws_ = &edge_ws_;
+  f.counters_ = &counters_;
+  f.num_patterns_ = num_patterns_;
+  f.pattern_weights_ = data_.weights().data();
 
   double offset = 0.0;
   for (std::size_t pat = 0; pat < num_patterns_; ++pat) {
@@ -241,52 +400,63 @@ EdgeLikelihood LikelihoodEngine::edge_likelihood(int u, int v) {
     offset -= data_.weight(pat) * scale * kLogScaleStep;
   }
   f.scale_offset_ = offset;
-  flops_ += num_categories_ * num_patterns_ * 32;
+
+  ++counters_.edge_captures;
+  counters_.scratch_bytes_reused += edge_coeff_.size() * sizeof(double);
+  counters_.kernel_ns += elapsed_ns(kernel_start);
+  flops_ += num_categories_ * num_patterns_ * 40;
   return f;
 }
 
 double EdgeLikelihood::evaluate(double t, double* d1, double* d2) const {
+  const auto kernel_start = KernelClock::now();
   const std::size_t num_categories = rates_->num_categories();
   const bool derivs = d1 != nullptr || d2 != nullptr;
 
-  std::vector<double> site(num_patterns_, 0.0);
-  std::vector<double> site_d1;
-  std::vector<double> site_d2;
-  if (derivs) {
-    site_d1.assign(num_patterns_, 0.0);
-    site_d2.assign(num_patterns_, 0.0);
-  }
+  // All scratch lives in the engine-owned workspace; no allocations here.
+  double* site = ws_->site;
+  double* site_d1 = ws_->site_d1;
+  double* site_d2 = ws_->site_d2;
 
-  Mat4 p{};
-  Mat4 dp{};
-  Mat4 d2p{};
   for (std::size_t cat = 0; cat < num_categories; ++cat) {
     const double rate = rates_->rate(cat);
-    if (derivs) {
-      model_->transition_with_derivs(t * rate, p, dp, d2p);
-    } else {
-      model_->transition(t * rate, p);
-    }
-    const double* w = &weighted_[cat * num_patterns_ * 16];
-    for (std::size_t pat = 0; pat < num_patterns_; ++pat) {
-      const double* wv = w + pat * 16;
-      double s = 0.0;
-      double s1 = 0.0;
-      double s2 = 0.0;
-      for (int i = 0; i < 4; ++i) {
-        for (int j = 0; j < 4; ++j) {
-          const double weight = wv[i * 4 + j];
-          s += weight * p[i][j];
-          if (derivs) {
-            s1 += weight * dp[i][j];
-            s2 += weight * d2p[i][j];
-          }
+    const Vec4 e = cache_->exp_eigen(*model_, t * rate);
+    const double* coeff = ws_->coeff + cat * num_patterns_ * 4;
+    const double e0 = e[0], e1 = e[1], e2 = e[2], e3 = e[3];
+    if (!derivs) {
+      if (cat == 0) {
+        for (std::size_t pat = 0; pat < num_patterns_; ++pat) {
+          const double* cv = coeff + pat * 4;
+          site[pat] = cv[0] * e0 + cv[1] * e1 + cv[2] * e2 + cv[3] * e3;
+        }
+      } else {
+        for (std::size_t pat = 0; pat < num_patterns_; ++pat) {
+          const double* cv = coeff + pat * 4;
+          site[pat] += cv[0] * e0 + cv[1] * e1 + cv[2] * e2 + cv[3] * e3;
         }
       }
-      site[pat] += s;
-      if (derivs) {
-        site_d1[pat] += s1 * rate;
-        site_d2[pat] += s2 * rate * rate;
+    } else {
+      // First/second derivative factors: d/dt exp(lambda_k r t) scales by
+      // lam_k = lambda_k * r (already tabulated per category).
+      const double* lam = ws_->lam + cat * 4;
+      const double l0 = lam[0] * e0, l1 = lam[1] * e1, l2 = lam[2] * e2,
+                   l3 = lam[3] * e3;
+      const double q0 = lam[0] * l0, q1 = lam[1] * l1, q2 = lam[2] * l2,
+                   q3 = lam[3] * l3;
+      if (cat == 0) {
+        for (std::size_t pat = 0; pat < num_patterns_; ++pat) {
+          const double* cv = coeff + pat * 4;
+          site[pat] = cv[0] * e0 + cv[1] * e1 + cv[2] * e2 + cv[3] * e3;
+          site_d1[pat] = cv[0] * l0 + cv[1] * l1 + cv[2] * l2 + cv[3] * l3;
+          site_d2[pat] = cv[0] * q0 + cv[1] * q1 + cv[2] * q2 + cv[3] * q3;
+        }
+      } else {
+        for (std::size_t pat = 0; pat < num_patterns_; ++pat) {
+          const double* cv = coeff + pat * 4;
+          site[pat] += cv[0] * e0 + cv[1] * e1 + cv[2] * e2 + cv[3] * e3;
+          site_d1[pat] += cv[0] * l0 + cv[1] * l1 + cv[2] * l2 + cv[3] * l3;
+          site_d2[pat] += cv[0] * q0 + cv[1] * q1 + cv[2] * q2 + cv[3] * q3;
+        }
       }
     }
   }
@@ -299,7 +469,7 @@ double EdgeLikelihood::evaluate(double t, double* d1, double* d2) const {
     const double s = site[pat];
     if (s <= 0.0) {
       // A zero-probability pattern (should not happen with valid data).
-      lnl += weight * -1e30;
+      lnl += weight * kZeroPatternLogPenalty;
       continue;
     }
     lnl += weight * std::log(s);
@@ -311,6 +481,11 @@ double EdgeLikelihood::evaluate(double t, double* d1, double* d2) const {
   }
   if (d1 != nullptr) *d1 = g;
   if (d2 != nullptr) *d2 = h;
+
+  ++counters_->edge_evaluations;
+  counters_->scratch_bytes_reused +=
+      (derivs ? 3u : 1u) * num_patterns_ * sizeof(double);
+  counters_->kernel_ns += elapsed_ns(kernel_start);
   return lnl;
 }
 
@@ -343,7 +518,7 @@ std::vector<double> LikelihoodEngine::site_log_likelihoods() {
   for (std::size_t cat = 0; cat < num_categories_; ++cat) {
     const double rate = rates_.rate(cat);
     const double prob = rates_.probability(cat);
-    model_.transition(t * rate, p);
+    cache_.transition(model_, t * rate, p);
     const double* av = &a.values[cat * stride];
     const double* bv = b_values + (b_cats ? cat * stride : 0);
     for (std::size_t pat = 0; pat < num_patterns_; ++pat) {
@@ -361,9 +536,22 @@ std::vector<double> LikelihoodEngine::site_log_likelihoods() {
     const std::size_t pat = data_.pattern_of_site(site);
     std::int32_t scale = a.scale[pat];
     if (b_scale != nullptr) scale += b_scale[pat];
-    out[site] = std::log(pattern_lnl[pat]) - scale * kLogScaleStep;
+    // Same zero-probability clamp as EdgeLikelihood::evaluate: the
+    // bootstrap / per-site-rate paths must never see NaN or -inf.
+    const double pattern_probability = pattern_lnl[pat];
+    const double log_probability = pattern_probability > 0.0
+                                       ? std::log(pattern_probability)
+                                       : kZeroPatternLogPenalty;
+    out[site] = log_probability - scale * kLogScaleStep;
   }
   return out;
+}
+
+KernelCounters LikelihoodEngine::counters() const {
+  KernelCounters c = counters_;
+  c.transition_hits = cache_.hits();
+  c.transition_misses = cache_.misses();
+  return c;
 }
 
 }  // namespace fdml

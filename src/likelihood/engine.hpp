@@ -15,11 +15,21 @@
 // large trees"): per-pattern scale counters multiply a CLV by 2^256 whenever
 // its largest entry falls below 2^-256; log-likelihoods subtract the
 // accumulated scalings.
+//
+// Kernel layer (see DESIGN.md "Likelihood kernel & caching"):
+//   - transition matrices are served by a TransitionCache keyed by the
+//     effective length t * rate, invalidated by epoch on set_model();
+//   - the hot path is allocation-free: edge captures and Newton evaluations
+//     run out of engine-owned scratch arenas sized once at construction;
+//   - edge evaluation works in the eigenbasis of Q ("sumtable" trick):
+//     per (category, pattern) the engine stores 4 projected coefficients
+//     c_k, and lnL(t) needs only sum_k c_k exp(lambda_k rate t) per site.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
+#include "likelihood/transition_cache.hpp"
 #include "model/rates.hpp"
 #include "model/submodel.hpp"
 #include "seq/alignment.hpp"
@@ -27,9 +37,38 @@
 
 namespace fdml {
 
+/// Hot-path instrumentation, cheap enough to stay always-on. Snapshot via
+/// LikelihoodEngine::counters(); benchmarks report these so BENCH_*.json
+/// can track cache effectiveness alongside throughput.
+struct KernelCounters {
+  std::uint64_t transition_hits = 0;    ///< TransitionCache hits
+  std::uint64_t transition_misses = 0;  ///< TransitionCache misses (rebuilds)
+  std::uint64_t edge_captures = 0;      ///< edge_likelihood() calls
+  std::uint64_t edge_evaluations = 0;   ///< EdgeLikelihood::evaluate calls
+  std::uint64_t clv_computations = 0;   ///< internal-CLV recomputations
+  /// Bytes of scratch served from preallocated arenas (i.e. heap traffic
+  /// the kernel layer avoided) since construction.
+  std::uint64_t scratch_bytes_reused = 0;
+  /// Nanoseconds spent inside the CLV / edge-capture / evaluate kernels.
+  std::uint64_t kernel_ns = 0;
+
+  double transition_hit_rate() const {
+    const std::uint64_t total = transition_hits + transition_misses;
+    return total == 0 ? 0.0
+                      : static_cast<double>(transition_hits) /
+                            static_cast<double>(total);
+  }
+};
+
 /// A captured one-dimensional view of the likelihood along a single edge:
 /// lnL(t) with first and second derivatives, cheap to evaluate repeatedly
-/// during Newton iteration. Valid until the tree or engine changes.
+/// during Newton iteration.
+///
+/// The view borrows engine-owned scratch (coefficients and site buffers),
+/// so it is valid only until the next edge_likelihood() / attach() /
+/// set_model() call on the same engine; evaluate() itself allocates
+/// nothing. Exactly one EdgeLikelihood per engine is live at a time — the
+/// optimizer's capture-then-iterate pattern.
 class EdgeLikelihood {
  public:
   /// Log-likelihood at branch length t; optionally first/second derivatives.
@@ -38,14 +77,27 @@ class EdgeLikelihood {
  private:
   friend class LikelihoodEngine;
 
+  struct Workspace;
+
   const SubstModel* model_ = nullptr;
   const RateModel* rates_ = nullptr;
+  TransitionCache* cache_ = nullptr;
+  Workspace* ws_ = nullptr;           // engine-owned scratch arena
+  KernelCounters* counters_ = nullptr;
   std::size_t num_patterns_ = 0;
-  // weighted[c][p][i][j] = w-independent pi_i * A[c,p,i] * B[c,p,j],
-  // flattened; lnL(t) = sum_p w_p log( sum_c prob_c sum_ij weighted * P_ij )
-  std::vector<double> weighted_;
-  std::vector<double> pattern_weights_;
+  const double* pattern_weights_ = nullptr;  // borrowed from PatternAlignment
   double scale_offset_ = 0.0;  // log-scale corrections, t-independent
+};
+
+/// Engine-owned scratch the EdgeLikelihood view evaluates out of: eigen
+/// coefficients written by edge_likelihood(), per-site accumulators reused
+/// by every evaluate() call. Pointers alias engine arenas sized once.
+struct EdgeLikelihood::Workspace {
+  const double* coeff = nullptr;  // [cat][pattern][4] eigen coefficients
+  const double* lam = nullptr;    // [cat][4] = lambda_k * rate_cat
+  double* site = nullptr;         // [pattern] accumulators
+  double* site_d1 = nullptr;
+  double* site_d2 = nullptr;
 };
 
 class LikelihoodEngine {
@@ -55,6 +107,11 @@ class LikelihoodEngine {
   /// and rate model are small and copied in.
   LikelihoodEngine(const PatternAlignment& data, SubstModel model,
                    RateModel rates);
+
+  // Scratch arenas and the transition cache are engine-local; views returned
+  // by edge_likelihood() point into them, so engines do not copy or move.
+  LikelihoodEngine(const LikelihoodEngine&) = delete;
+  LikelihoodEngine& operator=(const LikelihoodEngine&) = delete;
 
   /// Binds the engine to a tree and invalidates all cached CLVs. The tree
   /// must outlive the binding. Node ids index CLV storage, so the tree must
@@ -70,7 +127,7 @@ class LikelihoodEngine {
   double log_likelihood_edge(int u, int v);
 
   /// Captures the 1-D likelihood function along edge (u, v) for branch
-  /// length optimization.
+  /// length optimization. Invalidates any previously returned view.
   EdgeLikelihood edge_likelihood(int u, int v);
 
   /// Invalidate every cached CLV (topology changed).
@@ -80,12 +137,19 @@ class LikelihoodEngine {
   /// that depend on it (those pointing away from the edge).
   void on_length_changed(int u, int v);
 
+  /// Replaces the substitution model (e.g. a parameter-estimation step).
+  /// Bumps the transition-cache epoch — the cache-invalidation contract:
+  /// cached P(t) entries are valid per model epoch exactly as cached CLVs
+  /// are valid per committed branch length (on_length_changed) — and
+  /// invalidates every CLV.
+  void set_model(SubstModel model);
+
   /// Per-site log-likelihoods (maps patterns back to sites).
   std::vector<double> site_log_likelihoods();
 
   /// Number of internal-CLV recomputations since attach (perf counter; used
   /// by the FLOP/byte benchmark and by tests asserting cache behaviour).
-  std::uint64_t clv_computations() const { return clv_computations_; }
+  std::uint64_t clv_computations() const { return counters_.clv_computations; }
 
   const PatternAlignment& data() const { return data_; }
   const SubstModel& model() const { return model_; }
@@ -95,6 +159,10 @@ class LikelihoodEngine {
   /// (kernel inner loops only; used to reproduce the paper's
   /// compute-per-byte claim).
   std::uint64_t flops() const { return flops_; }
+
+  /// Snapshot of the kernel instrumentation (includes cache hit/miss).
+  KernelCounters counters() const;
+  TransitionCache& transition_cache() { return cache_; }
 
  private:
   struct Clv {
@@ -114,21 +182,49 @@ class LikelihoodEngine {
   void invalidate_away(int node, int toward);
 
   /// Tip CLVs have no category dimension and never need scaling; expands a
-  /// base code into indicator likelihoods.
+  /// base code into indicator likelihoods (and keeps the raw codes for the
+  /// table-driven tip kernels).
   void build_tip_clvs();
 
+  /// Rebuilds the model-derived projection tables (pi-weighted right
+  /// eigenvectors, per-category scaled eigenvalues).
+  void rebuild_model_tables();
+
   const PatternAlignment& data_;
-  const SubstModel model_;
+  SubstModel model_;  // mutable via set_model()
   const RateModel rates_;
   const Tree* tree_ = nullptr;
 
   std::size_t num_patterns_;
   std::size_t num_categories_;
 
-  std::vector<double> tip_clvs_;  // [tip][pattern][state]
-  std::vector<Clv> clvs_;         // indexed by key()
-  std::uint64_t clv_computations_ = 0;
+  std::vector<double> tip_clvs_;        // [tip][pattern][state]
+  std::vector<std::uint8_t> tip_codes_; // [tip][pattern] 4-bit base masks
+  std::vector<Clv> clvs_;               // indexed by key()
   std::uint64_t flops_ = 0;
+
+  TransitionCache cache_;
+  mutable KernelCounters counters_;
+
+  // --- preallocated kernel scratch (sized once in the constructor) ---
+
+  // Eigen-projection tables: pr_[k][i] = pi_i * right_[i][k] (so the edge
+  // capture is two 4-dots per pattern), lam_[cat*4+k] = lambda_k * rate_cat.
+  Mat4 pr_{};
+  std::vector<double> lam_;
+
+  // Per-category child transition matrices / 16-code tip lookup tables used
+  // by the tiled CLV kernel: [child][cat] and [child][cat][code][state].
+  std::vector<Mat4> clv_p_;
+  std::vector<double> tip_tab_;
+
+  // Edge-evaluation arenas handed out via EdgeLikelihood (edge_ws_ holds
+  // the stable pointer view the returned EdgeLikelihood borrows).
+  std::vector<double> edge_coeff_;  // [cat][pattern][4] eigen coefficients
+  std::vector<double> edge_site_;
+  std::vector<double> edge_site_d1_;
+  std::vector<double> edge_site_d2_;
+  EdgeLikelihood::Workspace edge_ws_;
 };
 
 }  // namespace fdml

@@ -18,6 +18,8 @@ double BranchOptimizer::optimize_edge(Tree& tree, int u, int v) {
     double d1 = 0.0;
     double d2 = 0.0;
     f.evaluate(t, &d1, &d2);
+    // Already at a stationary point: stop before taking another step.
+    if (std::fabs(d1) <= options_.derivative_tolerance) break;
     // Shrink the bracket around the maximum using the gradient sign.
     if (d1 > 0.0) {
       lo = t;
@@ -31,7 +33,8 @@ double BranchOptimizer::optimize_edge(Tree& tree, int u, int v) {
         next = 0.5 * (lo + hi);  // Newton left the bracket: bisect
       }
     } else {
-      // Convex region (e.g. at a plateau); move toward the gradient.
+      // Convex region (e.g. at a plateau); a Newton step would head for a
+      // minimum, so bisect the gradient-sign bracket instead.
       next = 0.5 * (lo + hi);
     }
     const double change = std::fabs(next - t);

@@ -18,6 +18,9 @@ namespace fdml {
 struct OptimizeOptions {
   /// Relative branch-length convergence for a single Newton solve.
   double branch_tolerance = 1e-6;
+  /// A Newton solve also stops once |dlnL/dt| falls below this — the
+  /// stationary point is found even if the bracket has not collapsed yet.
+  double derivative_tolerance = 1e-6;
   int max_newton_iterations = 30;
   /// Maximum full-tree smoothing passes (fastDNAml's "smoothings").
   int max_smooth_passes = 8;

@@ -1,0 +1,56 @@
+#include "likelihood/transition_cache.hpp"
+
+#include <bit>
+
+namespace fdml {
+
+namespace {
+
+std::size_t round_up_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+// splitmix64 finalizer: effective lengths are clustered doubles whose low
+// mantissa bits barely vary, so the key needs real mixing before masking.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+TransitionCache::TransitionCache(std::size_t capacity)
+    : slots_(round_up_pow2(capacity < 2 ? 2 : capacity)),
+      mask_(slots_.size() - 1) {}
+
+const TransitionCache::Entry& TransitionCache::lookup(const SubstModel& model,
+                                                      double effective_length) {
+  const std::uint64_t bits = std::bit_cast<std::uint64_t>(effective_length);
+  Entry& entry = slots_[mix(bits) & mask_];
+  if (entry.epoch == epoch_ &&
+      std::bit_cast<std::uint64_t>(entry.key) == bits) {
+    ++hits_;
+    return entry;
+  }
+  ++misses_;
+  entry.key = effective_length;
+  entry.epoch = epoch_;
+  model.transition_and_exp(effective_length, entry.p, entry.expl);
+  return entry;
+}
+
+void TransitionCache::transition(const SubstModel& model,
+                                 double effective_length, Mat4& p) {
+  p = lookup(model, effective_length).p;
+}
+
+Vec4 TransitionCache::exp_eigen(const SubstModel& model,
+                                double effective_length) {
+  return lookup(model, effective_length).expl;
+}
+
+}  // namespace fdml

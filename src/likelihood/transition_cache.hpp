@@ -1,0 +1,81 @@
+// Memoization of transition matrices for the likelihood hot path.
+//
+// Essentially all of fastDNAml's runtime is spent evaluating branch
+// lengths, and every CLV update / edge evaluation needs P(t_eff) for
+// t_eff = branch_length * category_rate. During smoothing the same edge
+// lengths are revisited over and over (committing one length invalidates
+// CLVs whose recomputation re-reads every *other* edge's unchanged length),
+// so the eigendecomposition-based exp(Qt) is a prime memoization target.
+//
+// The cache is a fixed-size direct-mapped table keyed by the exact bit
+// pattern of the effective length. Entries carry both the clamped P(t)
+// matrix (CLV updates, per-site likelihoods) and the raw eigenvalue
+// exponentials exp(lambda_k * t) (the eigen-basis edge evaluation kernel).
+// Lookups never allocate; a conflict simply overwrites the slot.
+//
+// Invalidation contract: entries are valid for a fixed set of model
+// parameters. Whoever mutates the substitution model must call
+// `invalidate()`, which bumps an epoch counter (O(1)) so every existing
+// entry misses on its next lookup. `LikelihoodEngine::set_model` is the
+// single mutation point and performs that call.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "model/submodel.hpp"
+#include "util/linalg.hpp"
+
+namespace fdml {
+
+class TransitionCache {
+ public:
+  /// `capacity` is rounded up to a power of two. The default comfortably
+  /// holds every (edge, category) pair of a few-hundred-taxon tree.
+  explicit TransitionCache(std::size_t capacity = 4096);
+
+  /// P(t_eff) for the given model, served from cache when possible. The
+  /// result is copied into `p` (slot storage may be overwritten by the next
+  /// lookup). Matches SubstModel::transition bit-for-bit, including the
+  /// clamp of tiny negative entries.
+  void transition(const SubstModel& model, double effective_length, Mat4& p);
+
+  /// exp(lambda_k * t_eff) for the model's eigenvalues — the only
+  /// t-dependent quantity the eigen-basis edge kernel needs.
+  Vec4 exp_eigen(const SubstModel& model, double effective_length);
+
+  /// Model parameters changed: every cached entry becomes stale. O(1).
+  void invalidate() { ++epoch_; }
+
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  std::uint64_t invalidations() const { return epoch_ - 1; }
+  double hit_rate() const {
+    const std::uint64_t total = hits_ + misses_;
+    return total == 0 ? 0.0 : static_cast<double>(hits_) / static_cast<double>(total);
+  }
+  void reset_stats() { hits_ = 0; misses_ = 0; }
+  std::size_t capacity() const { return slots_.size(); }
+  /// Resident bytes of slot storage (observability).
+  std::size_t bytes() const { return slots_.size() * sizeof(Entry); }
+
+ private:
+  struct Entry {
+    double key = 0.0;
+    std::uint64_t epoch = 0;  // 0 = never filled
+    Vec4 expl{};
+    Mat4 p{};
+  };
+
+  /// Returns the (filled, current-epoch) entry for `effective_length`.
+  const Entry& lookup(const SubstModel& model, double effective_length);
+
+  std::vector<Entry> slots_;
+  std::size_t mask_ = 0;
+  std::uint64_t epoch_ = 1;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace fdml

@@ -103,6 +103,20 @@ void SubstModel::transition(double t, Mat4& p) const {
   }
 }
 
+void SubstModel::transition_and_exp(double t, Mat4& p, Vec4& expl) const {
+  // Must match transition() bit-for-bit (same evaluation order, same clamp):
+  // the TransitionCache serves both cached and freshly-built entries and the
+  // engine's results may not depend on which path produced them.
+  for (int k = 0; k < 4; ++k) expl[k] = std::exp(eigenvalues_[k] * t);
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      double sum = 0.0;
+      for (int k = 0; k < 4; ++k) sum += right_[i][k] * expl[k] * left_[k][j];
+      p[i][j] = sum < 0.0 ? 0.0 : sum;
+    }
+  }
+}
+
 void SubstModel::transition_with_derivs(double t, Mat4& p, Mat4& dp,
                                         Mat4& d2p) const {
   Vec4 expl{};

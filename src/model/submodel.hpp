@@ -48,6 +48,16 @@ class SubstModel {
   void transition(double t, Mat4& p) const;
   /// P(t) together with its first and second derivatives in t.
   void transition_with_derivs(double t, Mat4& p, Mat4& dp, Mat4& d2p) const;
+  /// P(t) plus the eigenvalue exponentials exp(lambda_k t) it was built
+  /// from, in one pass (what the likelihood layer's TransitionCache stores).
+  void transition_and_exp(double t, Mat4& p, Vec4& expl) const;
+
+  /// Eigenbasis of Q: P(t) = right * diag(exp(lambda t)) * left. Exposed so
+  /// the likelihood kernels can project per-site weights into the eigenbasis
+  /// once and evaluate lnL(t) as a 4-term exponential sum per site (the
+  /// fastDNAml "sumtable" trick) instead of a 16-term P(t) contraction.
+  const Mat4& right_eigenvectors() const { return right_; }
+  const Mat4& left_eigenvectors() const { return left_; }
 
   /// Expected transition/transversion ratio implied by the model.
   double tstv_ratio() const;

@@ -49,7 +49,7 @@ class Foreman {
       }
       switch (message->tag) {
         case MessageTag::kHello:
-          ready_.push_back(message->source);
+          mark_ready(message->source);
           notify(MonitorEventKind::kReinstate, 0, message->source);
           dispatch_ready();
           break;
@@ -103,21 +103,35 @@ class Foreman {
     }
     for (int worker : overdue) {
       auto it = in_flight_.find(worker);
-      // Requeue at the front so the oldest tree goes out first.
-      work_queue_.push_front(it->second.task);
+      const TreeTask& task = it->second.task;
+      // Requeue at the front so the oldest tree goes out first — but only if
+      // the round still needs it; a copy of a completed (or stale-round)
+      // task would just circulate through dispatch and expiry.
+      const bool still_needed = round_active_ &&
+                                task.round_id == round_.round_id &&
+                                round_.completed.count(task.task_id) == 0;
+      if (still_needed) {
+        work_queue_.push_front(task);
+        ++stats_.requeues;
+        notify(MonitorEventKind::kRequeue, task.task_id, worker);
+      }
       delinquent_.insert(worker);
-      ++stats_.requeues;
       ++stats_.delinquencies;
-      notify(MonitorEventKind::kRequeue, it->second.task.task_id, worker);
-      notify(MonitorEventKind::kDelinquent, it->second.task.task_id, worker);
-      FDML_INFO("foreman") << "worker " << worker << " timed out; requeued task "
-                           << it->second.task.task_id;
+      notify(MonitorEventKind::kDelinquent, task.task_id, worker);
+      FDML_INFO("foreman") << "worker " << worker << " timed out"
+                           << (still_needed ? "; requeued task " : "; dropped task ")
+                           << task.task_id;
       in_flight_.erase(it);
     }
     dispatch_ready();
   }
 
   void begin_round(RoundMessage message) {
+    // Anything still queued is a requeued copy of a task the previous round
+    // already completed (the master opens a round only after RoundDone), so
+    // drop it — under aggressive timeouts such copies otherwise circulate
+    // through dispatch/expire forever and the work queue grows every round.
+    work_queue_.clear();
     round_ = RoundState{};
     round_.round_id = message.round_id;
     round_.expected = message.tasks.size();
@@ -148,24 +162,46 @@ class Foreman {
     }
   }
 
+  /// Returns the worker to the ready queue unless it still has a task in
+  /// flight (its reply will ready it) or is already queued. Keeping this the
+  /// single entry point to ready_ is what maintains the invariant that a
+  /// worker appears at most once across ready_ and in_flight_.
+  void mark_ready(int worker) {
+    if (in_flight_.count(worker) != 0) return;
+    if (std::find(ready_.begin(), ready_.end(), worker) != ready_.end()) return;
+    ready_.push_back(worker);
+  }
+
   void handle_result(int worker, const std::vector<std::uint8_t>& payload) {
     Unpacker unpacker(payload);
     TaskResult result = TaskResult::unpack(unpacker);
     result.worker = worker;
 
     const auto flight = in_flight_.find(worker);
-    if (flight != in_flight_.end() &&
-        flight->second.task.task_id == result.task_id) {
-      in_flight_.erase(flight);
-      ready_.push_back(worker);
+    if (flight != in_flight_.end()) {
+      if (flight->second.task.task_id == result.task_id) {
+        in_flight_.erase(flight);
+        mark_ready(worker);
+      } else {
+        // Stale reply for an earlier (requeued) task while a different task
+        // is in flight to this worker. The worker is still busy: keep the
+        // dispatch record and do NOT ready it — doing so used to double-book
+        // the worker and silently drop the in-flight task when the record
+        // was overwritten. The result itself may still complete the task
+        // (accept() deduplicates), so fall through to accept below.
+        ++stats_.mismatched_results;
+        FDML_WARN("foreman") << "worker " << worker << " sent result for task "
+                             << result.task_id << " while task "
+                             << flight->second.task.task_id << " is in flight";
+      }
     } else if (delinquent_.count(worker) != 0) {
       // The paper's reinstatement path: a delinquent worker finally replied.
       delinquent_.erase(worker);
-      ready_.push_back(worker);
+      mark_ready(worker);
       ++stats_.reinstatements;
       notify(MonitorEventKind::kReinstate, result.task_id, worker);
     } else {
-      ready_.push_back(worker);
+      mark_ready(worker);
     }
 
     accept(result, payload.size());
@@ -180,13 +216,14 @@ class Foreman {
       return;
     }
     round_.completed.insert(result.task_id);
-    // If a requeued copy is still waiting in the queue, drop it.
-    for (auto it = work_queue_.begin(); it != work_queue_.end(); ++it) {
-      if (it->task_id == result.task_id) {
-        work_queue_.erase(it);
-        break;
-      }
-    }
+    // Drop every requeued copy still waiting in the queue — repeated
+    // timeouts can have queued the same task more than once.
+    work_queue_.erase(
+        std::remove_if(work_queue_.begin(), work_queue_.end(),
+                       [&](const TreeTask& task) {
+                         return task.task_id == result.task_id;
+                       }),
+        work_queue_.end());
     TaskStat stat;
     stat.task_id = result.task_id;
     stat.cpu_seconds = result.cpu_seconds;

@@ -31,6 +31,9 @@ struct ForemanStats {
   std::uint64_t delinquencies = 0;
   std::uint64_t reinstatements = 0;
   std::uint64_t late_duplicate_results = 0;
+  /// Results whose task id did not match the sender's in-flight record (a
+  /// stale reply racing a requeue); the record is kept, not clobbered.
+  std::uint64_t mismatched_results = 0;
 };
 
 /// Runs the foreman loop until a shutdown message arrives (which is

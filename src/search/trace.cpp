@@ -44,6 +44,9 @@ void SearchTrace::scale_costs(double factor) {
 }
 
 void SearchTrace::save(std::ostream& out) const {
+  // Round-trip exactly: default stream precision (6 digits) loses enough of
+  // each cpu_seconds entry for replays to drift.
+  out.precision(17);
   out << "fdml-trace 1\n";
   out << dataset << "\n";
   out << num_taxa << " " << num_sites << " " << num_patterns << " " << seed

@@ -8,6 +8,7 @@
 #include "likelihood/engine.hpp"
 #include "likelihood/evaluator.hpp"
 #include "likelihood/optimize.hpp"
+#include "likelihood/transition_cache.hpp"
 #include "likelihood/site_rates.hpp"
 #include "model/simulate.hpp"
 #include "tree/newick.hpp"
@@ -286,6 +287,91 @@ TEST(Engine, NewtonIterationsReuseCachedClvs) {
   for (double t = 0.01; t < 0.5; t += 0.01) f.evaluate(t);
   EXPECT_EQ(engine.clv_computations(), before)
       << "evaluating along one edge must not touch CLVs";
+}
+
+// --- transition cache & kernel counters ---
+
+TEST(TransitionCache, ServesBitIdenticalMatricesAndCountsHits) {
+  const SubstModel model = SubstModel::hky85({0.3, 0.2, 0.2, 0.3}, 2.5);
+  TransitionCache cache(64);
+  Mat4 direct{};
+  Mat4 cached{};
+  for (double t : {0.01, 0.15, 0.7}) {
+    model.transition(t, direct);
+    cache.transition(model, t, cached);  // miss: builds the entry
+    for (int i = 0; i < 4; ++i) {
+      for (int j = 0; j < 4; ++j) {
+        EXPECT_EQ(direct[i][j], cached[i][j]) << "t=" << t;
+      }
+    }
+    cache.transition(model, t, cached);  // hit: served from the slot
+    for (int i = 0; i < 4; ++i) {
+      for (int j = 0; j < 4; ++j) {
+        EXPECT_EQ(direct[i][j], cached[i][j]) << "t=" << t << " (cached)";
+      }
+    }
+  }
+  EXPECT_EQ(cache.misses(), 3u);
+  EXPECT_EQ(cache.hits(), 3u);
+  EXPECT_DOUBLE_EQ(cache.hit_rate(), 0.5);
+
+  // Epoch bump: every entry becomes stale without touching the slots.
+  cache.invalidate();
+  cache.transition(model, 0.15, cached);
+  EXPECT_EQ(cache.misses(), 4u);
+  EXPECT_EQ(cache.invalidations(), 1u);
+}
+
+TEST(Engine, SetModelInvalidatesTransitionCacheAndClvs) {
+  const PatternAlignment data(small_alignment());
+  Rng rng(71);
+  const Tree tree = random_tree(5, rng);
+  LikelihoodEngine engine(data, SubstModel::jc69(), RateModel::uniform());
+  engine.attach(tree);
+  const double jc = engine.log_likelihood();
+
+  const SubstModel hky = SubstModel::hky85({0.3, 0.2, 0.2, 0.3}, 2.5);
+  engine.set_model(hky);
+  const double switched = engine.log_likelihood();
+  EXPECT_NE(switched, jc);
+
+  // Must match an engine built with the new model from scratch: stale cached
+  // P(t) entries or CLVs would show up here.
+  LikelihoodEngine fresh(data, hky, RateModel::uniform());
+  fresh.attach(tree);
+  EXPECT_NEAR(switched, fresh.log_likelihood(), 1e-9);
+  EXPECT_GE(engine.transition_cache().invalidations(), 1u);
+
+  // And switching back reproduces the original value exactly.
+  engine.set_model(SubstModel::jc69());
+  EXPECT_NEAR(engine.log_likelihood(), jc, 1e-12);
+}
+
+TEST(Engine, KernelCountersTrackHotPath) {
+  const PatternAlignment data(small_alignment());
+  Rng rng(73);
+  const Tree tree = random_tree(5, rng);
+  LikelihoodEngine engine(data, SubstModel::jc69(), RateModel::uniform());
+  engine.attach(tree);
+
+  const auto [u, v] = tree.edges()[0];
+  const EdgeLikelihood f = engine.edge_likelihood(u, v);
+  for (double t = 0.01; t < 0.2; t += 0.01) f.evaluate(t);
+
+  const KernelCounters counters = engine.counters();
+  EXPECT_GT(counters.clv_computations, 0u);
+  EXPECT_EQ(counters.edge_captures, 1u);
+  EXPECT_GE(counters.edge_evaluations, 19u);
+  EXPECT_GT(counters.transition_misses, 0u);
+  EXPECT_GT(counters.scratch_bytes_reused, 0u);
+  EXPECT_GE(counters.transition_hit_rate(), 0.0);
+  EXPECT_LE(counters.transition_hit_rate(), 1.0);
+
+  // Re-evaluating the same branch lengths is served from the cache.
+  const std::uint64_t misses_before = engine.counters().transition_misses;
+  for (double t = 0.01; t < 0.2; t += 0.01) f.evaluate(t);
+  EXPECT_EQ(engine.counters().transition_misses, misses_before);
+  EXPECT_GT(engine.counters().transition_hits, 0u);
 }
 
 // --- optimizer ---

@@ -11,6 +11,7 @@
 #include "comm/transport.hpp"
 #include "model/simulate.hpp"
 #include "parallel/cluster.hpp"
+#include "parallel/foreman.hpp"
 #include "parallel/protocol.hpp"
 #include "search/search.hpp"
 #include "tree/newick.hpp"
@@ -118,6 +119,121 @@ TEST(Protocol, RoundDoneAndMonitorEventRoundTrip) {
   EXPECT_EQ(eback.kind, MonitorEventKind::kRequeue);
   EXPECT_EQ(eback.worker, 6);
   EXPECT_DOUBLE_EQ(eback.at_seconds, 1.5);
+}
+
+// --- scripted foreman (transport-level) ---
+
+TreeTask recv_task(Transport& endpoint) {
+  const auto message = endpoint.recv();
+  EXPECT_TRUE(message.has_value());
+  EXPECT_EQ(message->tag, MessageTag::kTask);
+  Unpacker unpacker(message->payload);
+  return TreeTask::unpack(unpacker);
+}
+
+void send_result(Transport& endpoint, std::uint64_t task_id,
+                 std::uint64_t round_id) {
+  TaskResult result;
+  result.task_id = task_id;
+  result.round_id = round_id;
+  result.log_likelihood = -100.0 - static_cast<double>(task_id);
+  result.newick = "(a:1,b:1,c:1);";
+  Packer packer;
+  result.pack(packer);
+  endpoint.send(kForemanRank, MessageTag::kResult, packer.take());
+}
+
+void send_round(Transport& endpoint, std::uint64_t round_id,
+                std::initializer_list<std::uint64_t> task_ids) {
+  RoundMessage round;
+  round.round_id = round_id;
+  for (std::uint64_t id : task_ids) {
+    TreeTask task;
+    task.task_id = id;
+    task.round_id = round_id;
+    task.newick = "(a:1,b:1,c:1);";
+    round.tasks.push_back(task);
+  }
+  endpoint.send(kForemanRank, MessageTag::kRound, round.pack());
+}
+
+// Regression: a delinquent worker's stale result (for a task the foreman had
+// already requeued and accepted) used to push the worker onto the ready
+// queue a second time while its new task was still in flight. The next round
+// then dispatched two tasks to the same worker back-to-back, overwriting the
+// in-flight record and silently losing a task. The test scripts a single
+// worker against a live foreman and asserts exactly-once dispatch.
+TEST(Foreman, StaleResultDoesNotDoubleBookWorker) {
+  ThreadFabric fabric(4);  // master, foreman, monitor, one worker
+  ForemanOptions options;
+  options.worker_timeout = std::chrono::milliseconds(400);
+  options.notify_monitor = false;
+  auto foreman_endpoint = fabric.endpoint(kForemanRank);
+  ForemanStats stats;
+  std::thread foreman(
+      [&] { stats = foreman_main(*foreman_endpoint, options); });
+
+  auto master = fabric.endpoint(kMasterRank);
+  auto worker = fabric.endpoint(kFirstWorkerRank);
+  worker->send(kForemanRank, MessageTag::kHello, {});
+  send_round(*master, 1, {1, 2});
+
+  EXPECT_EQ(recv_task(*worker).task_id, 1u);
+  // Hold task 1 past the timeout: the foreman requeues it and marks the
+  // worker delinquent.
+  std::this_thread::sleep_for(std::chrono::milliseconds(600));
+  // The late reply reinstates the worker and completes task 1 (the requeued
+  // copy is dropped from the queue); task 2 is dispatched next.
+  send_result(*worker, 1, 1);
+  EXPECT_EQ(recv_task(*worker).task_id, 2u);
+  // A stale duplicate of task 1 arrives while task 2 is in flight — the
+  // mismatch that used to double-book the worker.
+  send_result(*worker, 1, 1);
+  send_result(*worker, 2, 1);
+
+  const auto done1 = master->recv();
+  ASSERT_TRUE(done1.has_value());
+  ASSERT_EQ(done1->tag, MessageTag::kRoundDone);
+  EXPECT_EQ(RoundDoneMessage::unpack(done1->payload).stats.size(), 2u);
+
+  send_round(*master, 2, {10, 11, 12});
+  EXPECT_EQ(recv_task(*worker).task_id, 10u);
+  // Exactly-once dispatch: with task 10 in flight no second task may arrive.
+  const auto double_booked =
+      worker->recv_for(std::chrono::milliseconds(120));
+  EXPECT_FALSE(double_booked.has_value())
+      << "worker dispatched a second task while one is in flight";
+
+  // Finish the round, answering whatever is dispatched.
+  if (double_booked.has_value() && double_booked->tag == MessageTag::kTask) {
+    Unpacker unpacker(double_booked->payload);
+    send_result(*worker, TreeTask::unpack(unpacker).task_id, 2);
+  }
+  send_result(*worker, 10, 2);
+  for (;;) {
+    auto message = worker->recv_for(std::chrono::milliseconds(500));
+    if (!message.has_value() || message->tag != MessageTag::kTask) break;
+    Unpacker unpacker(message->payload);
+    send_result(*worker, TreeTask::unpack(unpacker).task_id, 2);
+  }
+
+  const auto done2 = master->recv_for(std::chrono::milliseconds(500));
+  ASSERT_TRUE(done2.has_value());
+  ASSERT_EQ(done2->tag, MessageTag::kRoundDone);
+  const RoundDoneMessage round2 = RoundDoneMessage::unpack(done2->payload);
+  EXPECT_EQ(round2.stats.size(), 3u);
+  EXPECT_EQ(round2.best.task_id, 10u);
+
+  master->send(kForemanRank, MessageTag::kShutdown, {});
+  foreman.join();
+
+  // No task was lost or double-counted anywhere in the exchange.
+  EXPECT_EQ(stats.rounds, 2u);
+  EXPECT_EQ(stats.tasks_completed, 5u);
+  EXPECT_EQ(stats.mismatched_results, 1u);
+  EXPECT_GE(stats.requeues, 1u);
+  EXPECT_GE(stats.reinstatements, 1u);
+  EXPECT_GE(stats.late_duplicate_results, 1u);
 }
 
 // --- full runtime ---
