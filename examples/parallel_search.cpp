@@ -3,6 +3,8 @@
 //
 //   ./parallel_search --workers=4 --taxa=20 --sites=600 --seed=3
 //   ./parallel_search --timeout-ms=5000        # fault-tolerance timeout
+//   ./parallel_search --chaos="chaos-plan v1 seed=7 drop=0.05 delay=0.2"
+//                                              # seeded fault injection
 //
 // Prints the result plus the monitor's instrumentation: per-worker task
 // counts, round count, and the barrier slack that limits scalability (the
@@ -28,6 +30,11 @@ int main(int argc, char** argv) {
   cluster_options.num_workers = static_cast<int>(args.get_int("workers", 4));
   cluster_options.foreman.worker_timeout =
       std::chrono::milliseconds(args.get_int("timeout-ms", 30000));
+  if (args.has("chaos")) {
+    // A serialized FaultPlan, e.g. "chaos-plan v1 seed=7 drop=0.05". The
+    // same plan line replays the same fault schedule on every run.
+    cluster_options.chaos = FaultPlan::parse(args.get("chaos", ""));
+  }
   InProcessCluster cluster(data, model, rates, cluster_options);
   std::printf("Cluster: 1 master + 1 foreman + 1 monitor + %d workers "
               "(%d \"processors\")\n",
@@ -40,6 +47,7 @@ int main(int argc, char** argv) {
   Timer timer;
   const SearchResult result = StepwiseSearch(data, options).run(cluster.runner());
   const double wall = timer.seconds();
+  cluster.shutdown();  // joins the role threads; final stats are now stable
 
   std::printf("\nBest ln L = %.4f after %zu candidate trees in %.2fs wall\n",
               result.best_log_likelihood, result.trees_evaluated, wall);
@@ -67,6 +75,32 @@ int main(int argc, char** argv) {
   std::printf("\n  fabric traffic:         %llu messages, %llu bytes\n",
               static_cast<unsigned long long>(cluster.fabric_messages()),
               static_cast<unsigned long long>(cluster.fabric_bytes()));
+
+  if (const auto totals = cluster.chaos_totals()) {
+    std::printf("\nChaos harness (%s)\n",
+                cluster_options.chaos->serialize().c_str());
+    std::printf("  dropped/duplicated:     %llu / %llu\n",
+                static_cast<unsigned long long>(totals->drops.load()),
+                static_cast<unsigned long long>(totals->duplicates.load()));
+    std::printf("  corrupted/task-corrupt: %llu / %llu\n",
+                static_cast<unsigned long long>(totals->corruptions.load()),
+                static_cast<unsigned long long>(totals->task_corruptions.load()));
+    std::printf("  delayed/reordered:      %llu / %llu\n",
+                static_cast<unsigned long long>(totals->delays.load()),
+                static_cast<unsigned long long>(totals->reorders.load()));
+    std::printf("  crashes:                %llu\n",
+                static_cast<unsigned long long>(totals->crashes.load()));
+    std::printf("  quarantines/probations: %llu / %llu\n",
+                static_cast<unsigned long long>(
+                    cluster.foreman_stats().quarantines),
+                static_cast<unsigned long long>(
+                    cluster.foreman_stats().probations));
+    std::printf("  rounds failed/fallback: %llu / %llu\n",
+                static_cast<unsigned long long>(
+                    cluster.master_stats().rounds_failed),
+                static_cast<unsigned long long>(
+                    cluster.master_stats().serial_fallbacks));
+  }
 
   const Tree best = tree_from_newick(result.best_newick, data.names());
   std::printf("\nNewick: %s\n", to_newick(best, data.names(), 6).c_str());

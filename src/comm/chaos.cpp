@@ -1,0 +1,231 @@
+#include "comm/chaos.hpp"
+
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "util/rng.hpp"
+
+namespace fdml {
+
+namespace {
+
+std::uint64_t mix64(std::uint64_t a, std::uint64_t b) {
+  std::uint64_t state = a + 0x9e3779b97f4a7c15ULL * (b + 1);
+  return splitmix64_next(state);
+}
+
+/// The whole point: a fault decision depends only on (seed, rank, direction,
+/// message index), never on wall-clock time or thread interleaving.
+std::uint64_t decision_seed(std::uint64_t seed, int rank, bool inbound,
+                            std::uint64_t index) {
+  const std::uint64_t lane =
+      static_cast<std::uint64_t>(rank) * 2 + (inbound ? 1 : 0);
+  return mix64(mix64(seed, lane), index);
+}
+
+void flip_byte(std::vector<std::uint8_t>& payload, Rng& rng,
+               std::uint32_t& offset_out) {
+  const std::uint64_t offset = rng.below(payload.size());
+  const std::uint8_t mask =
+      static_cast<std::uint8_t>(1u << static_cast<unsigned>(rng.below(8)));
+  payload[static_cast<std::size_t>(offset)] ^= mask;
+  offset_out = static_cast<std::uint32_t>(offset);
+}
+
+void append_kv(std::string& out, const char* key, double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), " %s=%.17g", key, value);
+  out += buffer;
+}
+
+void append_kv(std::string& out, const char* key, std::uint64_t value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), " %s=%llu", key,
+                static_cast<unsigned long long>(value));
+  out += buffer;
+}
+
+}  // namespace
+
+std::string FaultPlan::serialize() const {
+  std::string out = "chaos-plan v1";
+  append_kv(out, "seed", seed);
+  append_kv(out, "drop", drop);
+  append_kv(out, "dup", duplicate);
+  append_kv(out, "corrupt", corrupt);
+  append_kv(out, "reorder", reorder);
+  append_kv(out, "delay", delay);
+  append_kv(out, "delay_min_ms", static_cast<std::uint64_t>(delay_min_ms));
+  append_kv(out, "delay_max_ms", static_cast<std::uint64_t>(delay_max_ms));
+  append_kv(out, "reorder_hold_ms", static_cast<std::uint64_t>(reorder_hold_ms));
+  append_kv(out, "task_corrupt", task_corrupt);
+  append_kv(out, "crash_after", crash_after_sends);
+  return out;
+}
+
+FaultPlan FaultPlan::parse(const std::string& text) {
+  std::istringstream in(text);
+  std::string magic, version;
+  in >> magic >> version;
+  if (magic != "chaos-plan" || version != "v1") {
+    throw std::runtime_error("FaultPlan: bad header: " + text);
+  }
+  FaultPlan plan;
+  std::string token;
+  while (in >> token) {
+    const auto eq = token.find('=');
+    if (eq == std::string::npos) {
+      throw std::runtime_error("FaultPlan: expected key=value, got " + token);
+    }
+    const std::string key = token.substr(0, eq);
+    const std::string value = token.substr(eq + 1);
+    try {
+      if (key == "seed") plan.seed = std::stoull(value);
+      else if (key == "drop") plan.drop = std::stod(value);
+      else if (key == "dup" || key == "duplicate") plan.duplicate = std::stod(value);
+      else if (key == "corrupt") plan.corrupt = std::stod(value);
+      else if (key == "reorder") plan.reorder = std::stod(value);
+      else if (key == "delay") plan.delay = std::stod(value);
+      else if (key == "delay_min_ms") plan.delay_min_ms = static_cast<std::uint32_t>(std::stoul(value));
+      else if (key == "delay_max_ms") plan.delay_max_ms = static_cast<std::uint32_t>(std::stoul(value));
+      else if (key == "reorder_hold_ms") plan.reorder_hold_ms = static_cast<std::uint32_t>(std::stoul(value));
+      else if (key == "task_corrupt") plan.task_corrupt = std::stod(value);
+      else if (key == "crash_after" || key == "crash_after_sends") plan.crash_after_sends = std::stoull(value);
+      else throw std::runtime_error("FaultPlan: unknown key " + key);
+    } catch (const std::invalid_argument&) {
+      throw std::runtime_error("FaultPlan: bad value for " + key + ": " + value);
+    }
+  }
+  return plan;
+}
+
+ChaosTransport::ChaosTransport(std::unique_ptr<Transport> inner, FaultPlan plan,
+                               std::shared_ptr<ChaosTotals> totals)
+    : inner_(std::move(inner)), plan_(plan), totals_(std::move(totals)) {}
+
+ChaosTransport::~ChaosTransport() {
+  // A crashed host's in-transit traffic died with it; a live one flushes.
+  if (crashed()) deferred_.discard_pending();
+  deferred_.stop(/*flush=*/!crashed());
+}
+
+void ChaosTransport::crash() {
+  crashed_.store(true, std::memory_order_release);
+  deferred_.discard_pending();
+  if (totals_) totals_->crashes.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ChaosTransport::send(int dest, MessageTag tag,
+                          std::vector<std::uint8_t> payload) {
+  if (crashed()) {
+    if (totals_) totals_->swallowed_after_crash.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  FaultRecord record;
+  {
+    std::lock_guard lock(log_mutex_);
+    record.message_index = ++send_index_;
+  }
+  record.tag = tag;
+  if (plan_.crash_after_sends != 0 &&
+      record.message_index >= plan_.crash_after_sends) {
+    crash();
+    if (totals_) totals_->swallowed_after_crash.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  // Control tags pass untouched (see header).
+  if (tag == MessageTag::kHello || tag == MessageTag::kShutdown) {
+    inner_->send(dest, tag, std::move(payload));
+    return;
+  }
+
+  Rng rng(decision_seed(plan_.seed, rank(), /*inbound=*/false,
+                        record.message_index));
+  // Fixed draw order — changing it changes every schedule, so don't.
+  record.dropped = rng.uniform() < plan_.drop;
+  const bool want_corrupt = rng.uniform() < plan_.corrupt;
+  record.duplicated = rng.uniform() < plan_.duplicate;
+  const bool want_delay = rng.uniform() < plan_.delay;
+  const std::uint32_t delay_draw =
+      plan_.delay_max_ms > plan_.delay_min_ms
+          ? plan_.delay_min_ms +
+                static_cast<std::uint32_t>(rng.below(
+                    plan_.delay_max_ms - plan_.delay_min_ms + 1))
+          : plan_.delay_min_ms;
+  record.reordered = rng.uniform() < plan_.reorder;
+
+  if (!record.dropped && want_corrupt && !payload.empty()) {
+    flip_byte(payload, rng, record.corrupt_offset);
+    record.corrupted = true;
+  }
+  if (want_delay) {
+    record.delay_ms = delay_draw;
+  } else if (record.reordered) {
+    // Reordering is a short hold: anything sent inside the window overtakes
+    // this message in the destination mailbox.
+    record.delay_ms = plan_.reorder_hold_ms;
+  }
+
+  {
+    std::lock_guard lock(log_mutex_);
+    log_.push_back(record);
+  }
+  if (totals_) {
+    if (record.dropped) totals_->drops.fetch_add(1, std::memory_order_relaxed);
+    if (record.corrupted) totals_->corruptions.fetch_add(1, std::memory_order_relaxed);
+    if (record.duplicated) totals_->duplicates.fetch_add(1, std::memory_order_relaxed);
+    if (record.reordered) totals_->reorders.fetch_add(1, std::memory_order_relaxed);
+    if (want_delay) totals_->delays.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (record.dropped) return;
+
+  const int copies = record.duplicated ? 2 : 1;
+  for (int copy = 0; copy < copies; ++copy) {
+    std::vector<std::uint8_t> bytes =
+        (copy + 1 == copies) ? std::move(payload) : payload;
+    if (record.delay_ms > 0) {
+      deferred_.schedule(std::chrono::milliseconds(record.delay_ms), dest, tag,
+                         std::move(bytes));
+    } else {
+      inner_->send(dest, tag, std::move(bytes));
+    }
+  }
+}
+
+std::optional<Message> ChaosTransport::filter_inbound(
+    std::optional<Message> message) {
+  if (crashed()) return std::nullopt;
+  if (!message.has_value() || message->tag != MessageTag::kTask ||
+      plan_.task_corrupt <= 0.0 || message->payload.empty()) {
+    return message;
+  }
+  const std::uint64_t index = recv_index_.fetch_add(1, std::memory_order_relaxed) + 1;
+  Rng rng(decision_seed(plan_.seed, rank(), /*inbound=*/true, index));
+  if (rng.uniform() < plan_.task_corrupt) {
+    std::uint32_t offset = 0;
+    flip_byte(message->payload, rng, offset);
+    if (totals_) totals_->task_corruptions.fetch_add(1, std::memory_order_relaxed);
+  }
+  return message;
+}
+
+std::optional<Message> ChaosTransport::recv() {
+  if (crashed()) return std::nullopt;
+  return filter_inbound(inner_->recv());
+}
+
+std::optional<Message> ChaosTransport::recv_for(std::chrono::milliseconds timeout) {
+  if (crashed()) return std::nullopt;
+  return filter_inbound(inner_->recv_for(timeout));
+}
+
+bool ChaosTransport::closed() const { return crashed() || inner_->closed(); }
+
+std::vector<FaultRecord> ChaosTransport::fault_log() const {
+  std::lock_guard lock(log_mutex_);
+  return log_;
+}
+
+}  // namespace fdml

@@ -1,0 +1,127 @@
+// Deferred message redelivery for fault injection.
+//
+// An injected delay must model the *network* holding a message, not the
+// sender's thread sleeping — a worker whose send() blocks looks like a
+// frozen worker, which is a different fault. DeferredSender owns a delivery
+// thread and a due-time queue; faulty transports schedule delayed messages
+// here and return to the caller immediately.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "comm/transport.hpp"
+
+namespace fdml {
+
+class DeferredSender {
+ public:
+  /// `inner` must outlive this object (declare DeferredSender after the
+  /// inner transport so it is destroyed — and joined — first).
+  explicit DeferredSender(Transport& inner) : inner_(inner) {}
+
+  ~DeferredSender() { stop(/*flush=*/true); }
+
+  DeferredSender(const DeferredSender&) = delete;
+  DeferredSender& operator=(const DeferredSender&) = delete;
+
+  /// Queues a message for delivery `delay` from now. Never blocks beyond
+  /// the queue lock. The delivery thread is started lazily.
+  void schedule(std::chrono::milliseconds delay, int dest, MessageTag tag,
+                std::vector<std::uint8_t> payload) {
+    {
+      std::lock_guard lock(mutex_);
+      if (stopped_) return;
+      if (!thread_.joinable()) thread_ = std::thread([this] { run(); });
+      queue_.push(Pending{Clock::now() + delay, next_sequence_++, dest, tag,
+                          std::move(payload)});
+    }
+    cv_.notify_one();
+  }
+
+  /// Drops every queued message (a crashed host's in-transit traffic dies
+  /// with it).
+  void discard_pending() {
+    std::lock_guard lock(mutex_);
+    while (!queue_.empty()) queue_.pop();
+  }
+
+  std::size_t pending() const {
+    std::lock_guard lock(mutex_);
+    return queue_.size();
+  }
+
+  /// Stops the delivery thread; with `flush`, messages still queued are
+  /// delivered immediately rather than lost.
+  void stop(bool flush) {
+    std::vector<Pending> leftover;
+    {
+      std::lock_guard lock(mutex_);
+      if (stopped_) return;
+      stopped_ = true;
+      while (!queue_.empty()) {
+        leftover.push_back(queue_.top());
+        queue_.pop();
+      }
+    }
+    cv_.notify_all();
+    if (thread_.joinable()) thread_.join();
+    if (flush) {
+      for (Pending& message : leftover) {
+        inner_.send(message.dest, message.tag, std::move(message.payload));
+      }
+    }
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Pending {
+    Clock::time_point due;
+    std::uint64_t sequence = 0;  // FIFO among equal due times
+    int dest = -1;
+    MessageTag tag = MessageTag::kHello;
+    std::vector<std::uint8_t> payload;
+
+    bool operator>(const Pending& other) const {
+      if (due != other.due) return due > other.due;
+      return sequence > other.sequence;
+    }
+  };
+
+  void run() {
+    std::unique_lock lock(mutex_);
+    for (;;) {
+      if (stopped_) return;
+      if (queue_.empty()) {
+        cv_.wait(lock, [&] { return stopped_ || !queue_.empty(); });
+        continue;
+      }
+      const auto due = queue_.top().due;
+      if (Clock::now() < due) {
+        cv_.wait_until(lock, due);
+        continue;
+      }
+      Pending message = queue_.top();
+      queue_.pop();
+      lock.unlock();
+      inner_.send(message.dest, message.tag, std::move(message.payload));
+      lock.lock();
+    }
+  }
+
+  Transport& inner_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::priority_queue<Pending, std::vector<Pending>, std::greater<>> queue_;
+  std::uint64_t next_sequence_ = 0;
+  bool stopped_ = false;
+  std::thread thread_;
+};
+
+}  // namespace fdml

@@ -7,9 +7,9 @@
 
 #include <functional>
 #include <memory>
-#include <thread>
 #include <utility>
 
+#include "comm/deferred.hpp"
 #include "comm/transport.hpp"
 
 namespace fdml {
@@ -17,8 +17,10 @@ namespace fdml {
 class FaultyTransport final : public Transport {
  public:
   /// `drop` returning true swallows an outbound message; `delay` returns a
-  /// duration to sleep before an outbound message is delivered (zero for
-  /// none). Inbound messages are untouched.
+  /// duration to hold an outbound message before delivery (zero for none).
+  /// A delayed message is redelivered by a background thread — the sender
+  /// never blocks, so injected latency models the network, not a frozen
+  /// worker. Inbound messages are untouched.
   FaultyTransport(std::unique_ptr<Transport> inner,
                   std::function<bool(const Message&)> drop,
                   std::function<std::chrono::milliseconds(const Message&)> delay)
@@ -38,7 +40,10 @@ class FaultyTransport final : public Transport {
     }
     if (delay_) {
       const auto pause = delay_(probe);
-      if (pause.count() > 0) std::this_thread::sleep_for(pause);
+      if (pause.count() > 0) {
+        deferred_.schedule(pause, dest, tag, std::move(payload));
+        return;
+      }
     }
     inner_->send(dest, tag, std::move(payload));
   }
@@ -56,6 +61,8 @@ class FaultyTransport final : public Transport {
   std::function<bool(const Message&)> drop_;
   std::function<std::chrono::milliseconds(const Message&)> delay_;
   std::uint64_t dropped_ = 0;
+  /// Declared last: joined (and flushed) before inner_ is destroyed.
+  DeferredSender deferred_{*inner_};
 };
 
 }  // namespace fdml

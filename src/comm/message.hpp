@@ -20,6 +20,9 @@ enum class MessageTag : std::uint8_t {
   kRoundDone = 5,    ///< foreman -> master: best tree + per-task stats
   kMonitorEvent = 6, ///< foreman -> monitor: instrumentation record
   kShutdown = 7,     ///< master -> everyone: terminate cleanly
+  kProgress = 8,     ///< foreman -> master: round liveness heartbeat
+  kRoundFailed = 9,  ///< foreman -> master: round cannot complete
+  kNack = 10,        ///< worker -> foreman: received task was malformed
 };
 
 struct Message {

@@ -7,49 +7,33 @@
 
 namespace fdml {
 
-class InProcessCluster::MasterRunner final : public TaskRunner {
- public:
-  MasterRunner(Transport& transport, int workers)
-      : transport_(transport), workers_(workers) {}
-
-  RoundOutcome run_round(const std::vector<TreeTask>& tasks) override {
-    if (tasks.empty()) throw std::invalid_argument("run_round: empty round");
-    RoundMessage round;
-    round.round_id = next_round_id_++;
-    round.tasks = tasks;
-    // Stamp the round id the foreman will echo back.
-    for (TreeTask& task : round.tasks) task.round_id = round.round_id;
-    transport_.send(kForemanRank, MessageTag::kRound, round.pack());
-
-    while (auto message = transport_.recv()) {
-      if (message->tag != MessageTag::kRoundDone) continue;
-      RoundDoneMessage done = RoundDoneMessage::unpack(message->payload);
-      if (done.round_id != round.round_id) continue;  // stale
-      RoundOutcome outcome;
-      outcome.best = std::move(done.best);
-      outcome.stats = std::move(done.stats);
-      return outcome;
-    }
-    throw std::runtime_error("master: fabric shut down mid-round");
-  }
-
-  int worker_count() const override { return workers_; }
-
- private:
-  Transport& transport_;
-  int workers_;
-  std::uint64_t next_round_id_ = 1;
-};
-
 InProcessCluster::InProcessCluster(const PatternAlignment& data,
                                    SubstModel model, RateModel rates,
                                    ClusterOptions options)
-    : options_(options), fabric_(kFirstWorkerRank + options.num_workers) {
-  if (options.num_workers < 1) {
+    : options_(std::move(options)),
+      fabric_(kFirstWorkerRank + options_.num_workers) {
+  if (options_.num_workers < 1) {
     throw std::invalid_argument("cluster: need at least one worker");
   }
+  if (options_.chaos.has_value()) {
+    chaos_totals_ = std::make_shared<ChaosTotals>();
+  }
+
   master_endpoint_ = fabric_.endpoint(kMasterRank);
-  runner_ = std::make_unique<MasterRunner>(*master_endpoint_, options.num_workers);
+  master_ = std::make_unique<ParallelMaster>(*master_endpoint_,
+                                             options_.num_workers,
+                                             options_.master);
+  // Degraded mode: when the parallel fabric cannot finish a round (all
+  // workers dead, foreman wedged), evaluate it in-process — same evaluator
+  // the workers run, so the search result is unchanged.
+  master_->set_fallback([this, &data, model, rates](
+                            const std::vector<TreeTask>& tasks) {
+    if (!serial_fallback_) {
+      serial_fallback_ = std::make_unique<SerialTaskRunner>(
+          data, model, rates, options_.optimize);
+    }
+    return serial_fallback_->run_round(tasks);
+  });
 
   // Foreman thread.
   threads_.emplace_back([this] {
@@ -62,10 +46,14 @@ InProcessCluster::InProcessCluster(const PatternAlignment& data,
     monitor_main(*endpoint, board_);
   });
   // Worker threads.
-  for (int w = 0; w < options.num_workers; ++w) {
+  for (int w = 0; w < options_.num_workers; ++w) {
     const int rank = kFirstWorkerRank + w;
     threads_.emplace_back([this, rank, &data, model, rates] {
       std::unique_ptr<Transport> endpoint = fabric_.endpoint(rank);
+      if (options_.chaos.has_value()) {
+        endpoint = std::make_unique<ChaosTransport>(
+            std::move(endpoint), *options_.chaos, chaos_totals_);
+      }
       if (options_.wrap_worker_transport) {
         endpoint = options_.wrap_worker_transport(rank, std::move(endpoint));
       }
@@ -74,7 +62,7 @@ InProcessCluster::InProcessCluster(const PatternAlignment& data,
   }
 }
 
-TaskRunner& InProcessCluster::runner() { return *runner_; }
+TaskRunner& InProcessCluster::runner() { return *master_; }
 
 InProcessCluster::~InProcessCluster() { shutdown(); }
 

@@ -4,15 +4,25 @@
 // StepwiseSearch runs unchanged on top of it. This is the substitution for
 // the paper's MPI runs on the RS/6000 SP: the identical protocol executes
 // for real, with threads standing in for hosts (see DESIGN.md).
+//
+// The cluster can also run under fault injection: set
+// ClusterOptions::chaos and every worker endpoint is wrapped in a
+// ChaosTransport driven by that plan (each rank sees its own reproducible
+// fault lane). When the fabric degrades past recovery the master falls
+// back to an in-process SerialTaskRunner, so a chaos run always produces
+// an answer.
 #pragma once
 
 #include <functional>
 #include <memory>
+#include <optional>
 #include <thread>
 #include <vector>
 
+#include "comm/chaos.hpp"
 #include "comm/transport.hpp"
 #include "parallel/foreman.hpp"
+#include "parallel/master.hpp"
 #include "parallel/monitor.hpp"
 #include "parallel/worker.hpp"
 #include "search/runner.hpp"
@@ -22,10 +32,14 @@ namespace fdml {
 struct ClusterOptions {
   int num_workers = 1;
   ForemanOptions foreman;
+  MasterOptions master;
   OptimizeOptions optimize;
-  /// Optional per-worker transport decorator (fault injection in tests):
-  /// given the worker rank and its raw endpoint, return the endpoint the
-  /// worker should actually use.
+  /// Fault-inject every worker's transport with this plan (the plan seed
+  /// plus the worker's rank keys its independent fault schedule).
+  std::optional<FaultPlan> chaos;
+  /// Optional per-worker transport decorator (custom fault injection in
+  /// tests): given the worker rank and its endpoint — already chaos-wrapped
+  /// when `chaos` is set — return the endpoint the worker should use.
   std::function<std::unique_ptr<Transport>(int, std::unique_ptr<Transport>)>
       wrap_worker_transport;
 };
@@ -41,7 +55,8 @@ class InProcessCluster {
   InProcessCluster& operator=(const InProcessCluster&) = delete;
 
   /// Master-side runner; rounds dispatched here flow master -> foreman ->
-  /// workers and back.
+  /// workers and back (or through the serial fallback when the fabric is
+  /// beyond recovery).
   TaskRunner& runner();
 
   int num_workers() const { return options_.num_workers; }
@@ -50,6 +65,10 @@ class InProcessCluster {
   MonitorReport monitor_report() const { return board_.snapshot(); }
   /// Foreman counters; valid after shutdown().
   const ForemanStats& foreman_stats() const { return foreman_stats_; }
+  /// Master-side counters (watchdog trips, failed rounds, fallbacks).
+  const MasterStats& master_stats() const { return master_->stats(); }
+  /// Aggregate fault-injection counters; non-null iff options.chaos is set.
+  std::shared_ptr<const ChaosTotals> chaos_totals() const { return chaos_totals_; }
 
   std::uint64_t fabric_messages() const { return fabric_.messages_sent(); }
   std::uint64_t fabric_bytes() const { return fabric_.bytes_sent(); }
@@ -59,14 +78,15 @@ class InProcessCluster {
   void shutdown();
 
  private:
-  class MasterRunner;
-
   ClusterOptions options_;
   ThreadFabric fabric_;
   MonitorBoard board_;
   ForemanStats foreman_stats_;
+  std::shared_ptr<ChaosTotals> chaos_totals_;
   std::unique_ptr<Transport> master_endpoint_;
-  std::unique_ptr<MasterRunner> runner_;
+  std::unique_ptr<ParallelMaster> master_;
+  /// Degraded-mode evaluator, built on first use.
+  std::unique_ptr<SerialTaskRunner> serial_fallback_;
   std::vector<std::thread> threads_;
   bool shut_down_ = false;
 };

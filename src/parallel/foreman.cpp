@@ -6,6 +6,7 @@
 #include <optional>
 #include <set>
 
+#include "comm/integrity.hpp"
 #include "parallel/protocol.hpp"
 #include "search/runner.hpp"
 #include "util/log.hpp"
@@ -17,9 +18,33 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
+/// Worker health state machine (DESIGN.md "Worker health model"):
+///   Healthy --timeout/corrupt--> Suspect/quarantine --reply--> Probation
+///   Probation --probe ok--> Healthy; --probe timeout--> Suspect (backoff x2)
+enum class WorkerState { kHealthy, kSuspect, kProbation };
+
+struct WorkerHealth {
+  WorkerState state = WorkerState::kHealthy;
+  /// EWMA of observed task durations, driving the adaptive deadline.
+  double ewma_ms = 0.0;
+  bool has_ewma = false;
+  /// Consecutive delinquencies/quarantines; doubles the probation backoff.
+  int strikes = 0;
+  /// Earliest time a probation probe may be dispatched.
+  Clock::time_point eligible_at{};
+  /// When the worker last went delinquent (feeds the all-dead grace window).
+  Clock::time_point suspect_since{};
+  /// In probation via new-round amnesty, i.e. without having been heard
+  /// from since its delinquency — its first reply still counts as the
+  /// paper's reinstatement.
+  bool awaiting_contact = false;
+};
+
 struct DispatchRecord {
   TreeTask task;
   Clock::time_point dispatched_at;
+  Clock::time_point deadline_at;
+  bool probe = false;
 };
 
 struct RoundState {
@@ -42,88 +67,223 @@ class Foreman {
     for (;;) {
       const auto message = receive();
       if (!message.has_value()) {
-        // Either a worker deadline passed (handled inside receive) or the
-        // fabric shut down under us.
+        // Either a deadline passed (handled inside receive) or the fabric
+        // shut down under us.
         if (fabric_closed_ || transport_.closed()) break;
         continue;
       }
       switch (message->tag) {
         case MessageTag::kHello:
-          mark_ready(message->source);
-          notify(MonitorEventKind::kReinstate, 0, message->source);
-          dispatch_ready();
+          handle_hello(message->source);
           break;
         case MessageTag::kRound:
-          begin_round(RoundMessage::unpack(message->payload));
+          handle_round(message->source, message->payload);
           break;
         case MessageTag::kResult:
           handle_result(message->source, message->payload);
+          break;
+        case MessageTag::kNack:
+          handle_nack(message->source);
           break;
         case MessageTag::kShutdown:
           broadcast_shutdown();
           return stats_;
         default:
+          ++stats_.unexpected_tags;
           FDML_WARN("foreman") << "unexpected tag "
-                               << static_cast<int>(message->tag);
+                               << static_cast<int>(message->tag) << " from rank "
+                               << message->source;
       }
     }
     return stats_;
   }
 
  private:
-  /// Receives with a deadline derived from in-flight dispatch records;
-  /// expires overdue workers before returning.
+  /// Receives with a deadline derived from in-flight dispatch records and
+  /// probation eligibility; expires overdue workers before returning.
   std::optional<Message> receive() {
+    check_round_viability();
+    const auto wake = next_wake();
     std::optional<Message> message;
-    if (in_flight_.empty()) {
+    if (!wake.has_value()) {
       message = transport_.recv();
       if (!message.has_value()) fabric_closed_ = true;
-      return message;
+    } else {
+      const auto now = Clock::now();
+      const auto wait = std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::max(*wake - now, Clock::duration::zero()));
+      message = transport_.recv_for(wait + std::chrono::milliseconds(1));
     }
-    // Wait only until the earliest deadline.
-    const auto now = Clock::now();
-    Clock::time_point earliest = now + options_.worker_timeout;
-    for (const auto& [worker, record] : in_flight_) {
-      earliest = std::min(earliest, record.dispatched_at + options_.worker_timeout);
-    }
-    const auto wait = std::chrono::duration_cast<std::chrono::milliseconds>(
-        std::max(earliest - now, Clock::duration::zero()));
-    message = transport_.recv_for(wait + std::chrono::milliseconds(1));
     expire_overdue();
+    dispatch_work();
     return message;
+  }
+
+  /// Earliest of: an in-flight deadline, or a probation worker becoming
+  /// eligible for a probe while work is waiting. nullopt = nothing pending,
+  /// block indefinitely.
+  std::optional<Clock::time_point> next_wake() const {
+    std::optional<Clock::time_point> earliest;
+    auto consider = [&](Clock::time_point t) {
+      if (!earliest.has_value() || t < *earliest) earliest = t;
+    };
+    for (const auto& [worker, record] : in_flight_) consider(record.deadline_at);
+    if (const auto declare = dead_declare_at()) consider(*declare);
+    if (round_active_ && !work_queue_.empty()) {
+      for (const auto& [worker, health] : health_) {
+        if (health.state == WorkerState::kProbation &&
+            in_flight_.count(worker) == 0) {
+          consider(health.eligible_at);
+        }
+      }
+    }
+    return earliest;
+  }
+
+  WorkerHealth& health(int worker) { return health_[worker]; }
+
+  /// Adaptive per-worker deadline: EWMA x slack, clamped to
+  /// [timeout_floor, worker_timeout]; flat worker_timeout before any
+  /// observation or when adaptivity is off.
+  Clock::duration deadline_for(int worker) {
+    const WorkerHealth& h = health(worker);
+    if (!options_.adaptive_timeouts || !h.has_ewma) return options_.worker_timeout;
+    const auto adaptive = std::chrono::milliseconds(
+        static_cast<std::int64_t>(h.ewma_ms * options_.timeout_slack));
+    return std::min<std::chrono::milliseconds>(
+        std::max<std::chrono::milliseconds>(adaptive, options_.timeout_floor),
+        options_.worker_timeout);
+  }
+
+  Clock::duration backoff_for(int strikes) const {
+    const int doublings = std::min(std::max(strikes - 1, 0), 16);
+    const auto raw = options_.probation_backoff * (1LL << doublings);
+    return std::min<std::chrono::milliseconds>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(raw),
+        options_.probation_backoff_max);
+  }
+
+  void observe_duration(WorkerHealth& h, Clock::duration elapsed) {
+    const double sample_ms =
+        std::chrono::duration<double, std::milli>(elapsed).count();
+    constexpr double kAlpha = 0.3;
+    h.ewma_ms = h.has_ewma ? kAlpha * sample_ms + (1.0 - kAlpha) * h.ewma_ms
+                           : sample_ms;
+    h.has_ewma = true;
+  }
+
+  void send_sealed(int dest, MessageTag tag, std::vector<std::uint8_t> payload) {
+    seal_payload(payload);
+    transport_.send(dest, tag, std::move(payload));
+  }
+
+  /// Requeues the record's task (when the round still needs it) and erases
+  /// the record. Does NOT touch worker health; callers decide that.
+  void requeue_record(std::map<int, DispatchRecord>::iterator it,
+                      const char* why) {
+    const int worker = it->first;
+    const TreeTask& task = it->second.task;
+    // Requeue at the front so the oldest tree goes out first — but only if
+    // the round still needs it; a copy of a completed (or stale-round)
+    // task would just circulate through dispatch and expiry.
+    const bool still_needed = round_active_ &&
+                              task.round_id == round_.round_id &&
+                              round_.completed.count(task.task_id) == 0;
+    if (still_needed) {
+      work_queue_.push_front(task);
+      ++stats_.requeues;
+      notify(MonitorEventKind::kRequeue, task.task_id, worker);
+    }
+    FDML_INFO("foreman") << "worker " << worker << " " << why
+                         << (still_needed ? "; requeued task " : "; dropped task ")
+                         << task.task_id;
+    in_flight_.erase(it);
   }
 
   void expire_overdue() {
     const auto now = Clock::now();
     std::vector<int> overdue;
     for (const auto& [worker, record] : in_flight_) {
-      if (now - record.dispatched_at >= options_.worker_timeout) {
-        overdue.push_back(worker);
-      }
+      if (now >= record.deadline_at) overdue.push_back(worker);
     }
     for (int worker : overdue) {
       auto it = in_flight_.find(worker);
-      const TreeTask& task = it->second.task;
-      // Requeue at the front so the oldest tree goes out first — but only if
-      // the round still needs it; a copy of a completed (or stale-round)
-      // task would just circulate through dispatch and expiry.
-      const bool still_needed = round_active_ &&
-                                task.round_id == round_.round_id &&
-                                round_.completed.count(task.task_id) == 0;
-      if (still_needed) {
-        work_queue_.push_front(task);
-        ++stats_.requeues;
-        notify(MonitorEventKind::kRequeue, task.task_id, worker);
-      }
-      delinquent_.insert(worker);
+      const bool was_probe = it->second.probe;
+      requeue_record(it, "timed out");
+      WorkerHealth& h = health(worker);
+      h.state = WorkerState::kSuspect;
+      h.suspect_since = now;
+      h.awaiting_contact = false;  // timed out again without a word
+      ++h.strikes;
       ++stats_.delinquencies;
-      notify(MonitorEventKind::kDelinquent, task.task_id, worker);
-      FDML_INFO("foreman") << "worker " << worker << " timed out"
-                           << (still_needed ? "; requeued task " : "; dropped task ")
-                           << task.task_id;
-      in_flight_.erase(it);
+      if (was_probe) {
+        ++stats_.probation_failures;
+        notify(MonitorEventKind::kProbeFail, 0, worker);
+      }
+      notify(MonitorEventKind::kDelinquent, 0, worker);
     }
-    dispatch_ready();
+  }
+
+  /// Moves a worker into the probation queue: it will receive one probe
+  /// task after its exponential backoff, and rejoins the ready queue only
+  /// when the probe completes within its deadline. `task_id` labels the
+  /// monitor event (the monitor treats task 0 as an initial hello).
+  void enter_probation(int worker, bool quarantine, std::uint64_t task_id) {
+    WorkerHealth& h = health(worker);
+    h.state = WorkerState::kProbation;
+    h.awaiting_contact = false;  // entered via an actual message
+    if (h.strikes < 1) h.strikes = 1;
+    h.eligible_at = Clock::now() + backoff_for(h.strikes);
+    ++stats_.probations;
+    if (quarantine) {
+      ++stats_.quarantines;
+    } else {
+      // The paper's reinstatement path: a delinquent worker finally replied.
+      ++stats_.reinstatements;
+      notify(MonitorEventKind::kReinstate, task_id, worker);
+    }
+    notify(MonitorEventKind::kProbation, task_id, worker);
+  }
+
+  /// Malformed payload: count, quarantine a worker sender, never die.
+  void handle_corrupt(int sender) {
+    ++stats_.corrupt_messages;
+    notify(MonitorEventKind::kCorrupt, 0, sender);
+    FDML_WARN("foreman") << "malformed payload from rank " << sender;
+    if (sender < kFirstWorkerRank) return;  // master/monitor: count only
+    if (auto it = in_flight_.find(sender); it != in_flight_.end()) {
+      requeue_record(it, "sent a corrupt payload");
+    }
+    ready_.erase(std::remove(ready_.begin(), ready_.end(), sender), ready_.end());
+    ++health(sender).strikes;
+    enter_probation(sender, /*quarantine=*/true, 0);
+    dispatch_work();
+  }
+
+  void handle_hello(int worker) {
+    WorkerHealth& h = health(worker);
+    if (h.state == WorkerState::kSuspect) {
+      enter_probation(worker, /*quarantine=*/false, 0);
+    } else if (h.state == WorkerState::kHealthy) {
+      mark_ready(worker);
+      notify(MonitorEventKind::kReinstate, 0, worker);
+    }
+    dispatch_work();
+  }
+
+  void handle_round(int source, std::vector<std::uint8_t> payload) {
+    if (!open_payload(payload)) {
+      handle_corrupt(source);
+      return;
+    }
+    RoundMessage message;
+    try {
+      message = RoundMessage::unpack(payload);
+    } catch (const std::exception&) {
+      handle_corrupt(source);
+      return;
+    }
+    begin_round(std::move(message));
   }
 
   void begin_round(RoundMessage message) {
@@ -136,6 +296,21 @@ class Foreman {
     round_.round_id = message.round_id;
     round_.expected = message.tasks.size();
     round_active_ = true;
+    // New-round amnesty: a suspect never gets dispatched to and an idle
+    // worker never speaks unprompted, so without this a single dropped
+    // reply would exile a live worker for the rest of the run. Give
+    // lightly-struck suspects one probe; leave the rest suspect so a dead
+    // fabric still fails the round quickly.
+    for (auto& [worker, h] : health_) {
+      if (h.state == WorkerState::kSuspect &&
+          h.strikes <= options_.amnesty_max_strikes) {
+        h.state = WorkerState::kProbation;
+        h.eligible_at = Clock::now() + backoff_for(h.strikes);
+        h.awaiting_contact = true;
+        ++stats_.probations;
+        notify(MonitorEventKind::kProbation, 0, worker);
+      }
+    }
     ++stats_.rounds;
     notify(MonitorEventKind::kRoundBegin, 0, -1);
     for (TreeTask& task : message.tasks) {
@@ -144,43 +319,112 @@ class Foreman {
       round_.task_bytes[task.task_id] = packer.size();
       work_queue_.push_back(std::move(task));
     }
-    dispatch_ready();
+    dispatch_work();
   }
 
-  void dispatch_ready() {
+  void dispatch_to(int worker, bool probe) {
+    TreeTask task = std::move(work_queue_.front());
+    work_queue_.pop_front();
+    Packer packer;
+    task.pack(packer);
+    send_sealed(worker, MessageTag::kTask, packer.take());
+    notify(MonitorEventKind::kDispatch, task.task_id, worker);
+    ++stats_.tasks_dispatched;
+    const auto now = Clock::now();
+    in_flight_[worker] = {std::move(task), now, now + deadline_for(worker), probe};
+  }
+
+  void dispatch_work() {
     while (!work_queue_.empty() && !ready_.empty()) {
       const int worker = ready_.front();
       ready_.pop_front();
-      TreeTask task = std::move(work_queue_.front());
-      work_queue_.pop_front();
-      Packer packer;
-      task.pack(packer);
-      transport_.send(worker, MessageTag::kTask, packer.take());
-      notify(MonitorEventKind::kDispatch, task.task_id, worker);
-      ++stats_.tasks_dispatched;
-      in_flight_[worker] = {std::move(task), Clock::now()};
+      dispatch_to(worker, /*probe=*/false);
+    }
+    if (work_queue_.empty()) return;
+    // Probation: one probe task per eligible worker; passing it is the only
+    // way back into the ready queue.
+    const auto now = Clock::now();
+    for (auto& [worker, h] : health_) {
+      if (work_queue_.empty()) break;
+      if (h.state != WorkerState::kProbation) continue;
+      if (in_flight_.count(worker) != 0) continue;
+      if (now < h.eligible_at) continue;
+      ++stats_.probation_probes;
+      notify(MonitorEventKind::kProbation, work_queue_.front().task_id, worker);
+      dispatch_to(worker, /*probe=*/true);
     }
   }
 
-  /// Returns the worker to the ready queue unless it still has a task in
-  /// flight (its reply will ready it) or is already queued. Keeping this the
-  /// single entry point to ready_ is what maintains the invariant that a
-  /// worker appears at most once across ready_ and in_flight_.
+  /// Returns the worker to the ready queue unless it is unhealthy, still
+  /// has a task in flight (its reply will ready it) or is already queued.
+  /// Keeping this the single entry point to ready_ is what maintains the
+  /// invariant that a worker appears at most once across ready_ and
+  /// in_flight_.
   void mark_ready(int worker) {
+    if (health(worker).state != WorkerState::kHealthy) return;
     if (in_flight_.count(worker) != 0) return;
     if (std::find(ready_.begin(), ready_.end(), worker) != ready_.end()) return;
     ready_.push_back(worker);
   }
 
-  void handle_result(int worker, const std::vector<std::uint8_t>& payload) {
-    Unpacker unpacker(payload);
-    TaskResult result = TaskResult::unpack(unpacker);
+  /// A worker reports its task payload arrived malformed: requeue the task
+  /// (the foreman's pristine copy re-serializes cleanly) and keep the
+  /// worker in rotation — the corruption happened in transit, not in it.
+  void handle_nack(int worker) {
+    ++stats_.task_nacks;
+    notify(MonitorEventKind::kNack, 0, worker);
+    if (auto it = in_flight_.find(worker); it != in_flight_.end()) {
+      requeue_record(it, "rejected a malformed task");
+    }
+    if (health(worker).state == WorkerState::kSuspect) {
+      enter_probation(worker, /*quarantine=*/false, 0);
+    } else {
+      mark_ready(worker);
+    }
+    dispatch_work();
+  }
+
+  void handle_result(int worker, std::vector<std::uint8_t> payload) {
+    if (!open_payload(payload)) {
+      handle_corrupt(worker);
+      return;
+    }
+    TaskResult result;
+    try {
+      Unpacker unpacker(payload);
+      result = TaskResult::unpack(unpacker);
+      if (!unpacker.exhausted()) throw std::runtime_error("trailing bytes");
+    } catch (const std::exception&) {
+      handle_corrupt(worker);
+      return;
+    }
     result.worker = worker;
 
+    WorkerHealth& h = health(worker);
+    if (h.awaiting_contact) {
+      // First word from a worker that a new-round amnesty moved to
+      // probation while it was still silent: this reply IS the paper's
+      // "response received from the delinquent worker". Probation still
+      // gates its re-entry, but the reinstatement is counted here, where
+      // the contact actually happened.
+      h.awaiting_contact = false;
+      ++stats_.reinstatements;
+      notify(MonitorEventKind::kReinstate, result.task_id, worker);
+    }
     const auto flight = in_flight_.find(worker);
     if (flight != in_flight_.end()) {
       if (flight->second.task.task_id == result.task_id) {
+        observe_duration(h, Clock::now() - flight->second.dispatched_at);
+        const bool was_probe = flight->second.probe;
         in_flight_.erase(flight);
+        if (was_probe) {
+          h.state = WorkerState::kHealthy;
+          h.strikes = 0;
+          ++stats_.probation_passes;
+          notify(MonitorEventKind::kProbePass, result.task_id, worker);
+        } else {
+          h.strikes = 0;
+        }
         mark_ready(worker);
       } else {
         // Stale reply for an earlier (requeued) task while a different task
@@ -194,18 +438,18 @@ class Foreman {
                              << result.task_id << " while task "
                              << flight->second.task.task_id << " is in flight";
       }
-    } else if (delinquent_.count(worker) != 0) {
-      // The paper's reinstatement path: a delinquent worker finally replied.
-      delinquent_.erase(worker);
-      mark_ready(worker);
-      ++stats_.reinstatements;
-      notify(MonitorEventKind::kReinstate, result.task_id, worker);
-    } else {
+    } else if (h.state == WorkerState::kSuspect) {
+      // A delinquent worker finally replied: probation, not unconditional
+      // reinstatement. Its result may still complete the task below.
+      enter_probation(worker, /*quarantine=*/false, result.task_id);
+    } else if (h.state == WorkerState::kHealthy) {
       mark_ready(worker);
     }
+    // kProbation with no record: a stale duplicate while awaiting its
+    // probe — accept the data, leave the health state alone.
 
     accept(result, payload.size());
-    dispatch_ready();
+    dispatch_work();
   }
 
   void accept(TaskResult& result, std::size_t result_bytes) {
@@ -234,21 +478,71 @@ class Foreman {
     notify(MonitorEventKind::kComplete, result.task_id, result.worker,
            result.cpu_seconds);
 
-    if (!round_.have_best ||
-        result.log_likelihood > round_.best.log_likelihood) {
+    // Ties break toward the lowest task id — the order a serial run would
+    // have kept — so the round winner is independent of completion order
+    // and a chaos-scheduled run reproduces the fault-free tree exactly.
+    const bool better =
+        !round_.have_best ||
+        result.log_likelihood > round_.best.log_likelihood ||
+        (result.log_likelihood == round_.best.log_likelihood &&
+         result.task_id < round_.best.task_id);
+    if (better) {
       round_.best = std::move(result);
       round_.have_best = true;
     }
+
+    ProgressMessage progress;
+    progress.round_id = round_.round_id;
+    progress.completed = round_.completed.size();
+    progress.expected = round_.expected;
+    send_sealed(kMasterRank, MessageTag::kProgress, progress.pack());
 
     if (round_.completed.size() == round_.expected) {
       RoundDoneMessage done;
       done.round_id = round_.round_id;
       done.best = round_.best;
       done.stats = std::move(round_.stats);
-      transport_.send(kMasterRank, MessageTag::kRoundDone, done.pack());
+      send_sealed(kMasterRank, MessageTag::kRoundDone, done.pack());
       notify(MonitorEventKind::kRoundEnd, 0, -1);
       round_active_ = false;
     }
+  }
+
+  /// When the round is stuck — work waiting, nothing in flight, every known
+  /// worker suspect — the instant it may be declared dead: one extra flat
+  /// worker_timeout of silence after the newest delinquency. The grace
+  /// window is what separates "all workers are slow" (a late reply still
+  /// reinstates, the paper's behavior) from "all workers are gone".
+  std::optional<Clock::time_point> dead_declare_at() const {
+    if (!round_active_ || work_queue_.empty() || !in_flight_.empty()) {
+      return std::nullopt;
+    }
+    if (health_.empty()) return std::nullopt;  // nobody ever said hello;
+                                               // the master watchdog covers
+    Clock::time_point newest{};
+    for (const auto& [worker, h] : health_) {
+      if (h.state != WorkerState::kSuspect) return std::nullopt;
+      newest = std::max(newest, h.suspect_since);
+    }
+    return newest + options_.worker_timeout;
+  }
+
+  /// All-workers-dead detection: tell the master the round cannot finish so
+  /// it can degrade to in-process evaluation instead of waiting forever.
+  void check_round_viability() {
+    const auto declare = dead_declare_at();
+    if (!declare.has_value() || Clock::now() < *declare) return;
+    FDML_WARN("foreman") << "round " << round_.round_id
+                         << " unfinishable: all " << health_.size()
+                         << " known workers are delinquent";
+    RoundFailedMessage failed;
+    failed.round_id = round_.round_id;
+    failed.reason = "all workers delinquent";
+    send_sealed(kMasterRank, MessageTag::kRoundFailed, failed.pack());
+    ++stats_.rounds_failed;
+    notify(MonitorEventKind::kRoundFailed, 0, -1);
+    round_active_ = false;
+    work_queue_.clear();
   }
 
   void broadcast_shutdown() {
@@ -270,7 +564,7 @@ class Foreman {
     event.worker = worker;
     event.at_seconds = uptime_.seconds();
     event.cpu_seconds = cpu_seconds;
-    transport_.send(kMonitorRank, MessageTag::kMonitorEvent, event.pack());
+    send_sealed(kMonitorRank, MessageTag::kMonitorEvent, event.pack());
   }
 
   Transport& transport_;
@@ -280,7 +574,7 @@ class Foreman {
 
   std::deque<TreeTask> work_queue_;
   std::deque<int> ready_;
-  std::set<int> delinquent_;
+  std::map<int, WorkerHealth> health_;
   std::map<int, DispatchRecord> in_flight_;
   RoundState round_;
   bool round_active_ = false;

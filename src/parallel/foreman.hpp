@@ -6,6 +6,21 @@
 // that worker is sent to a different worker. If at some later time a
 // response is received from the delinquent worker, then that worker is
 // added back into the list of workers available to analyze trees."
+//
+// Hardening beyond the paper's happy path (see DESIGN.md "Worker health
+// model"):
+//   - Every inbound payload is integrity-checked and decoded behind a
+//     malformed-message guard; a corrupt payload quarantines its sender and
+//     bumps a counter instead of killing the foreman thread.
+//   - The single global timeout is a ceiling: each worker gets an adaptive
+//     deadline (EWMA of its observed task durations x a slack factor,
+//     clamped to [timeout_floor, worker_timeout]).
+//   - A returning delinquent is not reinstated unconditionally: it enters
+//     probation, waits out an exponential backoff, receives one probe task,
+//     and only rejoins the ready queue when the probe completes in time.
+//   - If every known worker is delinquent while work is outstanding, the
+//     foreman reports kRoundFailed to the master instead of letting the
+//     round hang forever.
 #pragma once
 
 #include <chrono>
@@ -16,9 +31,25 @@
 namespace fdml {
 
 struct ForemanOptions {
-  /// A worker that holds a task longer than this is declared delinquent and
-  /// its task is requeued (the paper's user-specified timeout parameter).
+  /// Deadline ceiling, and the deadline used before a worker has any
+  /// observed durations (the paper's user-specified timeout parameter).
   std::chrono::milliseconds worker_timeout{30000};
+  /// Per-worker adaptive deadlines: EWMA(task duration) * timeout_slack,
+  /// clamped to [timeout_floor, worker_timeout]. Off = flat worker_timeout.
+  bool adaptive_timeouts = true;
+  double timeout_slack = 4.0;
+  /// Floor keeps heterogeneous task sizes (and sanitizer slowdowns) from
+  /// triggering spurious delinquencies after a streak of cheap tasks.
+  std::chrono::milliseconds timeout_floor{2000};
+  /// Probation backoff: strike n waits probation_backoff * 2^(n-1), capped.
+  std::chrono::milliseconds probation_backoff{50};
+  std::chrono::milliseconds probation_backoff_max{5000};
+  /// New-round amnesty: a suspect with at most this many consecutive
+  /// strikes re-enters probation (one probe after its backoff) when the
+  /// next round begins — a dropped reply must not exile a live worker
+  /// forever. Workers beyond the limit stay suspect so a genuinely dead
+  /// fabric fails rounds fast instead of re-probing corpses each round.
+  int amnesty_max_strikes = 3;
   /// Emit instrumentation events to the monitor rank.
   bool notify_monitor = true;
 };
@@ -34,6 +65,22 @@ struct ForemanStats {
   /// Results whose task id did not match the sender's in-flight record (a
   /// stale reply racing a requeue); the record is kept, not clobbered.
   std::uint64_t mismatched_results = 0;
+  /// Payloads that failed the integrity check or threw during decoding.
+  std::uint64_t corrupt_messages = 0;
+  /// Senders quarantined for a corrupt payload (subset of probations).
+  std::uint64_t quarantines = 0;
+  /// Workers that entered the probation queue (reinstatement + quarantine).
+  std::uint64_t probations = 0;
+  /// Probe tasks dispatched to probation workers.
+  std::uint64_t probation_probes = 0;
+  std::uint64_t probation_passes = 0;
+  std::uint64_t probation_failures = 0;
+  /// Workers reporting a malformed task payload (their task is requeued).
+  std::uint64_t task_nacks = 0;
+  /// Rounds abandoned because every known worker was delinquent.
+  std::uint64_t rounds_failed = 0;
+  /// Messages with tags the foreman does not understand.
+  std::uint64_t unexpected_tags = 0;
 };
 
 /// Runs the foreman loop until a shutdown message arrives (which is

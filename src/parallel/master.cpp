@@ -1,0 +1,142 @@
+#include "parallel/master.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "comm/integrity.hpp"
+#include "parallel/protocol.hpp"
+#include "util/log.hpp"
+
+namespace fdml {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+}  // namespace
+
+ParallelMaster::ParallelMaster(Transport& transport, int workers,
+                               MasterOptions options)
+    : transport_(transport), workers_(workers), options_(options) {}
+
+RoundOutcome ParallelMaster::degrade(std::uint64_t round_id,
+                                     const std::vector<TreeTask>& tasks,
+                                     const std::string& reason) {
+  if (!options_.serial_fallback || !fallback_) {
+    throw RoundFailedError(round_id, reason);
+  }
+  ++stats_.serial_fallbacks;
+  FDML_WARN("master") << "round " << round_id << " failed (" << reason
+                      << "); evaluating " << tasks.size()
+                      << " tasks in-process";
+  return fallback_(tasks);
+}
+
+RoundOutcome ParallelMaster::run_round(const std::vector<TreeTask>& tasks) {
+  if (tasks.empty()) throw std::invalid_argument("run_round: empty round");
+  ++stats_.rounds;
+  RoundMessage round;
+  round.round_id = next_round_id_++;
+  round.tasks = tasks;
+  // Stamp the round id the foreman will echo back.
+  for (TreeTask& task : round.tasks) task.round_id = round.round_id;
+
+  if (degraded_) {
+    return degrade(round.round_id, tasks, "fabric previously wedged");
+  }
+
+  auto payload = round.pack();
+  seal_payload(payload);
+  transport_.send(kForemanRank, MessageTag::kRound, std::move(payload));
+
+  auto last_progress = Clock::now();
+  for (;;) {
+    const auto now = Clock::now();
+    if (now - last_progress >= options_.watchdog_timeout) {
+      ++stats_.watchdog_trips;
+      degraded_ = true;
+      FDML_WARN("master") << "watchdog: no progress on round "
+                          << round.round_id << " for "
+                          << options_.watchdog_timeout.count() << " ms";
+      return degrade(round.round_id, tasks, "watchdog: no round progress");
+    }
+    const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+        options_.watchdog_timeout - (now - last_progress));
+    auto message = transport_.recv_for(remaining + std::chrono::milliseconds(1));
+    if (!message.has_value()) {
+      if (transport_.closed()) {
+        throw std::runtime_error("master: fabric shut down mid-round");
+      }
+      continue;  // watchdog re-checked at the top
+    }
+
+    switch (message->tag) {
+      case MessageTag::kProgress: {
+        if (!open_payload(message->payload)) {
+          ++stats_.corrupt_messages;
+          break;
+        }
+        try {
+          const ProgressMessage progress =
+              ProgressMessage::unpack(message->payload);
+          if (progress.round_id == round.round_id) {
+            ++stats_.progress_messages;
+            last_progress = Clock::now();
+          } else {
+            ++stats_.stale_messages;
+          }
+        } catch (const std::exception&) {
+          ++stats_.corrupt_messages;
+        }
+        break;
+      }
+      case MessageTag::kRoundDone: {
+        if (!open_payload(message->payload)) {
+          ++stats_.corrupt_messages;
+          break;
+        }
+        RoundDoneMessage done;
+        try {
+          done = RoundDoneMessage::unpack(message->payload);
+        } catch (const std::exception&) {
+          ++stats_.corrupt_messages;
+          break;
+        }
+        if (done.round_id != round.round_id) {
+          ++stats_.stale_messages;
+          break;
+        }
+        RoundOutcome outcome;
+        outcome.best = std::move(done.best);
+        outcome.stats = std::move(done.stats);
+        return outcome;
+      }
+      case MessageTag::kRoundFailed: {
+        if (!open_payload(message->payload)) {
+          ++stats_.corrupt_messages;
+          break;
+        }
+        RoundFailedMessage failed;
+        try {
+          failed = RoundFailedMessage::unpack(message->payload);
+        } catch (const std::exception&) {
+          ++stats_.corrupt_messages;
+          break;
+        }
+        if (failed.round_id != round.round_id) {
+          ++stats_.stale_messages;
+          break;
+        }
+        ++stats_.rounds_failed;
+        return degrade(round.round_id, tasks, failed.reason);
+      }
+      default:
+        // Previously these were discarded without a trace, which hid real
+        // protocol bugs; now they are at least visible and counted.
+        ++stats_.unexpected_tags;
+        FDML_WARN("master") << "ignoring unexpected tag "
+                            << static_cast<int>(message->tag) << " from rank "
+                            << message->source << " mid-round";
+    }
+  }
+}
+
+}  // namespace fdml

@@ -1,0 +1,101 @@
+// The master side of the parallel protocol: packs rounds for the foreman
+// and waits for the best tree to come back.
+//
+// Hardened beyond the happy path: a round watchdog (fed by the foreman's
+// kProgress heartbeats) turns "the fabric silently wedged" into either a
+// structured RoundFailedError or a graceful degradation to in-process
+// evaluation, and unexpected traffic is warned about and counted instead
+// of silently discarded.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "comm/transport.hpp"
+#include "search/runner.hpp"
+
+namespace fdml {
+
+struct MasterOptions {
+  /// Watchdog: if no round traffic (progress, completion, failure) arrives
+  /// for this long, the round is declared wedged.
+  std::chrono::milliseconds watchdog_timeout{120000};
+  /// On a failed/wedged round, evaluate the round in-process through the
+  /// fallback runner instead of raising RoundFailedError.
+  bool serial_fallback = true;
+};
+
+struct MasterStats {
+  std::uint64_t rounds = 0;
+  /// kProgress heartbeats consumed for the current protocol's rounds.
+  std::uint64_t progress_messages = 0;
+  /// Messages whose tag the master does not understand (warned, not dropped
+  /// silently).
+  std::uint64_t unexpected_tags = 0;
+  /// Round-scoped messages for a round other than the one in flight.
+  std::uint64_t stale_messages = 0;
+  /// Payloads that failed the integrity check or threw during decoding.
+  std::uint64_t corrupt_messages = 0;
+  /// Rounds declared wedged by the watchdog.
+  std::uint64_t watchdog_trips = 0;
+  /// kRoundFailed reports received from the foreman.
+  std::uint64_t rounds_failed = 0;
+  /// Rounds evaluated through the in-process fallback runner.
+  std::uint64_t serial_fallbacks = 0;
+};
+
+/// A round could not be completed by the parallel fabric and no fallback
+/// was available.
+class RoundFailedError : public std::runtime_error {
+ public:
+  RoundFailedError(std::uint64_t round_id, const std::string& reason)
+      : std::runtime_error("round " + std::to_string(round_id) +
+                           " failed: " + reason),
+        round_id_(round_id) {}
+
+  std::uint64_t round_id() const { return round_id_; }
+
+ private:
+  std::uint64_t round_id_;
+};
+
+class ParallelMaster final : public TaskRunner {
+ public:
+  ParallelMaster(Transport& transport, int workers, MasterOptions options = {});
+
+  /// Installs the degraded-mode evaluator (typically a lazily constructed
+  /// SerialTaskRunner). Without one, a failed round raises RoundFailedError
+  /// regardless of options.serial_fallback.
+  void set_fallback(std::function<RoundOutcome(const std::vector<TreeTask>&)> fallback) {
+    fallback_ = std::move(fallback);
+  }
+
+  RoundOutcome run_round(const std::vector<TreeTask>& tasks) override;
+  int worker_count() const override { return workers_; }
+
+  const MasterStats& stats() const { return stats_; }
+
+ private:
+  RoundOutcome degrade(std::uint64_t round_id,
+                       const std::vector<TreeTask>& tasks,
+                       const std::string& reason);
+
+  Transport& transport_;
+  int workers_;
+  MasterOptions options_;
+  MasterStats stats_;
+  std::function<RoundOutcome(const std::vector<TreeTask>&)> fallback_;
+  std::uint64_t next_round_id_ = 1;
+  /// Set when the watchdog trips (the foreman itself is unresponsive);
+  /// later rounds then skip straight to the fallback instead of paying the
+  /// watchdog timeout again. A foreman-reported kRoundFailed does NOT set
+  /// this: the foreman is alive and detects a dead worker pool instantly,
+  /// and probation may yet recover the workers.
+  bool degraded_ = false;
+};
+
+}  // namespace fdml

@@ -1,5 +1,7 @@
 #include "parallel/monitor.hpp"
 
+#include "comm/integrity.hpp"
+
 namespace fdml {
 
 void MonitorBoard::apply(const MonitorEvent& event) {
@@ -38,7 +40,30 @@ void MonitorBoard::apply(const MonitorEvent& event) {
       }
       report_.round_duration_seconds.push_back(event.at_seconds - round_begin_at_);
       break;
+    case MonitorEventKind::kCorrupt:
+      ++report_.corrupt_messages;
+      break;
+    case MonitorEventKind::kProbation:
+      ++report_.probations;
+      break;
+    case MonitorEventKind::kProbePass:
+      ++report_.probe_passes;
+      break;
+    case MonitorEventKind::kProbeFail:
+      ++report_.probe_failures;
+      break;
+    case MonitorEventKind::kNack:
+      ++report_.nacks;
+      break;
+    case MonitorEventKind::kRoundFailed:
+      ++report_.rounds_failed;
+      break;
   }
+}
+
+void MonitorBoard::note_malformed_event() {
+  std::lock_guard lock(mutex_);
+  ++report_.malformed_events;
 }
 
 MonitorReport MonitorBoard::snapshot() const {
@@ -50,7 +75,17 @@ void monitor_main(Transport& transport, MonitorBoard& board) {
   while (auto message = transport.recv()) {
     if (message->tag == MessageTag::kShutdown) break;
     if (message->tag != MessageTag::kMonitorEvent) continue;
-    board.apply(MonitorEvent::unpack(message->payload));
+    // Instrumentation is best-effort: a corrupt event is dropped (and
+    // counted), never allowed to take the monitor thread down.
+    if (!open_payload(message->payload)) {
+      board.note_malformed_event();
+      continue;
+    }
+    try {
+      board.apply(MonitorEvent::unpack(message->payload));
+    } catch (const std::exception&) {
+      board.note_malformed_event();
+    }
   }
 }
 

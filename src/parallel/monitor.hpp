@@ -21,6 +21,18 @@ struct MonitorReport {
   std::uint64_t requeues = 0;
   std::uint64_t delinquencies = 0;
   std::uint64_t reinstatements = 0;
+  /// Malformed payloads the foreman detected (and quarantined the sender).
+  std::uint64_t corrupt_messages = 0;
+  /// Workers that entered the probation queue.
+  std::uint64_t probations = 0;
+  std::uint64_t probe_passes = 0;
+  std::uint64_t probe_failures = 0;
+  /// Workers that reported a malformed task payload.
+  std::uint64_t nacks = 0;
+  /// Rounds the foreman declared unfinishable.
+  std::uint64_t rounds_failed = 0;
+  /// Monitor events that themselves arrived malformed (dropped).
+  std::uint64_t malformed_events = 0;
   double total_worker_cpu_seconds = 0.0;
   /// Tasks completed per worker rank.
   std::map<int, std::uint64_t> tasks_per_worker;
@@ -35,6 +47,9 @@ struct MonitorReport {
 class MonitorBoard {
  public:
   void apply(const MonitorEvent& event);
+  /// A kMonitorEvent whose payload failed the integrity check (counted so
+  /// even the instrumentation stream is corruption-safe).
+  void note_malformed_event();
   MonitorReport snapshot() const;
 
  private:

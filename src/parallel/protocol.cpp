@@ -54,6 +54,39 @@ RoundDoneMessage RoundDoneMessage::unpack(const std::vector<std::uint8_t>& paylo
   return message;
 }
 
+std::vector<std::uint8_t> ProgressMessage::pack() const {
+  Packer packer;
+  packer.put_u64(round_id);
+  packer.put_u64(completed);
+  packer.put_u64(expected);
+  return packer.take();
+}
+
+ProgressMessage ProgressMessage::unpack(const std::vector<std::uint8_t>& payload) {
+  Unpacker unpacker(payload);
+  ProgressMessage message;
+  message.round_id = unpacker.get_u64();
+  message.completed = unpacker.get_u64();
+  message.expected = unpacker.get_u64();
+  return message;
+}
+
+std::vector<std::uint8_t> RoundFailedMessage::pack() const {
+  Packer packer;
+  packer.put_u64(round_id);
+  packer.put_string(reason);
+  return packer.take();
+}
+
+RoundFailedMessage RoundFailedMessage::unpack(
+    const std::vector<std::uint8_t>& payload) {
+  Unpacker unpacker(payload);
+  RoundFailedMessage message;
+  message.round_id = unpacker.get_u64();
+  message.reason = unpacker.get_string();
+  return message;
+}
+
 std::vector<std::uint8_t> MonitorEvent::pack() const {
   Packer packer;
   packer.put_u8(static_cast<std::uint8_t>(kind));

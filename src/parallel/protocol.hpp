@@ -38,6 +38,28 @@ struct RoundDoneMessage {
   static RoundDoneMessage unpack(const std::vector<std::uint8_t>& payload);
 };
 
+/// foreman -> master: round liveness heartbeat, sent on every accepted task
+/// so the master's watchdog can tell "slow" from "wedged".
+struct ProgressMessage {
+  std::uint64_t round_id = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t expected = 0;
+
+  std::vector<std::uint8_t> pack() const;
+  static ProgressMessage unpack(const std::vector<std::uint8_t>& payload);
+};
+
+/// foreman -> master: the round cannot complete (e.g. every worker is
+/// delinquent); the master degrades to in-process evaluation or raises a
+/// structured error instead of blocking forever.
+struct RoundFailedMessage {
+  std::uint64_t round_id = 0;
+  std::string reason;
+
+  std::vector<std::uint8_t> pack() const;
+  static RoundFailedMessage unpack(const std::vector<std::uint8_t>& payload);
+};
+
 /// foreman -> monitor: instrumentation events.
 enum class MonitorEventKind : std::uint8_t {
   kRoundBegin = 1,
@@ -47,6 +69,18 @@ enum class MonitorEventKind : std::uint8_t {
   kDelinquent = 5,
   kReinstate = 6,
   kRoundEnd = 7,
+  /// Malformed payload detected (worker = quarantined sender, or -1).
+  kCorrupt = 8,
+  /// A suspect worker re-entered via the probation queue.
+  kProbation = 9,
+  /// Probation probe completed within its deadline; worker is healthy again.
+  kProbePass = 10,
+  /// Probation probe timed out; worker is suspect again, backoff doubled.
+  kProbeFail = 11,
+  /// A worker reported its task payload arrived malformed.
+  kNack = 12,
+  /// The foreman declared the round unfinishable (all workers dead).
+  kRoundFailed = 13,
 };
 
 struct MonitorEvent {

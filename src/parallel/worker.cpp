@@ -1,12 +1,33 @@
 #include "parallel/worker.hpp"
 
+#include <optional>
 #include <utility>
 
+#include "comm/integrity.hpp"
 #include "parallel/protocol.hpp"
 #include "search/task_evaluator.hpp"
 #include "util/log.hpp"
 
 namespace fdml {
+
+namespace {
+
+/// Malformed-payload guard: verify the integrity footer, then decode behind
+/// a catch. A task that was corrupted in transit must not kill the worker —
+/// the foreman holds a pristine copy and will resend on our NACK.
+std::optional<TreeTask> decode_task(std::vector<std::uint8_t> payload) {
+  if (!open_payload(payload)) return std::nullopt;
+  try {
+    Unpacker unpacker(payload);
+    TreeTask task = TreeTask::unpack(unpacker);
+    if (!unpacker.exhausted()) return std::nullopt;
+    return task;
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace
 
 WorkerStats worker_main(Transport& transport, const PatternAlignment& data,
                         SubstModel model, RateModel rates,
@@ -18,19 +39,28 @@ WorkerStats worker_main(Transport& transport, const PatternAlignment& data,
   while (auto message = transport.recv()) {
     if (message->tag == MessageTag::kShutdown) break;
     if (message->tag != MessageTag::kTask) {
+      ++stats.unexpected_tags;
       FDML_WARN("worker") << "rank " << transport.rank() << " ignoring tag "
                           << static_cast<int>(message->tag);
       continue;
     }
-    Unpacker unpacker(message->payload);
-    const TreeTask task = TreeTask::unpack(unpacker);
-    TaskResult result = evaluator.evaluate(task);
+    const std::optional<TreeTask> task = decode_task(std::move(message->payload));
+    if (!task.has_value()) {
+      ++stats.corrupt_tasks;
+      FDML_WARN("worker") << "rank " << transport.rank()
+                          << " received a malformed task payload; nacking";
+      transport.send(kForemanRank, MessageTag::kNack, {});
+      continue;
+    }
+    TaskResult result = evaluator.evaluate(*task);
     result.worker = transport.rank();
     ++stats.tasks_evaluated;
     stats.cpu_seconds += result.cpu_seconds;
     Packer packer;
     result.pack(packer);
-    transport.send(kForemanRank, MessageTag::kResult, packer.take());
+    auto payload = packer.take();
+    seal_payload(payload);
+    transport.send(kForemanRank, MessageTag::kResult, std::move(payload));
   }
   return stats;
 }

@@ -13,6 +13,12 @@ namespace fdml {
 struct WorkerStats {
   std::uint64_t tasks_evaluated = 0;
   double cpu_seconds = 0.0;
+  /// Task payloads that failed the integrity check or threw during
+  /// decoding; each one is answered with a kNack so the foreman can
+  /// requeue the task immediately instead of waiting out the deadline.
+  std::uint64_t corrupt_tasks = 0;
+  /// Messages with tags the worker does not understand.
+  std::uint64_t unexpected_tags = 0;
 };
 
 /// Runs the worker loop until shutdown. `data` must outlive the call.

@@ -48,6 +48,18 @@ class SearchRun {
         throw std::invalid_argument("resume: checkpoint tree/index mismatch");
       }
       record_event(tree.tip_count(), lnl, checkpoint->tree_newick);
+      if (checkpoint->phase == SearchPhase::kRearrange) {
+        // The run died mid-rearrangement: finish that stage first, picking
+        // up the exact round counter and crossing distance it left off at.
+        const int idx = start_index - 1;
+        const bool last = idx == n - 1;
+        const int cross =
+            last ? options_.final_rearrange_cross : options_.rearrange_cross;
+        lnl = rearrange_until_stable(tree, lnl, cross, start_index,
+                                     checkpoint->rearrange_rounds_done,
+                                     checkpoint->rearrange_cross);
+        write_checkpoint(start_index, tree, lnl);
+      }
     } else {
       // Step 2: the unique 3-taxon tree, fully optimized.
       tree.make_triplet(order[0], order[1], order[2]);
@@ -69,7 +81,7 @@ class SearchRun {
       if (cross > 0 && (last || options_.rearrange_after_each_addition)) {
         lnl = rearrange_until_stable(tree, lnl, cross, idx + 1);
       }
-      write_checkpoint(order, idx + 1, tree, lnl);
+      write_checkpoint(idx + 1, tree, lnl);
     }
 
     result_.best_newick = to_newick(tree, names_, 17);
@@ -132,16 +144,22 @@ class SearchRun {
     result_.events.push_back({taxa, lnl, std::move(newick)});
   }
 
-  /// Writes the restart checkpoint after a completed taxon addition.
-  void write_checkpoint(const std::vector<int>& order, int next_index,
-                        const Tree& tree, double lnl) {
+  /// Writes the restart checkpoint after a completed taxon addition
+  /// (phase kAddition) or a completed rearrangement round (kRearrange,
+  /// with the loop state needed to continue that stage exactly).
+  void write_checkpoint(int next_index, const Tree& tree, double lnl,
+                        SearchPhase phase = SearchPhase::kAddition,
+                        int rounds_done = 0, int cross = 0) {
     if (options_.checkpoint_path.empty()) return;
     SearchCheckpoint checkpoint;
     checkpoint.seed = options_.seed;
-    checkpoint.addition_order = order;
+    checkpoint.addition_order = result_.addition_order;
     checkpoint.next_order_index = next_index;
     checkpoint.tree_newick = to_newick(tree, names_, 17);
     checkpoint.log_likelihood = lnl;
+    checkpoint.phase = phase;
+    checkpoint.rearrange_rounds_done = rounds_done;
+    checkpoint.rearrange_cross = cross;
     checkpoint.save_file(options_.checkpoint_path);
   }
 
@@ -171,11 +189,16 @@ class SearchRun {
 
   /// Step 4/5: rounds of subtree rearrangement until no improvement. With
   /// adaptive extents enabled, a stalled round escalates the crossing
-  /// distance before the search settles.
+  /// distance before the search settles. `start_round`/`start_cross`
+  /// continue an interrupted stage from a kRearrange checkpoint
+  /// (start_cross 0 = begin at the base extent); each completed round
+  /// checkpoints the loop state, so a killed run resumes from the last
+  /// round boundary and reproduces the uninterrupted result exactly.
   double rearrange_until_stable(Tree& tree, double lnl, int cross,
-                                int taxa_in_tree) {
-    int current_cross = cross;
-    for (int round = 0; round < options_.max_rearrange_rounds; ++round) {
+                                int taxa_in_tree, int start_round = 0,
+                                int start_cross = 0) {
+    int current_cross = start_cross > 0 ? start_cross : cross;
+    for (int round = start_round; round < options_.max_rearrange_rounds; ++round) {
       std::set<std::uint64_t> seen{topology_hash(tree)};
       std::vector<TreeTask> tasks;
       for (const SprMove& move : rearrangement_moves(tree, current_cross)) {
@@ -192,7 +215,10 @@ class SearchRun {
       if (best.log_likelihood <= lnl + options_.improvement_epsilon) {
         if (current_cross < options_.adaptive_max_cross) {
           current_cross = std::min(options_.adaptive_max_cross, 2 * current_cross);
-          continue;  // stalled: widen the search radius and retry
+          // Stalled: widen the search radius and retry.
+          write_checkpoint(taxa_in_tree, tree, lnl, SearchPhase::kRearrange,
+                           round + 1, current_cross);
+          continue;
         }
         break;
       }
@@ -200,6 +226,8 @@ class SearchRun {
       ++result_.rearrangements_accepted;
       record_event(taxa_in_tree, lnl, best.newick);
       current_cross = cross;  // improvement: back to the base extent
+      write_checkpoint(taxa_in_tree, tree, lnl, SearchPhase::kRearrange,
+                       round + 1, current_cross);
     }
     return lnl;
   }
@@ -255,10 +283,12 @@ SearchResult StepwiseSearch::resume(TaskRunner& runner,
 }
 
 void SearchCheckpoint::save(std::ostream& out) const {
-  out << "fdml-checkpoint 1\n";
+  out << "fdml-checkpoint 2\n";
   out << seed << " " << next_order_index << " " << addition_order.size() << "\n";
   for (int taxon : addition_order) out << taxon << " ";
   out << "\n";
+  out << static_cast<int>(phase) << " " << rearrange_rounds_done << " "
+      << rearrange_cross << "\n";
   out.precision(17);
   out << log_likelihood << "\n";
   out << tree_newick << "\n";
@@ -268,7 +298,9 @@ SearchCheckpoint SearchCheckpoint::load(std::istream& in) {
   std::string magic;
   int version = 0;
   in >> magic >> version;
-  if (magic != "fdml-checkpoint" || version != 1) {
+  // v1 files (no phase line) restart from the last completed addition;
+  // they remain loadable so old checkpoints survive an upgrade.
+  if (magic != "fdml-checkpoint" || (version != 1 && version != 2)) {
     throw std::runtime_error("checkpoint: bad header");
   }
   SearchCheckpoint checkpoint;
@@ -276,6 +308,15 @@ SearchCheckpoint SearchCheckpoint::load(std::istream& in) {
   in >> checkpoint.seed >> checkpoint.next_order_index >> order_size;
   checkpoint.addition_order.resize(order_size);
   for (auto& taxon : checkpoint.addition_order) in >> taxon;
+  if (version >= 2) {
+    int phase = 0;
+    in >> phase >> checkpoint.rearrange_rounds_done >> checkpoint.rearrange_cross;
+    if (phase != static_cast<int>(SearchPhase::kAddition) &&
+        phase != static_cast<int>(SearchPhase::kRearrange)) {
+      throw std::runtime_error("checkpoint: bad phase");
+    }
+    checkpoint.phase = static_cast<SearchPhase>(phase);
+  }
   in >> checkpoint.log_likelihood;
   // The Newick line is taken verbatim (labels may contain quoted spaces).
   std::string rest;

@@ -57,20 +57,42 @@ struct SearchOptions {
   /// Record per-round task costs for the cluster simulator.
   bool record_trace = true;
   /// When non-empty, write a restart checkpoint here after every completed
-  /// taxon addition (original fastDNAml wrote checkpoint trees so long runs
-  /// could survive interruption). Resume with StepwiseSearch::resume.
+  /// taxon addition and every completed rearrangement round (original
+  /// fastDNAml wrote checkpoint trees so long runs could survive
+  /// interruption). Resume with StepwiseSearch::resume; the completed
+  /// result is identical to the uninterrupted run.
   std::string checkpoint_path;
 };
 
-/// Restartable search state: everything needed to continue a run after the
-/// given taxon addition completed.
+/// Which part of the search a checkpoint captured. Rearrangement rounds are
+/// memoryless given (tree, likelihood, crossing distance, round counter) —
+/// each round rebuilds its candidate set from the current tree — which is
+/// what makes round-granular resume reproduce an uninterrupted run exactly.
+enum class SearchPhase : int {
+  /// The addition (and any rearrangement) for every taxon before
+  /// next_order_index is complete.
+  kAddition = 0,
+  /// Mid-rearrangement with next_order_index taxa in the tree.
+  kRearrange = 1,
+};
+
+/// Restartable search state: everything needed to continue a run after a
+/// completed taxon addition (v1) or a completed rearrangement round (v2).
 struct SearchCheckpoint {
   std::uint64_t seed = 0;
   std::vector<int> addition_order;
-  /// Index into addition_order of the next taxon to add.
+  /// Index into addition_order of the next taxon to add; equals the number
+  /// of taxa in the checkpointed tree.
   int next_order_index = 0;
   std::string tree_newick;
   double log_likelihood = 0.0;
+  SearchPhase phase = SearchPhase::kAddition;
+  /// kRearrange only: rounds already consumed at this taxon count (resumes
+  /// the max_rearrange_rounds budget, not a fresh one).
+  int rearrange_rounds_done = 0;
+  /// kRearrange only: the crossing distance in effect (adaptive extents may
+  /// have escalated it beyond the configured base).
+  int rearrange_cross = 0;
 
   void save(std::ostream& out) const;
   static SearchCheckpoint load(std::istream& in);

@@ -8,6 +8,7 @@
 #include <thread>
 
 #include "comm/fault.hpp"
+#include "comm/integrity.hpp"
 #include "comm/transport.hpp"
 #include "model/simulate.hpp"
 #include "parallel/cluster.hpp"
@@ -124,9 +125,10 @@ TEST(Protocol, RoundDoneAndMonitorEventRoundTrip) {
 // --- scripted foreman (transport-level) ---
 
 TreeTask recv_task(Transport& endpoint) {
-  const auto message = endpoint.recv();
+  auto message = endpoint.recv();
   EXPECT_TRUE(message.has_value());
   EXPECT_EQ(message->tag, MessageTag::kTask);
+  EXPECT_TRUE(open_payload(message->payload));
   Unpacker unpacker(message->payload);
   return TreeTask::unpack(unpacker);
 }
@@ -140,7 +142,9 @@ void send_result(Transport& endpoint, std::uint64_t task_id,
   result.newick = "(a:1,b:1,c:1);";
   Packer packer;
   result.pack(packer);
-  endpoint.send(kForemanRank, MessageTag::kResult, packer.take());
+  auto payload = packer.take();
+  seal_payload(payload);
+  endpoint.send(kForemanRank, MessageTag::kResult, std::move(payload));
 }
 
 void send_round(Transport& endpoint, std::uint64_t round_id,
@@ -154,7 +158,27 @@ void send_round(Transport& endpoint, std::uint64_t round_id,
     task.newick = "(a:1,b:1,c:1);";
     round.tasks.push_back(task);
   }
-  endpoint.send(kForemanRank, MessageTag::kRound, round.pack());
+  auto payload = round.pack();
+  seal_payload(payload);
+  endpoint.send(kForemanRank, MessageTag::kRound, std::move(payload));
+}
+
+/// Waits for the round's kRoundDone, skipping the kProgress heartbeats the
+/// hardened foreman interleaves.
+std::optional<RoundDoneMessage> recv_round_done(
+    Transport& endpoint,
+    std::chrono::milliseconds timeout = std::chrono::milliseconds(2000)) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  for (;;) {
+    const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - std::chrono::steady_clock::now());
+    if (remaining.count() <= 0) return std::nullopt;
+    auto message = endpoint.recv_for(remaining);
+    if (!message.has_value()) return std::nullopt;
+    if (message->tag != MessageTag::kRoundDone) continue;
+    EXPECT_TRUE(open_payload(message->payload));
+    return RoundDoneMessage::unpack(message->payload);
+  }
 }
 
 // Regression: a delinquent worker's stale result (for a task the foreman had
@@ -191,10 +215,9 @@ TEST(Foreman, StaleResultDoesNotDoubleBookWorker) {
   send_result(*worker, 1, 1);
   send_result(*worker, 2, 1);
 
-  const auto done1 = master->recv();
+  const auto done1 = recv_round_done(*master);
   ASSERT_TRUE(done1.has_value());
-  ASSERT_EQ(done1->tag, MessageTag::kRoundDone);
-  EXPECT_EQ(RoundDoneMessage::unpack(done1->payload).stats.size(), 2u);
+  EXPECT_EQ(done1->stats.size(), 2u);
 
   send_round(*master, 2, {10, 11, 12});
   EXPECT_EQ(recv_task(*worker).task_id, 10u);
@@ -206,23 +229,24 @@ TEST(Foreman, StaleResultDoesNotDoubleBookWorker) {
 
   // Finish the round, answering whatever is dispatched.
   if (double_booked.has_value() && double_booked->tag == MessageTag::kTask) {
-    Unpacker unpacker(double_booked->payload);
+    auto payload = double_booked->payload;
+    EXPECT_TRUE(open_payload(payload));
+    Unpacker unpacker(payload);
     send_result(*worker, TreeTask::unpack(unpacker).task_id, 2);
   }
   send_result(*worker, 10, 2);
   for (;;) {
     auto message = worker->recv_for(std::chrono::milliseconds(500));
     if (!message.has_value() || message->tag != MessageTag::kTask) break;
+    EXPECT_TRUE(open_payload(message->payload));
     Unpacker unpacker(message->payload);
     send_result(*worker, TreeTask::unpack(unpacker).task_id, 2);
   }
 
-  const auto done2 = master->recv_for(std::chrono::milliseconds(500));
+  const auto done2 = recv_round_done(*master);
   ASSERT_TRUE(done2.has_value());
-  ASSERT_EQ(done2->tag, MessageTag::kRoundDone);
-  const RoundDoneMessage round2 = RoundDoneMessage::unpack(done2->payload);
-  EXPECT_EQ(round2.stats.size(), 3u);
-  EXPECT_EQ(round2.best.task_id, 10u);
+  EXPECT_EQ(done2->stats.size(), 3u);
+  EXPECT_EQ(done2->best.task_id, 10u);
 
   master->send(kForemanRank, MessageTag::kShutdown, {});
   foreman.join();
