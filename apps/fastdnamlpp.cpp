@@ -9,12 +9,22 @@
 //   fastdnamlpp alignment.phy --bootstrap=100         # bootstrap supports
 //   fastdnamlpp alignment.phy --tstv=2.0 --cross=5 --gamma=0.5 --categories=4
 //   fastdnamlpp alignment.phy --out=best.nwk --svg=compare.svg
+#include <csignal>
 #include <cstdio>
 #include <fstream>
 
 #include "fdml.hpp"
 
 namespace {
+
+// SIGINT/SIGTERM ask the run to stop at the next checkpoint boundary; the
+// search throws SearchInterrupted after that checkpoint is durably
+// committed, so a ^C'd run is always resumable from its last completed step.
+volatile std::sig_atomic_t g_stop_signal = 0;
+
+extern "C" void handle_stop_signal(int signal_number) {
+  g_stop_signal = signal_number;
+}
 
 void usage(const char* program) {
   std::printf(
@@ -31,7 +41,9 @@ void usage(const char* program) {
       "  --workers=N       run the parallel cluster with N workers\n"
       "  --timeout-ms=T    worker fault-tolerance timeout (default 30000)\n"
       "  --checkpoint=FILE write a restart checkpoint after each addition\n"
+      "  --checkpoint-keep=K  checkpoint generations retained (default 3)\n"
       "  --resume=FILE     continue an interrupted run from its checkpoint\n"
+      "                    (rolls back to the newest valid generation)\n"
       "  --out=FILE        write the best tree (Newick)\n"
       "  --svg=FILE        write a comparison SVG across jumbles\n"
       "  --quiet           suppress the ASCII tree\n",
@@ -118,20 +130,53 @@ int main(int argc, char** argv) {
   }
 
   options.checkpoint_path = args.get("checkpoint", "");
+  options.checkpoint_keep =
+      static_cast<std::uint64_t>(args.get_int("checkpoint-keep", 3));
+  options.dataset_fingerprint = alignment_fingerprint(data);
+  options.stop_requested = [] { return g_stop_signal != 0; };
+  std::signal(SIGINT, handle_stop_signal);
+  std::signal(SIGTERM, handle_stop_signal);
 
   Timer timer;
   JumbleResult jumbled;
-  if (args.has("resume")) {
-    const SearchCheckpoint checkpoint =
-        SearchCheckpoint::load_file(args.get("resume", ""));
-    std::printf("resuming from %s (%d of %zu taxa placed)\n",
-                args.get("resume", "").c_str(), checkpoint.next_order_index,
-                data.num_taxa());
-    options.seed = checkpoint.seed;
-    jumbled.runs.push_back(
-        StepwiseSearch(data, options).resume(*runner, checkpoint));
-  } else {
-    jumbled = run_jumbles(data, options, jumbles, *runner);
+  try {
+    if (args.has("resume")) {
+      const std::string resume_path = args.get("resume", "");
+      std::optional<RecoveredCheckpoint> recovered;
+      try {
+        recovered =
+            recover_checkpoint(resume_path, options.dataset_fingerprint);
+      } catch (const std::exception& error) {
+        std::fprintf(stderr, "error: cannot resume from %s: %s\n",
+                     resume_path.c_str(), error.what());
+        return 1;
+      }
+      if (!recovered.has_value()) {
+        std::fprintf(stderr, "error: no usable checkpoint at %s\n",
+                     resume_path.c_str());
+        return 1;
+      }
+      std::printf("resuming from %s (generation %llu, %d of %zu taxa placed)\n",
+                  recovered->path.c_str(),
+                  static_cast<unsigned long long>(recovered->generation),
+                  recovered->checkpoint.next_order_index, data.num_taxa());
+      // Continue checkpointing where the interrupted run left off.
+      if (options.checkpoint_path.empty()) {
+        options.checkpoint_path = resume_path;
+      }
+      options.seed = recovered->checkpoint.seed;
+      jumbled.runs.push_back(
+          StepwiseSearch(data, options).resume(*runner, recovered->checkpoint));
+    } else {
+      jumbled = run_jumbles(data, options, jumbles, *runner);
+    }
+  } catch (const SearchInterrupted& interrupted) {
+    std::printf("\ninterrupted by signal %d; run is resumable at checkpoint "
+                "generation %llu (--resume=%s)\n",
+                static_cast<int>(g_stop_signal),
+                static_cast<unsigned long long>(interrupted.generation()),
+                options.checkpoint_path.c_str());
+    return 130;
   }
   const SearchResult& best = jumbled.runs[jumbled.best_index];
   std::printf("\n%d ordering(s), %.1fs: best ln L = %.4f "

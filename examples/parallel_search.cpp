@@ -5,11 +5,16 @@
 //   ./parallel_search --timeout-ms=5000        # fault-tolerance timeout
 //   ./parallel_search --chaos="chaos-plan v1 seed=7 drop=0.05 delay=0.2"
 //                                              # seeded fault injection
+//   ./parallel_search --checkpoint=run.ckpt --keep=3
+//                                              # durable restart checkpoints
+//   ./parallel_search --resume=run.ckpt --out=best.nwk
+//                                              # continue after a kill -9
 //
 // Prints the result plus the monitor's instrumentation: per-worker task
 // counts, round count, and the barrier slack that limits scalability (the
 // paper's "loosely synchronized" comparison barriers).
 #include <cstdio>
+#include <fstream>
 
 #include "fdml.hpp"
 
@@ -43,9 +48,35 @@ int main(int argc, char** argv) {
   SearchOptions options;
   options.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
   options.rearrange_cross = static_cast<int>(args.get_int("cross", 1));
+  options.checkpoint_path = args.get("checkpoint", "");
+  options.checkpoint_keep = static_cast<std::uint64_t>(args.get_int("keep", 3));
+  options.dataset_fingerprint = alignment_fingerprint(data);
 
   Timer timer;
-  const SearchResult result = StepwiseSearch(data, options).run(cluster.runner());
+  SearchResult result;
+  if (args.has("resume")) {
+    // Crash recovery: roll back to the newest valid checkpoint generation
+    // (fingerprint-checked against this alignment) and continue from there.
+    // The completed result is bit-for-bit the uninterrupted run's.
+    const std::string resume_path = args.get("resume", "");
+    const auto recovered =
+        recover_checkpoint(resume_path, options.dataset_fingerprint);
+    if (!recovered.has_value()) {
+      std::fprintf(stderr, "error: no usable checkpoint at %s\n",
+                   resume_path.c_str());
+      return 1;
+    }
+    std::printf("resuming from %s (generation %llu, %d of %zu taxa placed)\n",
+                recovered->path.c_str(),
+                static_cast<unsigned long long>(recovered->generation),
+                recovered->checkpoint.next_order_index, data.num_taxa());
+    if (options.checkpoint_path.empty()) options.checkpoint_path = resume_path;
+    options.seed = recovered->checkpoint.seed;
+    result = StepwiseSearch(data, options)
+                 .resume(cluster.runner(), recovered->checkpoint);
+  } else {
+    result = StepwiseSearch(data, options).run(cluster.runner());
+  }
   const double wall = timer.seconds();
   cluster.shutdown();  // joins the role threads; final stats are now stable
 
@@ -104,5 +135,19 @@ int main(int argc, char** argv) {
 
   const Tree best = tree_from_newick(result.best_newick, data.names());
   std::printf("\nNewick: %s\n", to_newick(best, data.names(), 6).c_str());
+  if (args.has("out")) {
+    // Canonical result file for the crash-recovery smoke test: the resumed
+    // run's file must compare byte-identical to the uninterrupted run's.
+    std::ofstream out(args.get("out", ""));
+    out << to_newick(best, data.names(), 10) << "\n";
+    char lnl[64];
+    std::snprintf(lnl, sizeof lnl, "lnL %.6f\n", result.best_log_likelihood);
+    out << lnl;
+    if (!out) {
+      std::fprintf(stderr, "error writing %s\n", args.get("out", "").c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", args.get("out", "").c_str());
+  }
   return 0;
 }

@@ -62,6 +62,9 @@ std::string FaultPlan::serialize() const {
   append_kv(out, "reorder_hold_ms", static_cast<std::uint64_t>(reorder_hold_ms));
   append_kv(out, "task_corrupt", task_corrupt);
   append_kv(out, "crash_after", crash_after_sends);
+  append_kv(out, "fs_error", fs_error);
+  append_kv(out, "fs_short_write", fs_short_write);
+  append_kv(out, "fs_crash_at_op", fs_crash_at_op);
   return out;
 }
 
@@ -93,6 +96,9 @@ FaultPlan FaultPlan::parse(const std::string& text) {
       else if (key == "reorder_hold_ms") plan.reorder_hold_ms = static_cast<std::uint32_t>(std::stoul(value));
       else if (key == "task_corrupt") plan.task_corrupt = std::stod(value);
       else if (key == "crash_after" || key == "crash_after_sends") plan.crash_after_sends = std::stoull(value);
+      else if (key == "fs_error") plan.fs_error = std::stod(value);
+      else if (key == "fs_short_write") plan.fs_short_write = std::stod(value);
+      else if (key == "fs_crash_at_op") plan.fs_crash_at_op = std::stoull(value);
       else throw std::runtime_error("FaultPlan: unknown key " + key);
     } catch (const std::invalid_argument&) {
       throw std::runtime_error("FaultPlan: bad value for " + key + ": " + value);

@@ -62,6 +62,17 @@ struct FaultPlan {
   /// everything after it is swallowed, and receives report shutdown.
   /// 0 disables. 1 kills the worker before its hello.
   std::uint64_t crash_after_sends = 0;
+  /// Filesystem faults (FaultVfs, src/durable/fault_vfs.hpp) — one plan
+  /// line replays a failing crash schedule across the message fabric AND
+  /// the durable layer. Probability a mutating durable op fails with EIO:
+  double fs_error = 0.0;
+  /// Probability a durable write persists only a seeded prefix of its
+  /// bytes and then fails with ENOSPC.
+  double fs_short_write = 0.0;
+  /// Process death at the Nth (1-based) mutating durable op: the op takes
+  /// partial effect (write truncated at a seeded offset, rename that may or
+  /// may not land) and DurableCrash is thrown. 0 disables.
+  std::uint64_t fs_crash_at_op = 0;
 
   std::string serialize() const;
   static FaultPlan parse(const std::string& text);

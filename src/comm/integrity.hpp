@@ -12,16 +12,12 @@
 #include <vector>
 
 #include "comm/message.hpp"
+#include "util/fnv.hpp"
 
 namespace fdml {
 
 inline std::uint64_t payload_digest(const std::uint8_t* data, std::size_t size) {
-  std::uint64_t hash = 0xcbf29ce484222325ULL;  // FNV-1a 64 offset basis
-  for (std::size_t i = 0; i < size; ++i) {
-    hash ^= data[i];
-    hash *= 0x100000001b3ULL;
-  }
-  return hash;
+  return fnv1a64(data, size);
 }
 
 /// Appends the digest footer (8 bytes, little-endian) to `payload`.

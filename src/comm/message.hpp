@@ -23,6 +23,8 @@ enum class MessageTag : std::uint8_t {
   kProgress = 8,     ///< foreman -> master: round liveness heartbeat
   kRoundFailed = 9,  ///< foreman -> master: round cannot complete
   kNack = 10,        ///< worker -> foreman: received task was malformed
+  kPing = 11,        ///< foreman -> worker: announce yourself (a revived
+                     ///< foreman rebuilding its worker list after a crash)
 };
 
 struct Message {

@@ -1,0 +1,113 @@
+#include "durable/checkpoint_store.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace fdml {
+
+namespace {
+
+constexpr const char* kGenInfix = ".gen-";
+
+/// Parses the <N> of "<base_name>.gen-<N>"; nullopt for anything else
+/// (including the .tmp staging files).
+std::optional<std::uint64_t> parse_generation(const std::string& name,
+                                              const std::string& base_name) {
+  const std::string prefix = base_name + kGenInfix;
+  if (name.size() <= prefix.size() || name.compare(0, prefix.size(), prefix) != 0) {
+    return std::nullopt;
+  }
+  std::uint64_t value = 0;
+  for (std::size_t i = prefix.size(); i < name.size(); ++i) {
+    const char c = name[i];
+    if (c < '0' || c > '9') return std::nullopt;
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return value;
+}
+
+}  // namespace
+
+CheckpointStore::CheckpointStore(std::string base_path,
+                                 CheckpointStoreOptions options, Vfs* vfs)
+    : base_path_(std::move(base_path)), options_(options), vfs_(vfs) {
+  if (options_.keep == 0) options_.keep = 1;
+  dir_ = parent_dir(base_path_);
+  const auto slash = base_path_.find_last_of('/');
+  base_name_ = slash == std::string::npos ? base_path_
+                                          : base_path_.substr(slash + 1);
+}
+
+std::string CheckpointStore::generation_path(std::uint64_t generation) const {
+  return base_path_ + kGenInfix + std::to_string(generation);
+}
+
+std::vector<std::uint64_t> CheckpointStore::list_generations() const {
+  Vfs& fs = vfs_or_real(vfs_);
+  std::vector<std::uint64_t> generations;
+  for (const std::string& name : fs.list_dir(dir_)) {
+    if (auto gen = parse_generation(name, base_name_)) {
+      generations.push_back(*gen);
+    }
+  }
+  std::sort(generations.begin(), generations.end(),
+            std::greater<std::uint64_t>());
+  return generations;
+}
+
+std::uint64_t CheckpointStore::newest_generation() const {
+  const auto generations = list_generations();
+  return generations.empty() ? 0 : generations.front();
+}
+
+std::uint64_t CheckpointStore::commit(std::uint32_t kind,
+                                      std::uint64_t fingerprint,
+                                      const std::vector<std::uint8_t>& payload) {
+  Vfs& fs = vfs_or_real(vfs_);
+  const std::uint64_t generation = newest_generation() + 1;
+  DurableFrame frame;
+  frame.kind = kind;
+  frame.fingerprint = fingerprint;
+  frame.generation = generation;
+  frame.payload = payload;
+  // The generation file is the truth, so it lands first; refreshing `base`
+  // second means a crash between the two leaves the gen file as newest and
+  // `base` merely stale — recover() prefers gen files, so nothing is lost.
+  write_frame_file_atomic(fs, generation_path(generation), frame);
+  write_frame_file_atomic(fs, base_path_, frame);
+  if (generation > options_.keep) {
+    const std::uint64_t oldest_kept = generation - options_.keep + 1;
+    for (std::uint64_t gen : list_generations()) {
+      if (gen < oldest_kept) fs.remove_file(generation_path(gen));
+    }
+  }
+  return generation;
+}
+
+std::optional<RecoveredFrame> CheckpointStore::recover(
+    std::uint64_t expected_fingerprint) const {
+  Vfs& fs = vfs_or_real(vfs_);
+  std::vector<std::pair<std::uint64_t, std::string>> candidates;
+  for (std::uint64_t gen : list_generations()) {
+    candidates.emplace_back(gen, generation_path(gen));
+  }
+  // `base` last: it duplicates the newest generation, but it is also the
+  // only candidate for stores written before generations existed.
+  candidates.emplace_back(0, base_path_);
+  for (const auto& [gen, path] : candidates) {
+    auto frame = read_frame_file(fs, path);
+    if (!frame.has_value()) continue;  // torn/corrupt/missing: roll back
+    if (expected_fingerprint != 0 && frame->fingerprint != expected_fingerprint) {
+      throw FingerprintMismatchError(path, expected_fingerprint,
+                                     frame->fingerprint);
+    }
+    RecoveredFrame out;
+    out.generation = frame->generation;
+    out.frame = std::move(*frame);
+    out.path = path;
+    return out;
+  }
+  return std::nullopt;
+}
+
+}  // namespace fdml

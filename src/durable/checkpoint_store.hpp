@@ -1,0 +1,116 @@
+// Generational, crash-safe checkpoint storage.
+//
+// A CheckpointStore owns a family of files around a base path:
+//
+//   base.gen-<N>   one durable frame per generation N (the numbering truth)
+//   base           a convenience copy of the newest generation, so tools
+//                  that predate the store (and the v2 text loader) keep
+//                  finding a valid checkpoint at the path the user gave
+//   base.tmp, base.gen-<N>.tmp   in-flight atomic-commit staging
+//
+// commit() writes the new generation with tmp + fsync + rename + dir-fsync,
+// *then* refreshes `base`, then prunes generations older than `keep`. A
+// crash at any point leaves either the old newest generation or the new one
+// fully intact — never a torn newest.
+//
+// recover() walks generations newest-first and returns the first frame that
+// validates (magic, version, digest) AND carries the expected fingerprint.
+// Torn or corrupt candidates are skipped — that is the rollback; a frame
+// that validates but carries a *different* fingerprint is a hard error
+// (FingerprintMismatchError): the user pointed a run at checkpoints from a
+// different alignment/model, and silently rolling past them would resume
+// the wrong search.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "durable/frame.hpp"
+#include "durable/vfs.hpp"
+
+namespace fdml {
+
+/// Base class for durable-layer failures that are about state validity
+/// (as opposed to std::system_error, which is about the I/O itself).
+class DurableError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// A structurally valid checkpoint exists but belongs to a different
+/// dataset/model. Deliberately not skippable by rollback.
+class FingerprintMismatchError : public DurableError {
+ public:
+  FingerprintMismatchError(const std::string& path, std::uint64_t expected,
+                           std::uint64_t found)
+      : DurableError("checkpoint " + path +
+                     " has dataset fingerprint " + std::to_string(found) +
+                     " but the loaded alignment/model has " +
+                     std::to_string(expected) +
+                     " — refusing to resume from a different dataset"),
+        path_(path), expected_(expected), found_(found) {}
+
+  const std::string& path() const { return path_; }
+  std::uint64_t expected() const { return expected_; }
+  std::uint64_t found() const { return found_; }
+
+ private:
+  std::string path_;
+  std::uint64_t expected_;
+  std::uint64_t found_;
+};
+
+struct CheckpointStoreOptions {
+  /// How many generations to retain. Older ones are pruned after a commit.
+  std::uint64_t keep = 3;
+};
+
+/// A recovered checkpoint: the validated frame plus where it came from.
+struct RecoveredFrame {
+  DurableFrame frame;
+  std::uint64_t generation = 0;
+  std::string path;
+};
+
+class CheckpointStore {
+ public:
+  /// `base_path` is the user-visible checkpoint path; generation files live
+  /// beside it. `vfs` may be null (real filesystem).
+  CheckpointStore(std::string base_path, CheckpointStoreOptions options = {},
+                  Vfs* vfs = nullptr);
+
+  /// Durably writes `payload` as the next generation and returns its
+  /// generation number. Throws std::system_error on I/O failure (in which
+  /// case the previous newest generation is still intact on disk).
+  std::uint64_t commit(std::uint32_t kind, std::uint64_t fingerprint,
+                       const std::vector<std::uint8_t>& payload);
+
+  /// Newest generation that decodes cleanly and matches `expected_fingerprint`
+  /// (0 = accept any). nullopt when nothing usable exists. Throws
+  /// FingerprintMismatchError when the best valid candidate belongs to a
+  /// different dataset.
+  std::optional<RecoveredFrame> recover(std::uint64_t expected_fingerprint) const;
+
+  /// Largest generation number present on disk (valid or not); 0 when none.
+  /// Commit continues from here, so a run never reuses the number of a
+  /// generation it could not read.
+  std::uint64_t newest_generation() const;
+
+  const std::string& base_path() const { return base_path_; }
+
+ private:
+  std::string generation_path(std::uint64_t generation) const;
+  /// All on-disk generation numbers, sorted descending.
+  std::vector<std::uint64_t> list_generations() const;
+
+  std::string base_path_;
+  std::string base_name_;  // filename component of base_path_
+  std::string dir_;        // parent directory of base_path_
+  CheckpointStoreOptions options_;
+  Vfs* vfs_;
+};
+
+}  // namespace fdml

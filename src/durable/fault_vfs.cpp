@@ -1,0 +1,139 @@
+#include "durable/fault_vfs.hpp"
+
+#include <cerrno>
+#include <system_error>
+
+#include "util/rng.hpp"
+
+namespace fdml {
+
+namespace {
+
+/// Same lane-mixing discipline as ChaosTransport's decision_seed: the
+/// decision for op N depends only on (seed, N), never on timing. The lane
+/// constant keeps the fs schedule independent of the message schedule drawn
+/// from the same plan seed.
+constexpr std::uint64_t kFsLane = 0xd1a8f5ULL;
+
+std::uint64_t fs_decision_seed(std::uint64_t seed, std::uint64_t index,
+                               std::uint64_t salt) {
+  std::uint64_t state =
+      seed + 0x9e3779b97f4a7c15ULL * (kFsLane + index * 2654435761ULL + salt);
+  return splitmix64_next(state);
+}
+
+}  // namespace
+
+std::uint64_t FaultVfs::seeded_below(std::uint64_t index, std::uint64_t bound,
+                                     std::uint64_t salt) const {
+  if (bound == 0) return 0;
+  Rng rng(fs_decision_seed(plan_.seed, index, salt));
+  return rng.below(bound);
+}
+
+bool FaultVfs::crash_due(std::uint64_t index) const {
+  return plan_.fs_crash_at_op != 0 && index >= plan_.fs_crash_at_op;
+}
+
+void FaultVfs::crash_now(std::uint64_t index, const char* op) {
+  crashed_ = true;
+  throw DurableCrash(index, op);
+}
+
+std::uint64_t FaultVfs::begin_op(const char* op) {
+  const std::uint64_t index = ++op_index_;
+  if (crashed_) {
+    // The process is dead: nothing further reaches the disk. Throwing again
+    // keeps the caller's control flow identical to a first crash.
+    throw DurableCrash(index, op);
+  }
+  if (crash_due(index)) return index;  // the crash applies its own effect
+  Rng rng(fs_decision_seed(plan_.seed, index, 0));
+  // Fixed draw order, as in ChaosTransport: changing it changes schedules.
+  const bool error = rng.uniform() < plan_.fs_error;
+  if (error) {
+    throw std::system_error(EIO, std::generic_category(),
+                            std::string("fault-injected I/O error: ") + op);
+  }
+  return index;
+}
+
+void FaultVfs::write_file(const std::string& path, const std::uint8_t* data,
+                          std::size_t size) {
+  const std::uint64_t index = begin_op("write");
+  if (crash_due(index)) {
+    // Torn write: a seeded prefix reaches the disk, then the process dies.
+    const std::size_t kept =
+        static_cast<std::size_t>(seeded_below(index, size + 1, 1));
+    inner_.write_file(path, data, kept);
+    crash_now(index, "write");
+  }
+  Rng rng(fs_decision_seed(plan_.seed, index, 2));
+  if (rng.uniform() < plan_.fs_short_write) {
+    const std::size_t kept =
+        size == 0 ? 0 : static_cast<std::size_t>(seeded_below(index, size, 3));
+    inner_.write_file(path, data, kept);
+    throw std::system_error(ENOSPC, std::generic_category(),
+                            "fault-injected short write: " + path);
+  }
+  inner_.write_file(path, data, size);
+}
+
+void FaultVfs::append_file(const std::string& path, const std::uint8_t* data,
+                           std::size_t size) {
+  const std::uint64_t index = begin_op("append");
+  if (crash_due(index)) {
+    const std::size_t kept =
+        static_cast<std::size_t>(seeded_below(index, size + 1, 1));
+    inner_.append_file(path, data, kept);
+    crash_now(index, "append");
+  }
+  Rng rng(fs_decision_seed(plan_.seed, index, 2));
+  if (rng.uniform() < plan_.fs_short_write) {
+    const std::size_t kept =
+        size == 0 ? 0 : static_cast<std::size_t>(seeded_below(index, size, 3));
+    inner_.append_file(path, data, kept);
+    throw std::system_error(ENOSPC, std::generic_category(),
+                            "fault-injected short append: " + path);
+  }
+  inner_.append_file(path, data, size);
+}
+
+void FaultVfs::rename_file(const std::string& from, const std::string& to) {
+  const std::uint64_t index = begin_op("rename");
+  if (crash_due(index)) {
+    // The crash straddles the rename: a seeded coin decides whether the
+    // metadata update reached the disk before the process died.
+    if (seeded_below(index, 2, 1) == 1) inner_.rename_file(from, to);
+    crash_now(index, "rename");
+  }
+  inner_.rename_file(from, to);
+}
+
+void FaultVfs::remove_file(const std::string& path) {
+  const std::uint64_t index = begin_op("remove");
+  if (crash_due(index)) {
+    if (seeded_below(index, 2, 1) == 1) inner_.remove_file(path);
+    crash_now(index, "remove");
+  }
+  inner_.remove_file(path);
+}
+
+void FaultVfs::sync_dir(const std::string& dir) {
+  const std::uint64_t index = begin_op("sync_dir");
+  if (crash_due(index)) crash_now(index, "sync_dir");  // sync itself is a no-op
+  inner_.sync_dir(dir);
+}
+
+std::optional<std::vector<std::uint8_t>> FaultVfs::read_file(
+    const std::string& path) {
+  return inner_.read_file(path);
+}
+
+bool FaultVfs::exists(const std::string& path) { return inner_.exists(path); }
+
+std::vector<std::string> FaultVfs::list_dir(const std::string& dir) {
+  return inner_.list_dir(dir);
+}
+
+}  // namespace fdml

@@ -1,0 +1,91 @@
+// Deterministic filesystem fault injection — the durable layer's analogue
+// of ChaosTransport.
+//
+// FaultVfs wraps a Vfs and applies a seeded schedule of the failure modes a
+// hostile filesystem (or a kill -9 at the wrong instant) produces:
+//
+//   - error:       a mutating op fails with EIO and has no effect
+//                  (dying disk; the caller must surface it, not swallow it).
+//   - short write: a write/append persists only a seeded prefix of the
+//                  bytes, then fails with ENOSPC (full disk mid-write).
+//   - crash:       the Nth mutating op applies a *partial* effect — a write
+//                  truncated at a seeded byte offset, a rename that may or
+//                  may not have happened — and then throws DurableCrash,
+//                  modelling the process dying at that exact point. The
+//                  test harness treats DurableCrash as the kill -9 moment
+//                  and then exercises recovery against the torn state left
+//                  on disk.
+//
+// Every decision is a pure function of (plan seed, 1-based mutating-op
+// index), so a failing crash point is replayable from its FaultPlan line
+// alone — the same discipline as the message-level chaos harness, extended
+// to the filesystem via the fs_* fields of FaultPlan.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "comm/chaos.hpp"
+#include "durable/vfs.hpp"
+
+namespace fdml {
+
+/// Thrown by FaultVfs at the scheduled crash point, after the partial
+/// effect has been applied. Catching it simulates surviving a kill -9:
+/// whatever reached the disk stays, everything else is gone.
+class DurableCrash : public std::runtime_error {
+ public:
+  DurableCrash(std::uint64_t op_index, const std::string& op)
+      : std::runtime_error("simulated crash at durable op " +
+                           std::to_string(op_index) + " (" + op + ")"),
+        op_index_(op_index) {}
+
+  std::uint64_t op_index() const { return op_index_; }
+
+ private:
+  std::uint64_t op_index_;
+};
+
+class FaultVfs final : public Vfs {
+ public:
+  FaultVfs(Vfs& inner, FaultPlan plan) : inner_(inner), plan_(plan) {}
+
+  void write_file(const std::string& path, const std::uint8_t* data,
+                  std::size_t size) override;
+  void append_file(const std::string& path, const std::uint8_t* data,
+                   std::size_t size) override;
+  std::optional<std::vector<std::uint8_t>> read_file(
+      const std::string& path) override;
+  void rename_file(const std::string& from, const std::string& to) override;
+  void remove_file(const std::string& path) override;
+  bool exists(const std::string& path) override;
+  std::vector<std::string> list_dir(const std::string& dir) override;
+  void sync_dir(const std::string& dir) override;
+
+  /// Mutating ops seen so far. Run once fault-free to learn the op count,
+  /// then re-run with fs_crash_at_op = 1..count to crash at every commit
+  /// point.
+  std::uint64_t mutating_ops() const { return op_index_; }
+
+  /// True once the scheduled crash fired; later mutating ops are swallowed
+  /// (a dead process issues no more writes) — read ops keep working so the
+  /// post-mortem recovery in the same test process can inspect the disk.
+  bool crashed() const { return crashed_; }
+
+ private:
+  /// Draws this op's fault decision; throws for error faults. Returns the
+  /// op's 1-based index.
+  std::uint64_t begin_op(const char* op);
+  bool crash_due(std::uint64_t index) const;
+  [[noreturn]] void crash_now(std::uint64_t index, const char* op);
+  std::uint64_t seeded_below(std::uint64_t index, std::uint64_t bound,
+                             std::uint64_t salt) const;
+
+  Vfs& inner_;
+  FaultPlan plan_;
+  std::uint64_t op_index_ = 0;
+  bool crashed_ = false;
+};
+
+}  // namespace fdml

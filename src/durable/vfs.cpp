@@ -1,0 +1,146 @@
+#include "durable/vfs.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <filesystem>
+#include <system_error>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+namespace fdml {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::system_error(errno, std::generic_category(), what);
+}
+
+/// write(2) until done (handles short writes from the kernel).
+void write_all(int fd, const std::uint8_t* data, std::size_t size,
+               const std::string& path) {
+  std::size_t written = 0;
+  while (written < size) {
+    const ssize_t n = ::write(fd, data + written, size - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const int saved = errno;
+      ::close(fd);
+      errno = saved;
+      throw_errno("write " + path);
+    }
+    written += static_cast<std::size_t>(n);
+  }
+}
+
+void write_fd(const std::string& path, const std::uint8_t* data,
+              std::size_t size, int flags) {
+  const int fd = ::open(path.c_str(), flags, 0644);
+  if (fd < 0) throw_errno("open " + path);
+  write_all(fd, data, size, path);
+  if (::fsync(fd) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    throw_errno("fsync " + path);
+  }
+  if (::close(fd) != 0) throw_errno("close " + path);
+}
+
+class RealVfs final : public Vfs {
+ public:
+  void write_file(const std::string& path, const std::uint8_t* data,
+                  std::size_t size) override {
+    write_fd(path, data, size, O_WRONLY | O_CREAT | O_TRUNC);
+  }
+
+  void append_file(const std::string& path, const std::uint8_t* data,
+                   std::size_t size) override {
+    write_fd(path, data, size, O_WRONLY | O_CREAT | O_APPEND);
+  }
+
+  std::optional<std::vector<std::uint8_t>> read_file(
+      const std::string& path) override {
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) {
+      if (errno == ENOENT) return std::nullopt;
+      throw_errno("open " + path);
+    }
+    std::vector<std::uint8_t> bytes;
+    std::uint8_t chunk[1 << 16];
+    for (;;) {
+      const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        const int saved = errno;
+        ::close(fd);
+        errno = saved;
+        throw_errno("read " + path);
+      }
+      if (n == 0) break;
+      bytes.insert(bytes.end(), chunk, chunk + n);
+    }
+    ::close(fd);
+    return bytes;
+  }
+
+  void rename_file(const std::string& from, const std::string& to) override {
+    if (std::rename(from.c_str(), to.c_str()) != 0) {
+      throw_errno("rename " + from + " -> " + to);
+    }
+  }
+
+  void remove_file(const std::string& path) override {
+    if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+      throw_errno("remove " + path);
+    }
+  }
+
+  bool exists(const std::string& path) override {
+    struct stat st{};
+    return ::stat(path.c_str(), &st) == 0;
+  }
+
+  std::vector<std::string> list_dir(const std::string& dir) override {
+    std::vector<std::string> names;
+    std::error_code ec;
+    const std::string where = dir.empty() ? "." : dir;
+    for (const auto& entry :
+         std::filesystem::directory_iterator(where, ec)) {
+      if (entry.is_regular_file(ec)) {
+        names.push_back(entry.path().filename().string());
+      }
+    }
+    return names;
+  }
+
+  void sync_dir(const std::string& dir) override {
+    const std::string where = dir.empty() ? "." : dir;
+    const int fd = ::open(where.c_str(), O_RDONLY | O_DIRECTORY);
+    if (fd < 0) throw_errno("open dir " + where);
+    // Some filesystems refuse fsync on directories; that is not a torn
+    // write, so only real I/O errors are fatal.
+    if (::fsync(fd) != 0 && errno != EINVAL && errno != EROFS) {
+      const int saved = errno;
+      ::close(fd);
+      errno = saved;
+      throw_errno("fsync dir " + where);
+    }
+    ::close(fd);
+  }
+};
+
+}  // namespace
+
+Vfs& real_vfs() {
+  static RealVfs vfs;
+  return vfs;
+}
+
+std::string parent_dir(const std::string& path) {
+  const auto parent = std::filesystem::path(path).parent_path();
+  return parent.empty() ? std::string(".") : parent.string();
+}
+
+}  // namespace fdml

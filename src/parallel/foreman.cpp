@@ -7,6 +7,7 @@
 #include <set>
 
 #include "comm/integrity.hpp"
+#include "durable/journal.hpp"
 #include "parallel/protocol.hpp"
 #include "search/runner.hpp"
 #include "util/log.hpp"
@@ -17,6 +18,10 @@ namespace fdml {
 namespace {
 
 using Clock = std::chrono::steady_clock;
+
+/// TaskResult::worker value marking a result completed from the journal
+/// rather than evaluated by a live worker this incarnation.
+constexpr int kJournalWorker = -1;
 
 /// Worker health state machine (DESIGN.md "Worker health model"):
 ///   Healthy --timeout/corrupt--> Suspect/quarantine --reply--> Probation
@@ -56,6 +61,10 @@ struct RoundState {
   std::vector<TaskStat> stats;
   /// Serialized task size per task id, for the wire-bytes accounting.
   std::map<std::uint64_t, std::uint64_t> task_bytes;
+  /// Content digest per task id, and the round's content key: how journal
+  /// entries recognise the same work after a restart renumbers everything.
+  std::map<std::uint64_t, std::uint64_t> task_digest;
+  std::uint64_t round_key = 0;
 };
 
 class Foreman {
@@ -64,6 +73,25 @@ class Foreman {
       : transport_(transport), options_(options) {}
 
   ForemanStats run() {
+    if (!options_.journal_path.empty()) {
+      journal_.emplace(options_.journal_path, options_.vfs);
+      if (options_.journal_resume) {
+        const std::size_t replayable = journal_->load();
+        if (replayable > 0) {
+          FDML_INFO("foreman") << "journal holds " << replayable
+                               << " completed task(s) for replay";
+        }
+      } else {
+        journal_->reset();
+      }
+    }
+    if (options_.announce_ping) {
+      // A revived foreman starts with no worker list; ask everyone to
+      // re-introduce themselves.
+      for (int rank = kFirstWorkerRank; rank < transport_.size(); ++rank) {
+        transport_.send(rank, MessageTag::kPing, {});
+      }
+    }
     for (;;) {
       const auto message = receive();
       if (!message.has_value()) {
@@ -313,13 +341,50 @@ class Foreman {
     }
     ++stats_.rounds;
     notify(MonitorEventKind::kRoundBegin, 0, -1);
+    std::vector<std::uint64_t> digests;
+    digests.reserve(message.tasks.size());
     for (TreeTask& task : message.tasks) {
       Packer packer;
       task.pack(packer);
       round_.task_bytes[task.task_id] = packer.size();
+      const std::uint64_t digest = task_content_digest(
+          task.newick, task.focus_taxon, task.smooth_passes);
+      round_.task_digest[task.task_id] = digest;
+      digests.push_back(digest);
       work_queue_.push_back(std::move(task));
     }
+    round_.round_key = round_content_key(digests);
+    replay_journal();
     dispatch_work();
+  }
+
+  /// Completes from the journal every task of the new round that a previous
+  /// foreman incarnation already finished. Identity is by content (digest +
+  /// round key), so a restarted master's renumbered round still matches.
+  void replay_journal() {
+    if (!journal_.has_value() || journal_->size() == 0) return;
+    // accept() mutates the queue (erasing completed copies), so snapshot
+    // the (task_id, digest) pairs first.
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> pending;
+    for (const TreeTask& task : work_queue_) {
+      pending.emplace_back(task.task_id, round_.task_digest[task.task_id]);
+    }
+    for (const auto& [task_id, digest] : pending) {
+      const JournalEntry* entry = journal_->find(round_.round_key, digest);
+      if (entry == nullptr) continue;
+      TaskResult replayed;
+      replayed.task_id = task_id;
+      replayed.round_id = round_.round_id;
+      replayed.log_likelihood = entry->log_likelihood;
+      replayed.newick = entry->newick;
+      replayed.cpu_seconds = entry->cpu_seconds;
+      replayed.worker = kJournalWorker;
+      ++stats_.journal_replayed;
+      FDML_INFO("foreman") << "replaying task " << task_id
+                           << " from the journal";
+      accept(replayed, 0);
+      if (!round_active_) break;  // the journal alone finished the round
+    }
   }
 
   void dispatch_to(int worker, bool probe) {
@@ -478,6 +543,28 @@ class Foreman {
     notify(MonitorEventKind::kComplete, result.task_id, result.worker,
            result.cpu_seconds);
 
+    // Write-ahead: the completion is durably journaled before it can decide
+    // the round, so a crash after this point never loses it. Replayed
+    // results are already on disk; re-appending them would grow the file
+    // every restart.
+    if (journal_.has_value() && result.worker != kJournalWorker) {
+      JournalEntry entry;
+      entry.round_key = round_.round_key;
+      entry.task_digest = round_.task_digest[result.task_id];
+      entry.log_likelihood = result.log_likelihood;
+      entry.newick = result.newick;
+      entry.cpu_seconds = result.cpu_seconds;
+      try {
+        journal_->append(entry);
+        ++stats_.journal_appended;
+      } catch (const std::exception& error) {
+        // A failed WAL append only weakens crash recovery; the round
+        // itself must proceed.
+        ++stats_.journal_write_failures;
+        FDML_WARN("foreman") << "journal append failed: " << error.what();
+      }
+    }
+
     // Ties break toward the lowest task id — the order a serial run would
     // have kept — so the round winner is independent of completion order
     // and a chaos-scheduled run reproduces the fault-free tree exactly.
@@ -571,6 +658,7 @@ class Foreman {
   ForemanOptions options_;
   ForemanStats stats_;
   Timer uptime_;
+  std::optional<TaskJournal> journal_;
 
   std::deque<TreeTask> work_queue_;
   std::deque<int> ready_;

@@ -25,8 +25,10 @@
 
 #include <chrono>
 #include <cstdint>
+#include <string>
 
 #include "comm/transport.hpp"
+#include "durable/vfs.hpp"
 
 namespace fdml {
 
@@ -52,6 +54,19 @@ struct ForemanOptions {
   int amnesty_max_strikes = 3;
   /// Emit instrumentation events to the monitor rank.
   bool notify_monitor = true;
+  /// When non-empty, append every completed task to this durable journal
+  /// (write-ahead log). A foreman revived after a crash replays it and
+  /// skips the insertions the dead incarnation already finished.
+  std::string journal_path;
+  /// Load and replay the existing journal on startup (a revived foreman);
+  /// false truncates it (a fresh run must not replay a previous run's work).
+  bool journal_resume = false;
+  /// Ping every worker rank on startup so they re-hello. A revived foreman
+  /// starts with an empty worker list, and an idle worker never speaks
+  /// unprompted — without the ping the round would wedge.
+  bool announce_ping = false;
+  /// Filesystem for the journal; null = the real one.
+  Vfs* vfs = nullptr;
 };
 
 struct ForemanStats {
@@ -81,6 +96,13 @@ struct ForemanStats {
   std::uint64_t rounds_failed = 0;
   /// Messages with tags the foreman does not understand.
   std::uint64_t unexpected_tags = 0;
+  /// Tasks completed from the journal instead of being re-evaluated.
+  std::uint64_t journal_replayed = 0;
+  /// Task results durably appended to the journal.
+  std::uint64_t journal_appended = 0;
+  /// Journal appends that failed (counted and logged, never fatal: a lost
+  /// WAL entry only costs a re-evaluation after the next crash).
+  std::uint64_t journal_write_failures = 0;
 };
 
 /// Runs the foreman loop until a shutdown message arrives (which is

@@ -1,6 +1,7 @@
 #include "parallel/master.hpp"
 
 #include <algorithm>
+#include <thread>
 #include <utility>
 
 #include "comm/integrity.hpp"
@@ -33,15 +34,57 @@ RoundOutcome ParallelMaster::degrade(std::uint64_t round_id,
 RoundOutcome ParallelMaster::run_round(const std::vector<TreeTask>& tasks) {
   if (tasks.empty()) throw std::invalid_argument("run_round: empty round");
   ++stats_.rounds;
+
+  std::uint64_t round_id = next_round_id_++;
+  if (degraded_) {
+    return degrade(round_id, tasks, "fabric previously wedged");
+  }
+
+  // Supervisor loop: each failed attempt gets the reviver a chance to
+  // restart a dead foreman, then the round is resent under a fresh id (the
+  // foreman's journal makes re-dispatch of already-finished work free).
+  for (int attempt = 0;; ++attempt) {
+    try {
+      return attempt_round(round_id, tasks);
+    } catch (const RoundFailedError& failure) {
+      if (attempt < options_.max_round_retries) {
+        ++stats_.round_retries;
+        const int doublings = std::min(attempt, 16);
+        const auto backoff = std::min<std::chrono::milliseconds>(
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                options_.retry_backoff * (1LL << doublings)),
+            options_.retry_backoff_max);
+        FDML_WARN("master") << "round " << round_id << " failed ("
+                            << failure.reason() << "); retry "
+                            << (attempt + 1) << "/"
+                            << options_.max_round_retries << " in "
+                            << backoff.count() << " ms";
+        std::this_thread::sleep_for(backoff);
+        if (reviver_ && reviver_()) {
+          ++stats_.fabric_revivals;
+          // The wedged incarnation is gone; trust its replacement.
+          degraded_ = false;
+        }
+        round_id = next_round_id_++;  // stale traffic from the failed
+                                      // attempt must not satisfy the retry
+        continue;
+      }
+      if (options_.max_round_retries > 0 &&
+          (!options_.serial_fallback || !fallback_)) {
+        throw RunFailedError(round_id, failure.reason(), attempt + 1);
+      }
+      return degrade(round_id, tasks, failure.reason());
+    }
+  }
+}
+
+RoundOutcome ParallelMaster::attempt_round(std::uint64_t round_id,
+                                           const std::vector<TreeTask>& tasks) {
   RoundMessage round;
-  round.round_id = next_round_id_++;
+  round.round_id = round_id;
   round.tasks = tasks;
   // Stamp the round id the foreman will echo back.
   for (TreeTask& task : round.tasks) task.round_id = round.round_id;
-
-  if (degraded_) {
-    return degrade(round.round_id, tasks, "fabric previously wedged");
-  }
 
   auto payload = round.pack();
   seal_payload(payload);
@@ -56,7 +99,7 @@ RoundOutcome ParallelMaster::run_round(const std::vector<TreeTask>& tasks) {
       FDML_WARN("master") << "watchdog: no progress on round "
                           << round.round_id << " for "
                           << options_.watchdog_timeout.count() << " ms";
-      return degrade(round.round_id, tasks, "watchdog: no round progress");
+      throw RoundFailedError(round.round_id, "watchdog: no round progress");
     }
     const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
         options_.watchdog_timeout - (now - last_progress));
@@ -126,7 +169,7 @@ RoundOutcome ParallelMaster::run_round(const std::vector<TreeTask>& tasks) {
           break;
         }
         ++stats_.rounds_failed;
-        return degrade(round.round_id, tasks, failed.reason);
+        throw RoundFailedError(round.round_id, failed.reason);
       }
       default:
         // Previously these were discarded without a trace, which hid real

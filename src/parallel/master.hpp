@@ -27,6 +27,15 @@ struct MasterOptions {
   /// On a failed/wedged round, evaluate the round in-process through the
   /// fallback runner instead of raising RoundFailedError.
   bool serial_fallback = true;
+  /// Supervision: how many times a failed/wedged round is retried (with the
+  /// reviver given a chance to restart the foreman, and the foreman's task
+  /// journal making the resend cheap) before the failure is surfaced.
+  /// 0 = fail/degrade immediately, the pre-supervisor behavior.
+  int max_round_retries = 0;
+  /// Exponential backoff between retries: attempt n waits
+  /// retry_backoff * 2^(n-1), capped at retry_backoff_max.
+  std::chrono::milliseconds retry_backoff{100};
+  std::chrono::milliseconds retry_backoff_max{5000};
 };
 
 struct MasterStats {
@@ -46,6 +55,10 @@ struct MasterStats {
   std::uint64_t rounds_failed = 0;
   /// Rounds evaluated through the in-process fallback runner.
   std::uint64_t serial_fallbacks = 0;
+  /// Round attempts restarted by the supervisor.
+  std::uint64_t round_retries = 0;
+  /// Retries on which the reviver reported it restarted the fabric.
+  std::uint64_t fabric_revivals = 0;
 };
 
 /// A round could not be completed by the parallel fabric and no fallback
@@ -55,12 +68,32 @@ class RoundFailedError : public std::runtime_error {
   RoundFailedError(std::uint64_t round_id, const std::string& reason)
       : std::runtime_error("round " + std::to_string(round_id) +
                            " failed: " + reason),
-        round_id_(round_id) {}
+        round_id_(round_id),
+        reason_(reason) {}
 
   std::uint64_t round_id() const { return round_id_; }
+  const std::string& reason() const { return reason_; }
 
  private:
   std::uint64_t round_id_;
+  std::string reason_;
+};
+
+/// A round kept failing after the supervisor exhausted its retry budget
+/// (and no serial fallback was available to absorb it).
+class RunFailedError : public RoundFailedError {
+ public:
+  RunFailedError(std::uint64_t round_id, const std::string& reason,
+                 int attempts)
+      : RoundFailedError(round_id, reason + " (after " +
+                                       std::to_string(attempts) +
+                                       " attempt(s))"),
+        attempts_(attempts) {}
+
+  int attempts() const { return attempts_; }
+
+ private:
+  int attempts_ = 0;
 };
 
 class ParallelMaster final : public TaskRunner {
@@ -74,6 +107,14 @@ class ParallelMaster final : public TaskRunner {
     fallback_ = std::move(fallback);
   }
 
+  /// Installs the supervisor's revival hook, called before each retry of a
+  /// failed round. It should check whether the fabric (typically the
+  /// foreman) died and restart it, returning true if it did — a revival
+  /// also clears the degraded flag, since the wedged incarnation is gone.
+  void set_reviver(std::function<bool()> reviver) {
+    reviver_ = std::move(reviver);
+  }
+
   RoundOutcome run_round(const std::vector<TreeTask>& tasks) override;
   int worker_count() const override { return workers_; }
 
@@ -83,12 +124,18 @@ class ParallelMaster final : public TaskRunner {
   RoundOutcome degrade(std::uint64_t round_id,
                        const std::vector<TreeTask>& tasks,
                        const std::string& reason);
+  /// One attempt: seal, send, watch. Throws RoundFailedError on watchdog
+  /// expiry or a foreman-reported failure; the supervisor loop in
+  /// run_round decides whether to retry, degrade or surface it.
+  RoundOutcome attempt_round(std::uint64_t round_id,
+                             const std::vector<TreeTask>& tasks);
 
   Transport& transport_;
   int workers_;
   MasterOptions options_;
   MasterStats stats_;
   std::function<RoundOutcome(const std::vector<TreeTask>&)> fallback_;
+  std::function<bool()> reviver_;
   std::uint64_t next_round_id_ = 1;
   /// Set when the watchdog trips (the foreman itself is unresponsive);
   /// later rounds then skip straight to the fallback instead of paying the

@@ -38,6 +38,12 @@ WorkerStats worker_main(Transport& transport, const PatternAlignment& data,
   transport.send(kForemanRank, MessageTag::kHello, {});
   while (auto message = transport.recv()) {
     if (message->tag == MessageTag::kShutdown) break;
+    if (message->tag == MessageTag::kPing) {
+      // A revived foreman lost its worker list with the old incarnation;
+      // a fresh hello re-registers us.
+      transport.send(kForemanRank, MessageTag::kHello, {});
+      continue;
+    }
     if (message->tag != MessageTag::kTask) {
       ++stats.unexpected_tags;
       FDML_WARN("worker") << "rank " << transport.rank() << " ignoring tag "

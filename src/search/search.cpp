@@ -1,12 +1,14 @@
 #include "search/search.hpp"
 
 #include <algorithm>
-#include <cstdio>
-#include <fstream>
+#include <optional>
 #include <set>
+#include <sstream>
 #include <stdexcept>
 #include <utility>
 
+#include "durable/checkpoint_store.hpp"
+#include "durable/frame.hpp"
 #include "tree/neighborhood.hpp"
 #include "tree/newick.hpp"
 #include "tree/splits.hpp"
@@ -21,7 +23,13 @@ class SearchRun {
  public:
   SearchRun(const PatternAlignment& data, const SearchOptions& options,
             TaskRunner& runner)
-      : data_(data), options_(options), runner_(runner), names_(data.names()) {}
+      : data_(data), options_(options), runner_(runner), names_(data.names()) {
+    if (!options_.checkpoint_path.empty()) {
+      CheckpointStoreOptions store_options;
+      store_options.keep = options_.checkpoint_keep;
+      store_.emplace(options_.checkpoint_path, store_options, options_.vfs);
+    }
+  }
 
   SearchResult run(std::vector<int> order,
                    const SearchCheckpoint* checkpoint = nullptr) {
@@ -45,7 +53,13 @@ class SearchRun {
       lnl = checkpoint->log_likelihood;
       start_index = checkpoint->next_order_index;
       if (tree.tip_count() != start_index) {
-        throw std::invalid_argument("resume: checkpoint tree/index mismatch");
+        throw std::invalid_argument(
+            "resume: checkpoint tree has " +
+            std::to_string(tree.tip_count()) +
+            " tips but its next_order_index says " +
+            std::to_string(start_index) +
+            " taxa should be placed — the checkpoint is internally "
+            "inconsistent");
       }
       record_event(tree.tip_count(), lnl, checkpoint->tree_newick);
       if (checkpoint->phase == SearchPhase::kRearrange) {
@@ -146,21 +160,33 @@ class SearchRun {
 
   /// Writes the restart checkpoint after a completed taxon addition
   /// (phase kAddition) or a completed rearrangement round (kRearrange,
-  /// with the loop state needed to continue that stage exactly).
+  /// with the loop state needed to continue that stage exactly). This is
+  /// also the cooperative stop point: a pending stop request takes effect
+  /// only after the covering checkpoint is durably committed, so an
+  /// interrupted run never loses finished work.
   void write_checkpoint(int next_index, const Tree& tree, double lnl,
                         SearchPhase phase = SearchPhase::kAddition,
                         int rounds_done = 0, int cross = 0) {
-    if (options_.checkpoint_path.empty()) return;
-    SearchCheckpoint checkpoint;
-    checkpoint.seed = options_.seed;
-    checkpoint.addition_order = result_.addition_order;
-    checkpoint.next_order_index = next_index;
-    checkpoint.tree_newick = to_newick(tree, names_, 17);
-    checkpoint.log_likelihood = lnl;
-    checkpoint.phase = phase;
-    checkpoint.rearrange_rounds_done = rounds_done;
-    checkpoint.rearrange_cross = cross;
-    checkpoint.save_file(options_.checkpoint_path);
+    std::uint64_t generation = 0;
+    if (store_.has_value()) {
+      SearchCheckpoint checkpoint;
+      checkpoint.seed = options_.seed;
+      checkpoint.addition_order = result_.addition_order;
+      checkpoint.next_order_index = next_index;
+      checkpoint.tree_newick = to_newick(tree, names_, 17);
+      checkpoint.log_likelihood = lnl;
+      checkpoint.phase = phase;
+      checkpoint.rearrange_rounds_done = rounds_done;
+      checkpoint.rearrange_cross = cross;
+      checkpoint.dataset_fingerprint = options_.dataset_fingerprint;
+      const std::string text = checkpoint.serialize();
+      generation = store_->commit(
+          kFrameSearchCheckpoint, options_.dataset_fingerprint,
+          std::vector<std::uint8_t>(text.begin(), text.end()));
+    }
+    if (options_.stop_requested && options_.stop_requested()) {
+      throw SearchInterrupted(generation);
+    }
   }
 
   /// Step 3: try the new taxon at every branch; fully smooth the winner.
@@ -236,6 +262,7 @@ class SearchRun {
   const SearchOptions& options_;
   TaskRunner& runner_;
   const std::vector<std::string>& names_;
+  std::optional<CheckpointStore> store_;
   SearchResult result_;
   std::uint64_t next_task_id_ = 0;
   std::uint64_t next_round_id_ = 0;
@@ -275,20 +302,56 @@ SearchResult StepwiseSearch::run(TaskRunner& runner, std::vector<int> order) {
 
 SearchResult StepwiseSearch::resume(TaskRunner& runner,
                                     const SearchCheckpoint& checkpoint) {
-  if (checkpoint.addition_order.size() != data_.num_taxa()) {
-    throw std::invalid_argument("resume: checkpoint is for a different dataset");
+  // Refuse checkpoints that cannot belong to the loaded alignment, naming
+  // both sides of the disagreement — "tree/index mismatch" told a user
+  // nothing about *which* file was wrong.
+  const std::size_t n = data_.num_taxa();
+  if (checkpoint.addition_order.size() != n) {
+    throw std::invalid_argument(
+        "resume: checkpoint has " +
+        std::to_string(checkpoint.addition_order.size()) +
+        " taxa in its addition order but the loaded alignment has " +
+        std::to_string(n) + " taxa — it belongs to a different dataset");
+  }
+  if (checkpoint.dataset_fingerprint != 0 && options_.dataset_fingerprint != 0 &&
+      checkpoint.dataset_fingerprint != options_.dataset_fingerprint) {
+    throw FingerprintMismatchError(options_.checkpoint_path.empty()
+                                       ? "(in-memory checkpoint)"
+                                       : options_.checkpoint_path,
+                                   options_.dataset_fingerprint,
+                                   checkpoint.dataset_fingerprint);
+  }
+  if (checkpoint.next_order_index < 3 ||
+      checkpoint.next_order_index > static_cast<int>(n)) {
+    throw std::invalid_argument(
+        "resume: checkpoint next_order_index " +
+        std::to_string(checkpoint.next_order_index) +
+        " is outside [3, " + std::to_string(n) +
+        "] for the loaded alignment");
+  }
+  std::vector<char> seen(n, 0);
+  for (int taxon : checkpoint.addition_order) {
+    if (taxon < 0 || taxon >= static_cast<int>(n) ||
+        seen[static_cast<std::size_t>(taxon)]) {
+      throw std::invalid_argument(
+          "resume: checkpoint addition order is not a permutation of the "
+          "loaded alignment's " + std::to_string(n) +
+          " taxa (bad entry " + std::to_string(taxon) + ")");
+    }
+    seen[static_cast<std::size_t>(taxon)] = 1;
   }
   SearchRun run_state(data_, options_, runner);
   return run_state.run(checkpoint.addition_order, &checkpoint);
 }
 
 void SearchCheckpoint::save(std::ostream& out) const {
-  out << "fdml-checkpoint 2\n";
+  out << "fdml-checkpoint 3\n";
   out << seed << " " << next_order_index << " " << addition_order.size() << "\n";
   for (int taxon : addition_order) out << taxon << " ";
   out << "\n";
   out << static_cast<int>(phase) << " " << rearrange_rounds_done << " "
       << rearrange_cross << "\n";
+  out << dataset_fingerprint << "\n";
   out.precision(17);
   out << log_likelihood << "\n";
   out << tree_newick << "\n";
@@ -298,9 +361,10 @@ SearchCheckpoint SearchCheckpoint::load(std::istream& in) {
   std::string magic;
   int version = 0;
   in >> magic >> version;
-  // v1 files (no phase line) restart from the last completed addition;
-  // they remain loadable so old checkpoints survive an upgrade.
-  if (magic != "fdml-checkpoint" || (version != 1 && version != 2)) {
+  // v1 files (no phase line) restart from the last completed addition; v2
+  // lacks the dataset fingerprint. Both remain loadable so old checkpoints
+  // survive an upgrade.
+  if (magic != "fdml-checkpoint" || version < 1 || version > 3) {
     throw std::runtime_error("checkpoint: bad header");
   }
   SearchCheckpoint checkpoint;
@@ -317,6 +381,7 @@ SearchCheckpoint SearchCheckpoint::load(std::istream& in) {
     }
     checkpoint.phase = static_cast<SearchPhase>(phase);
   }
+  if (version >= 3) in >> checkpoint.dataset_fingerprint;
   in >> checkpoint.log_likelihood;
   // The Newick line is taken verbatim (labels may contain quoted spaces).
   std::string rest;
@@ -328,22 +393,83 @@ SearchCheckpoint SearchCheckpoint::load(std::istream& in) {
   return checkpoint;
 }
 
-void SearchCheckpoint::save_file(const std::string& path) const {
-  // Write-then-rename so an interrupted write never corrupts the previous
-  // checkpoint (the whole point of having one).
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp);
-    if (!out) throw std::runtime_error("cannot write " + tmp);
-    save(out);
-  }
-  std::rename(tmp.c_str(), path.c_str());
+std::string SearchCheckpoint::serialize() const {
+  std::ostringstream out;
+  save(out);
+  return out.str();
 }
 
-SearchCheckpoint SearchCheckpoint::load_file(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) throw std::runtime_error("cannot open " + path);
+SearchCheckpoint SearchCheckpoint::deserialize(const std::string& text) {
+  std::istringstream in(text);
   return load(in);
+}
+
+void SearchCheckpoint::save_file(const std::string& path, Vfs* vfs) const {
+  // Durable write-then-rename: the bytes are fsynced before the checked
+  // rename, and the directory is fsynced after it, so an interrupted save
+  // never corrupts the previous checkpoint and a completed one survives
+  // power loss. (The original version ignored both the stream state and
+  // std::rename's return value — a full disk produced a silently truncated
+  // checkpoint.)
+  Vfs& fs = vfs_or_real(vfs);
+  const std::string text = serialize();
+  const std::string tmp = path + ".tmp";
+  fs.write_file(tmp, reinterpret_cast<const std::uint8_t*>(text.data()),
+                text.size());
+  fs.rename_file(tmp, path);
+  fs.sync_dir(parent_dir(path));
+}
+
+SearchCheckpoint SearchCheckpoint::load_file(const std::string& path,
+                                             Vfs* vfs) {
+  Vfs& fs = vfs_or_real(vfs);
+  auto bytes = fs.read_file(path);
+  if (!bytes.has_value()) throw std::runtime_error("cannot open " + path);
+  if (looks_like_frame(bytes->data(), bytes->size())) {
+    auto frame = read_frame_file(fs, path);
+    if (!frame.has_value() || frame->kind != kFrameSearchCheckpoint) {
+      throw DurableError("checkpoint " + path +
+                         ": corrupt or torn durable frame");
+    }
+    return deserialize(
+        std::string(frame->payload.begin(), frame->payload.end()));
+  }
+  return deserialize(std::string(bytes->begin(), bytes->end()));
+}
+
+std::optional<RecoveredCheckpoint> recover_checkpoint(
+    const std::string& base_path, std::uint64_t expected_fingerprint,
+    Vfs* vfs) {
+  CheckpointStore store(base_path, {}, vfs);
+  auto recovered = store.recover(expected_fingerprint);
+  if (recovered.has_value()) {
+    RecoveredCheckpoint out;
+    out.checkpoint = SearchCheckpoint::deserialize(std::string(
+        recovered->frame.payload.begin(), recovered->frame.payload.end()));
+    out.generation = recovered->generation;
+    out.path = recovered->path;
+    return out;
+  }
+  // No durable frame anywhere: the path may hold a legacy text checkpoint.
+  Vfs& fs = vfs_or_real(vfs);
+  auto bytes = fs.read_file(base_path);
+  if (!bytes.has_value()) return std::nullopt;
+  try {
+    RecoveredCheckpoint out;
+    out.checkpoint =
+        SearchCheckpoint::deserialize(std::string(bytes->begin(), bytes->end()));
+    out.path = base_path;
+    if (expected_fingerprint != 0 && out.checkpoint.dataset_fingerprint != 0 &&
+        out.checkpoint.dataset_fingerprint != expected_fingerprint) {
+      throw FingerprintMismatchError(base_path, expected_fingerprint,
+                                     out.checkpoint.dataset_fingerprint);
+    }
+    return out;
+  } catch (const FingerprintMismatchError&) {
+    throw;
+  } catch (const std::exception&) {
+    return std::nullopt;  // unparsable legacy text = nothing to resume
+  }
 }
 
 JumbleResult run_jumbles(const PatternAlignment& data, SearchOptions options,

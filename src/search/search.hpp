@@ -16,9 +16,13 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <optional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "durable/vfs.hpp"
 #include "likelihood/optimize.hpp"
 #include "search/runner.hpp"
 #include "search/trace.hpp"
@@ -60,8 +64,40 @@ struct SearchOptions {
   /// taxon addition and every completed rearrangement round (original
   /// fastDNAml wrote checkpoint trees so long runs could survive
   /// interruption). Resume with StepwiseSearch::resume; the completed
-  /// result is identical to the uninterrupted run.
+  /// result is identical to the uninterrupted run. Checkpoints go through
+  /// the durable CheckpointStore: crash-safe atomic commits, with the last
+  /// `checkpoint_keep` generations retained for rollback.
   std::string checkpoint_path;
+  /// Generations retained by the checkpoint store.
+  std::uint64_t checkpoint_keep = 3;
+  /// Fingerprint of the alignment/model this run is bound to (see
+  /// alignment_fingerprint). Stamped into every checkpoint; resume refuses
+  /// a checkpoint carrying a different one. 0 = unchecked.
+  std::uint64_t dataset_fingerprint = 0;
+  /// Filesystem used for checkpoints; null = the real one. Tests inject a
+  /// FaultVfs here to crash the run at chosen commit points.
+  Vfs* vfs = nullptr;
+  /// Polled at every checkpoint boundary; returning true stops the run by
+  /// throwing SearchInterrupted after the checkpoint has been committed.
+  /// The SIGINT/SIGTERM handler in apps/fastdnamlpp sets this.
+  std::function<bool()> stop_requested;
+};
+
+/// Thrown when SearchOptions::stop_requested asked the run to stop. The
+/// checkpoint covering all completed work was already durably committed;
+/// `generation` names it (0 when no checkpoint path was configured).
+class SearchInterrupted : public std::runtime_error {
+ public:
+  explicit SearchInterrupted(std::uint64_t generation)
+      : std::runtime_error(
+            "search interrupted; resumable at checkpoint generation " +
+            std::to_string(generation)),
+        generation_(generation) {}
+
+  std::uint64_t generation() const { return generation_; }
+
+ private:
+  std::uint64_t generation_ = 0;
 };
 
 /// Which part of the search a checkpoint captured. Rearrangement rounds are
@@ -93,12 +129,40 @@ struct SearchCheckpoint {
   /// kRearrange only: the crossing distance in effect (adaptive extents may
   /// have escalated it beyond the configured base).
   int rearrange_cross = 0;
+  /// Fingerprint of the alignment/model the run was bound to (v3; 0 in
+  /// older checkpoints and unfingerprinted runs).
+  std::uint64_t dataset_fingerprint = 0;
 
   void save(std::ostream& out) const;
   static SearchCheckpoint load(std::istream& in);
-  void save_file(const std::string& path) const;
-  static SearchCheckpoint load_file(const std::string& path);
+  /// Durable single-file save: tmp + fsync + checked rename + directory
+  /// fsync, via `vfs` (null = real filesystem). Throws on any I/O failure.
+  void save_file(const std::string& path, Vfs* vfs = nullptr) const;
+  /// Loads either a durable frame (as written by the checkpoint store) or
+  /// the legacy v1/v2 text format, auto-detected.
+  static SearchCheckpoint load_file(const std::string& path,
+                                    Vfs* vfs = nullptr);
+  /// The text serialization used as durable-frame payload.
+  std::string serialize() const;
+  static SearchCheckpoint deserialize(const std::string& text);
 };
+
+/// Fingerprint-checked recovery through the generational checkpoint store.
+struct RecoveredCheckpoint {
+  SearchCheckpoint checkpoint;
+  std::uint64_t generation = 0;
+  /// Which on-disk file validated (the base path or a .gen-<N> sibling).
+  std::string path;
+};
+
+/// Rolls back to the newest checkpoint generation at `base_path` that
+/// validates and matches `expected_fingerprint` (0 = accept any). nullopt
+/// when nothing usable exists; throws FingerprintMismatchError when the
+/// newest valid checkpoint belongs to a different dataset. Falls back to
+/// the legacy text format when `base_path` predates the durable store.
+std::optional<RecoveredCheckpoint> recover_checkpoint(
+    const std::string& base_path, std::uint64_t expected_fingerprint,
+    Vfs* vfs = nullptr);
 
 /// Best-tree-so-far event stream — what the paper's real-time 3D viewer
 /// tails while a run is in progress.

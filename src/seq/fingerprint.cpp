@@ -1,0 +1,37 @@
+#include "seq/fingerprint.hpp"
+
+#include <cstring>
+
+#include "util/fnv.hpp"
+
+namespace fdml {
+
+std::uint64_t alignment_fingerprint(const PatternAlignment& data) {
+  std::uint64_t hash = fnv1a64_u64(data.num_taxa());
+  hash = fnv1a64_u64(data.num_patterns(), hash);
+  hash = fnv1a64_u64(data.num_sites(), hash);
+  for (const std::string& name : data.names()) {
+    hash = fnv1a64(name, hash);
+    hash = fnv1a64_u64(name.size(), hash);  // delimit: {"ab","c"} != {"a","bc"}
+  }
+  for (std::size_t pattern = 0; pattern < data.num_patterns(); ++pattern) {
+    for (std::size_t taxon = 0; taxon < data.num_taxa(); ++taxon) {
+      hash ^= static_cast<unsigned char>(data.at(taxon, pattern));
+      hash *= kFnv1a64Prime;
+    }
+    std::uint64_t weight_bits;
+    const double weight = data.weight(pattern);
+    static_assert(sizeof(weight_bits) == sizeof(weight));
+    std::memcpy(&weight_bits, &weight, sizeof(weight_bits));
+    hash = fnv1a64_u64(weight_bits, hash);
+  }
+  for (int i = 0; i < 4; ++i) {
+    std::uint64_t bits;
+    const double frequency = data.base_frequencies()[i];
+    std::memcpy(&bits, &frequency, sizeof(bits));
+    hash = fnv1a64_u64(bits, hash);
+  }
+  return hash;
+}
+
+}  // namespace fdml

@@ -1,0 +1,21 @@
+// Dataset fingerprinting for durable run state.
+//
+// A checkpoint is only meaningful against the alignment it was computed
+// from: resuming a 20-taxon search against a different 20-taxon file would
+// silently optimize the wrong likelihoods. The fingerprint digests what the
+// likelihood machinery actually consumes — taxon names, the site-pattern
+// matrix, pattern weights and equilibrium frequencies — so any edit that
+// changes the computation changes the fingerprint, while byte-identical
+// inputs loaded on any platform agree (the digest runs over the compressed
+// pattern form, which is deterministic given the alignment).
+#pragma once
+
+#include <cstdint>
+
+#include "seq/alignment.hpp"
+
+namespace fdml {
+
+std::uint64_t alignment_fingerprint(const PatternAlignment& data);
+
+}  // namespace fdml

@@ -206,7 +206,10 @@ void send_task_round(Transport& master, std::uint64_t round_id,
 
 TreeTask recv_task_sealed(Transport& worker, milliseconds timeout) {
   auto message = worker.recv_for(timeout);
-  EXPECT_TRUE(message.has_value());
+  if (!message.has_value()) {
+    ADD_FAILURE() << "no task arrived within " << timeout.count() << " ms";
+    return TreeTask{};
+  }
   EXPECT_EQ(message->tag, MessageTag::kTask);
   EXPECT_TRUE(open_payload(message->payload));
   Unpacker unpacker(message->payload);
@@ -309,8 +312,10 @@ TEST(ForemanChaos, DelinquentProbationReinstatementLifecycle) {
   send_task_round(*master, 1, {1, 2});
 
   EXPECT_EQ(recv_task_sealed(*worker, milliseconds(2000)).task_id, 1u);
-  // Sit on the task until the deadline passes: delinquent.
-  std::this_thread::sleep_for(milliseconds(300));
+  // Sit on the task until the deadline passes: delinquent. The sleep must
+  // exceed the 150 ms deadline but reply well before the dead-declare at
+  // roughly 2x the deadline, or a loaded scheduler can lose the race.
+  std::this_thread::sleep_for(milliseconds(220));
   // The late reply moves the worker to probation (the paper's
   // reinstatement, now conditional) and completes task 1.
   send_result_sealed(*worker, 1, 1);
