@@ -14,6 +14,7 @@
 #include <fstream>
 
 #include "fdml.hpp"
+#include "util/simd.hpp"
 
 namespace {
 
@@ -46,8 +47,21 @@ void usage(const char* program) {
       "                    (rolls back to the newest valid generation)\n"
       "  --out=FILE        write the best tree (Newick)\n"
       "  --svg=FILE        write a comparison SVG across jumbles\n"
-      "  --quiet           suppress the ASCII tree\n",
+      "  --quiet           suppress the ASCII tree\n"
+      "  --version         print version and SIMD kernel backend info\n",
       program);
+}
+
+void print_version() {
+  std::printf("fastdnaml++ (fastDNAml reproduction)\n");
+  std::printf("simd backend: %s (active)\n",
+              fdml::simd::backend_name(fdml::simd::active_backend()));
+  std::printf("simd compiled:");
+  for (const fdml::simd::Backend b : fdml::simd::compiled_backends()) {
+    std::printf(" %s%s", fdml::simd::backend_name(b),
+                fdml::simd::cpu_supports(b) ? "" : " (unsupported on this cpu)");
+  }
+  std::printf("\n");
 }
 
 }  // namespace
@@ -55,6 +69,10 @@ void usage(const char* program) {
 int main(int argc, char** argv) {
   using namespace fdml;
   const CliArgs args(argc, argv);
+  if (args.has("version")) {
+    print_version();
+    return 0;
+  }
   if (args.positional().empty()) {
     usage(argv[0]);
     return 2;

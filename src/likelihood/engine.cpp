@@ -10,10 +10,7 @@ namespace fdml {
 
 namespace {
 
-// Rescale when the largest CLV entry of a pattern drops below 2^-256;
-// multiply by 2^256 and count it.
-constexpr double kScaleThreshold = 0x1.0p-256;
-constexpr double kScaleFactor = 0x1.0p+256;
+// 2^256 rescale step in log space (see kClvScaleThreshold in kernels.hpp).
 constexpr double kLogScaleStep = 256.0 * 0.6931471805599453;  // 256 ln 2
 
 // Log-likelihood assigned to a zero-probability pattern (cannot happen with
@@ -22,8 +19,10 @@ constexpr double kZeroPatternLogPenalty = -1e30;
 
 // Patterns per tile of the blocked CLV kernel: one block of every
 // category's output plus both child blocks stays L1-resident, and the
-// scaling pass touches each block while it is still hot.
+// scaling pass touches each block while it is still hot. Must be a
+// multiple of kPatternPad so tile boundaries keep vector alignment.
 constexpr std::size_t kPatternBlock = 64;
+static_assert(kPatternBlock % kPatternPad == 0);
 
 using KernelClock = std::chrono::steady_clock;
 
@@ -34,54 +33,18 @@ std::uint64_t elapsed_ns(KernelClock::time_point start) {
           .count());
 }
 
-// One tile of the CLV combine: out[pat][i] = left_i(pat) * right_i(pat)
-// where each factor is either a 16-code table lookup (tip child) or a
-// P-row dot with the child CLV (internal child). The tip tables are built
-// in ascending-j order over set bits, so the tip path is bit-for-bit the
-// dense indicator dot it replaces.
-template <bool ATip, bool BTip>
-void clv_block(std::size_t begin, std::size_t end, const double* a,
-               const double* b, const std::uint8_t* a_codes,
-               const std::uint8_t* b_codes, const Mat4& pa, const Mat4& pb,
-               const double* a_tab, const double* b_tab, double* out) {
-  for (std::size_t pat = begin; pat < end; ++pat) {
-    double left[4];
-    double right[4];
-    if constexpr (ATip) {
-      const double* entry = a_tab + static_cast<std::size_t>(a_codes[pat]) * 4;
-      for (int i = 0; i < 4; ++i) left[i] = entry[i];
-    } else {
-      const double* av = a + pat * 4;
-      for (int i = 0; i < 4; ++i) {
-        left[i] = pa[i][0] * av[0] + pa[i][1] * av[1] + pa[i][2] * av[2] +
-                  pa[i][3] * av[3];
-      }
-    }
-    if constexpr (BTip) {
-      const double* entry = b_tab + static_cast<std::size_t>(b_codes[pat]) * 4;
-      for (int i = 0; i < 4; ++i) right[i] = entry[i];
-    } else {
-      const double* bv = b + pat * 4;
-      for (int i = 0; i < 4; ++i) {
-        right[i] = pb[i][0] * bv[0] + pb[i][1] * bv[1] + pb[i][2] * bv[2] +
-                   pb[i][3] * bv[3];
-      }
-    }
-    double* ov = out + pat * 4;
-    for (int i = 0; i < 4; ++i) ov[i] = left[i] * right[i];
-  }
-}
-
-// tab[code][i] = sum over set bits j of code of p[i][j], ascending j —
-// the dense 0/1-indicator dot product with the zero terms skipped.
+// Transposed tip lookup table: tab[i * 16 + code] = sum over set bits j of
+// code of p[i][j], ascending j — the dense 0/1-indicator dot product with
+// the zero terms skipped, laid out so the SIMD tip kernel can gather a
+// whole lane group from one state row.
 void build_tip_table(const Mat4& p, double* tab) {
-  for (int code = 0; code < 16; ++code) {
-    for (int i = 0; i < 4; ++i) {
+  for (int i = 0; i < 4; ++i) {
+    for (int code = 0; code < 16; ++code) {
       double s = 0.0;
       for (int j = 0; j < 4; ++j) {
         if ((code >> j) & 1) s += p[i][j];
       }
-      tab[code * 4 + i] = s;
+      tab[i * 16 + code] = s;
     }
   }
 }
@@ -94,37 +57,45 @@ LikelihoodEngine::LikelihoodEngine(const PatternAlignment& data,
       model_(std::move(model)),
       rates_(std::move(rates)),
       num_patterns_(data.num_patterns()),
+      padded_(round_up(data.num_patterns(), kPatternPad)),
       // NB: read rates_ (the member), not the moved-from parameter.
-      num_categories_(rates_.num_categories()) {
+      num_categories_(rates_.num_categories()),
+      kernels_(&active_kernel_table()) {
+  counters_.simd_backend = kernels_->name;
   build_tip_clvs();
 
   // Preallocate every kernel arena once; the hot path never allocates.
+  // Plane tails ([num_patterns_, padded_)) stay zero forever — inert
+  // through every kernel (see kernels.hpp).
   lam_.resize(num_categories_ * 4);
   rebuild_model_tables();
   clv_p_.resize(2 * num_categories_);
   tip_tab_.assign(2 * num_categories_ * 64, 0.0);
-  edge_coeff_.assign(num_categories_ * num_patterns_ * 4, 0.0);
-  edge_site_.assign(num_patterns_, 0.0);
-  edge_site_d1_.assign(num_patterns_, 0.0);
-  edge_site_d2_.assign(num_patterns_, 0.0);
+  edge_coeff_.assign(num_categories_ * 4 * padded_, 0.0);
+  edge_site_.assign(padded_, 0.0);
+  edge_site_d1_.assign(padded_, 0.0);
+  edge_site_d2_.assign(padded_, 0.0);
   edge_ws_.coeff = edge_coeff_.data();
   edge_ws_.lam = lam_.data();
   edge_ws_.site = edge_site_.data();
   edge_ws_.site_d1 = edge_site_d1_.data();
   edge_ws_.site_d2 = edge_site_d2_.data();
+  edge_ws_.padded = padded_;
+  edge_ws_.kernels = kernels_;
 }
 
 void LikelihoodEngine::build_tip_clvs() {
   const std::size_t num_taxa = data_.num_taxa();
-  tip_clvs_.assign(num_taxa * num_patterns_ * 4, 0.0);
-  tip_codes_.assign(num_taxa * num_patterns_, 0);
+  tip_clvs_.assign(num_taxa * 4 * padded_, 0.0);
+  tip_codes_.assign(num_taxa * padded_, 0);
   for (std::size_t t = 0; t < num_taxa; ++t) {
+    double* planes = &tip_clvs_[t * 4 * padded_];
     for (std::size_t p = 0; p < num_patterns_; ++p) {
       const BaseCode code = data_.at(t, p);
-      tip_codes_[t * num_patterns_ + p] = code;
-      double* entry = &tip_clvs_[(t * num_patterns_ + p) * 4];
+      tip_codes_[t * padded_ + p] = code;
       for (int s = 0; s < 4; ++s) {
-        entry[s] = (code & base_from_index(s)) ? 1.0 : 0.0;
+        planes[static_cast<std::size_t>(s) * padded_ + p] =
+            (code & base_from_index(s)) ? 1.0 : 0.0;
       }
     }
   }
@@ -187,12 +158,12 @@ const LikelihoodEngine::Clv& LikelihoodEngine::ensure_clv(int u, int slot) {
 }
 
 void LikelihoodEngine::compute_internal_clv(int u, int slot) {
-  // Tips are handled inline by callers via tip_clvs_; this is internal-only.
-  const std::size_t stride = num_patterns_ * 4;
+  // Tips are handled inline by callers via tip planes; this is internal-only.
+  const std::size_t cat_stride = 4 * padded_;
   Clv& clv = clvs_[key(u, slot)];
-  const bool storage_reused = clv.values.size() == num_categories_ * stride;
-  clv.values.resize(num_categories_ * stride);
-  clv.scale.assign(num_patterns_, 0);
+  const bool storage_reused = clv.values.size() == num_categories_ * cat_stride;
+  clv.values.resize(num_categories_ * cat_stride);
+  clv.scale.assign(padded_, 0);
   if (storage_reused) {
     counters_.scratch_bytes_reused += clv.values.size() * sizeof(double);
   }
@@ -219,8 +190,8 @@ void LikelihoodEngine::compute_internal_clv(int u, int slot) {
   for (int c = 0; c < 2; ++c) {
     const int node = children[c];
     if (tree_->is_tip(node)) {
-      child_values[c] = &tip_clvs_[static_cast<std::size_t>(node) * stride];
-      child_codes[c] = &tip_codes_[static_cast<std::size_t>(node) * num_patterns_];
+      child_values[c] = tip_planes(node);
+      child_codes[c] = &tip_codes_[static_cast<std::size_t>(node) * padded_];
       child_scales[c] = nullptr;
       child_is_tip[c] = true;
     } else {
@@ -252,57 +223,37 @@ void LikelihoodEngine::compute_internal_clv(int u, int slot) {
       clv_p_.size() * sizeof(Mat4) + tip_tab_.size() * sizeof(double);
 
   // Pattern-block tiling: compute every category's slice of one block, then
-  // rescale that block while its cache lines are still hot.
-  for (std::size_t begin = 0; begin < num_patterns_; begin += kPatternBlock) {
-    const std::size_t end = std::min(begin + kPatternBlock, num_patterns_);
+  // rescale that block while its cache lines are still hot. Tail lanes
+  // (>= num_patterns_) see all-zero inputs and stay zero.
+  for (std::size_t begin = 0; begin < padded_; begin += kPatternBlock) {
+    const std::size_t end = std::min(begin + kPatternBlock, padded_);
     for (std::size_t cat = 0; cat < num_categories_; ++cat) {
-      const double* a =
-          child_values[0] + (child_is_tip[0] ? 0 : cat * stride);
-      const double* b =
-          child_values[1] + (child_is_tip[1] ? 0 : cat * stride);
-      const Mat4& pa = clv_p_[cat];
-      const Mat4& pb = clv_p_[num_categories_ + cat];
-      const double* a_tab = &tip_tab_[cat * 64];
-      const double* b_tab = &tip_tab_[(num_categories_ + cat) * 64];
-      double* out = &clv.values[cat * stride];
-      if (child_is_tip[0] && child_is_tip[1]) {
-        clv_block<true, true>(begin, end, a, b, child_codes[0], child_codes[1],
-                              pa, pb, a_tab, b_tab, out);
-      } else if (child_is_tip[0]) {
-        clv_block<true, false>(begin, end, a, b, child_codes[0], child_codes[1],
-                               pa, pb, a_tab, b_tab, out);
-      } else if (child_is_tip[1]) {
-        clv_block<false, true>(begin, end, a, b, child_codes[0], child_codes[1],
-                               pa, pb, a_tab, b_tab, out);
+      ClvOperand a;
+      ClvOperand b;
+      a.planes = child_values[0] + (child_is_tip[0] ? 0 : cat * cat_stride);
+      b.planes = child_values[1] + (child_is_tip[1] ? 0 : cat * cat_stride);
+      if (child_is_tip[0]) {
+        a.codes = child_codes[0];
+        a.tip_tab = &tip_tab_[cat * 64];
       } else {
-        clv_block<false, false>(begin, end, a, b, child_codes[0],
-                                child_codes[1], pa, pb, a_tab, b_tab, out);
+        a.p = &clv_p_[cat][0][0];
       }
+      if (child_is_tip[1]) {
+        b.codes = child_codes[1];
+        b.tip_tab = &tip_tab_[(num_categories_ + cat) * 64];
+      } else {
+        b.p = &clv_p_[num_categories_ + cat][0][0];
+      }
+      kernels_->clv_combine(begin, end, padded_, a, b,
+                            &clv.values[cat * cat_stride]);
     }
 
     // Combine child scale counters and rescale underflowing patterns of
-    // this block (all categories are still L1-resident).
-    for (std::size_t pat = begin; pat < end; ++pat) {
-      std::int32_t scale = 0;
-      for (int c = 0; c < 2; ++c) {
-        if (child_scales[c] != nullptr) scale += child_scales[c][pat];
-      }
-      double max_entry = 0.0;
-      for (std::size_t cat = 0; cat < num_categories_; ++cat) {
-        const double* ov = &clv.values[cat * stride + pat * 4];
-        for (int i = 0; i < 4; ++i) {
-          if (ov[i] > max_entry) max_entry = ov[i];
-        }
-      }
-      if (max_entry > 0.0 && max_entry < kScaleThreshold) {
-        for (std::size_t cat = 0; cat < num_categories_; ++cat) {
-          double* ov = &clv.values[cat * stride + pat * 4];
-          for (int i = 0; i < 4; ++i) ov[i] *= kScaleFactor;
-        }
-        ++scale;
-      }
-      clv.scale[pat] = scale;
-    }
+    // this block (all categories are still L1-resident): vector max over
+    // the planes plus a movemask picks out the underflowing lanes.
+    counters_.clv_rescales += kernels_->clv_rescale(
+        begin, end, padded_, num_categories_, clv.values.data(),
+        child_scales[0], child_scales[1], clv.scale.data());
   }
 
   clv.valid = true;
@@ -325,7 +276,7 @@ double LikelihoodEngine::log_likelihood_edge(int u, int v) {
 }
 
 EdgeLikelihood LikelihoodEngine::edge_likelihood(int u, int v) {
-  const std::size_t stride = num_patterns_ * 4;
+  const std::size_t cat_stride = 4 * padded_;
   const int su = tree_->find_slot(u, v);
   const int sv = tree_->find_slot(v, u);
   if (su < 0 || sv < 0) throw std::logic_error("edge_likelihood: not an edge");
@@ -334,7 +285,7 @@ EdgeLikelihood LikelihoodEngine::edge_likelihood(int u, int v) {
   const std::int32_t* a_scale = nullptr;
   bool a_cats;
   if (tree_->is_tip(u)) {
-    a_values = &tip_clvs_[static_cast<std::size_t>(u) * stride];
+    a_values = tip_planes(u);
     a_cats = false;
   } else {
     const Clv& clv = ensure_clv(u, su);
@@ -346,7 +297,7 @@ EdgeLikelihood LikelihoodEngine::edge_likelihood(int u, int v) {
   const std::int32_t* b_scale = nullptr;
   bool b_cats;
   if (tree_->is_tip(v)) {
-    b_values = &tip_clvs_[static_cast<std::size_t>(v) * stride];
+    b_values = tip_planes(v);
     b_cats = false;
   } else {
     const Clv& clv = ensure_clv(v, sv);
@@ -358,29 +309,18 @@ EdgeLikelihood LikelihoodEngine::edge_likelihood(int u, int v) {
   const auto kernel_start = KernelClock::now();
 
   // Project the per-pattern weights into the eigenbasis of Q:
-  //   lnL(t) = sum_p w_p log( sum_c sum_k coeff[c,p,k] exp(lambda_k r_c t) )
-  // with coeff[c,p,k] = (prob_c sum_i pi_i A_i right_ik)(sum_j left_kj B_j).
+  //   lnL(t) = sum_p w_p log( sum_c sum_k coeff[c,k,p] exp(lambda_k r_c t) )
+  // with coeff[c,k,p] = (prob_c sum_i pi_i A_i right_ik)(sum_j left_kj B_j).
   // Four coefficients per (category, pattern) replace the 16-entry P(t)
-  // contraction of the naive formulation; the projection writes into the
-  // engine's preallocated arena.
+  // contraction of the naive formulation; the projection writes coefficient
+  // planes into the engine's preallocated arena via the SIMD kernel.
   const Mat4& left = model_.left_eigenvectors();
   for (std::size_t cat = 0; cat < num_categories_; ++cat) {
     const double prob = rates_.probability(cat);
-    const double* a = a_values + (a_cats ? cat * stride : 0);
-    const double* b = b_values + (b_cats ? cat * stride : 0);
-    double* coeff = &edge_coeff_[cat * num_patterns_ * 4];
-    for (std::size_t pat = 0; pat < num_patterns_; ++pat) {
-      const double* av = a + pat * 4;
-      const double* bv = b + pat * 4;
-      double* cv = coeff + pat * 4;
-      for (int k = 0; k < 4; ++k) {
-        const double uk = prob * (pr_[k][0] * av[0] + pr_[k][1] * av[1] +
-                                  pr_[k][2] * av[2] + pr_[k][3] * av[3]);
-        const double vk = left[k][0] * bv[0] + left[k][1] * bv[1] +
-                          left[k][2] * bv[2] + left[k][3] * bv[3];
-        cv[k] = uk * vk;
-      }
-    }
+    const double* a = a_values + (a_cats ? cat * cat_stride : 0);
+    const double* b = b_values + (b_cats ? cat * cat_stride : 0);
+    kernels_->edge_capture(padded_, a, b, &pr_[0][0], &left[0][0], prob,
+                           &edge_coeff_[cat * cat_stride]);
   }
 
   EdgeLikelihood f;
@@ -412,53 +352,22 @@ double EdgeLikelihood::evaluate(double t, double* d1, double* d2) const {
   const auto kernel_start = KernelClock::now();
   const std::size_t num_categories = rates_->num_categories();
   const bool derivs = d1 != nullptr || d2 != nullptr;
+  const std::size_t padded = ws_->padded;
 
   // All scratch lives in the engine-owned workspace; no allocations here.
   double* site = ws_->site;
   double* site_d1 = ws_->site_d1;
   double* site_d2 = ws_->site_d2;
 
+  // exp(lambda_k r_c t) is computed once per category (cache-served); the
+  // per-pattern loop below is exp-free — a pure 4-coefficient dot.
   for (std::size_t cat = 0; cat < num_categories; ++cat) {
     const double rate = rates_->rate(cat);
     const Vec4 e = cache_->exp_eigen(*model_, t * rate);
-    const double* coeff = ws_->coeff + cat * num_patterns_ * 4;
-    const double e0 = e[0], e1 = e[1], e2 = e[2], e3 = e[3];
-    if (!derivs) {
-      if (cat == 0) {
-        for (std::size_t pat = 0; pat < num_patterns_; ++pat) {
-          const double* cv = coeff + pat * 4;
-          site[pat] = cv[0] * e0 + cv[1] * e1 + cv[2] * e2 + cv[3] * e3;
-        }
-      } else {
-        for (std::size_t pat = 0; pat < num_patterns_; ++pat) {
-          const double* cv = coeff + pat * 4;
-          site[pat] += cv[0] * e0 + cv[1] * e1 + cv[2] * e2 + cv[3] * e3;
-        }
-      }
-    } else {
-      // First/second derivative factors: d/dt exp(lambda_k r t) scales by
-      // lam_k = lambda_k * r (already tabulated per category).
-      const double* lam = ws_->lam + cat * 4;
-      const double l0 = lam[0] * e0, l1 = lam[1] * e1, l2 = lam[2] * e2,
-                   l3 = lam[3] * e3;
-      const double q0 = lam[0] * l0, q1 = lam[1] * l1, q2 = lam[2] * l2,
-                   q3 = lam[3] * l3;
-      if (cat == 0) {
-        for (std::size_t pat = 0; pat < num_patterns_; ++pat) {
-          const double* cv = coeff + pat * 4;
-          site[pat] = cv[0] * e0 + cv[1] * e1 + cv[2] * e2 + cv[3] * e3;
-          site_d1[pat] = cv[0] * l0 + cv[1] * l1 + cv[2] * l2 + cv[3] * l3;
-          site_d2[pat] = cv[0] * q0 + cv[1] * q1 + cv[2] * q2 + cv[3] * q3;
-        }
-      } else {
-        for (std::size_t pat = 0; pat < num_patterns_; ++pat) {
-          const double* cv = coeff + pat * 4;
-          site[pat] += cv[0] * e0 + cv[1] * e1 + cv[2] * e2 + cv[3] * e3;
-          site_d1[pat] += cv[0] * l0 + cv[1] * l1 + cv[2] * l2 + cv[3] * l3;
-          site_d2[pat] += cv[0] * q0 + cv[1] * q1 + cv[2] * q2 + cv[3] * q3;
-        }
-      }
-    }
+    ws_->kernels->edge_evaluate(padded, ws_->coeff + cat * 4 * padded,
+                                e.data(), ws_->lam + cat * 4,
+                                /*accumulate=*/cat != 0, derivs, site, site_d1,
+                                site_d2);
   }
 
   double lnl = scale_offset_;
@@ -490,9 +399,15 @@ double EdgeLikelihood::evaluate(double t, double* d1, double* d2) const {
 }
 
 std::vector<double> LikelihoodEngine::site_log_likelihoods() {
+  std::vector<double> out;
+  site_log_likelihoods(out);
+  return out;
+}
+
+void LikelihoodEngine::site_log_likelihoods(std::vector<double>& out) {
   const int root = tree_->any_internal();
   const int nbr = tree_->neighbor(root, 0);
-  const std::size_t stride = num_patterns_ * 4;
+  const std::size_t cat_stride = 4 * padded_;
 
   const int su = tree_->find_slot(root, nbr);
   const int sv = tree_->find_slot(nbr, root);
@@ -502,7 +417,7 @@ std::vector<double> LikelihoodEngine::site_log_likelihoods() {
   const std::int32_t* b_scale = nullptr;
   bool b_cats;
   if (tree_->is_tip(nbr)) {
-    b_values = &tip_clvs_[static_cast<std::size_t>(nbr) * stride];
+    b_values = tip_planes(nbr);
     b_cats = false;
   } else {
     const Clv& clv = ensure_clv(nbr, sv);
@@ -511,27 +426,35 @@ std::vector<double> LikelihoodEngine::site_log_likelihoods() {
     b_cats = true;
   }
 
+  // Per-pattern probabilities accumulate in the edge-site scratch plane
+  // (clobbers any live EdgeLikelihood view, same contract as
+  // edge_likelihood()); not a hot path, so the contraction stays scalar.
   const double t = tree_->length(root, nbr);
   const Vec4& pi = model_.frequencies();
-  std::vector<double> pattern_lnl(num_patterns_, 0.0);
+  double* pattern_lnl = edge_site_.data();
+  std::fill(pattern_lnl, pattern_lnl + num_patterns_, 0.0);
   Mat4 p{};
   for (std::size_t cat = 0; cat < num_categories_; ++cat) {
     const double rate = rates_.rate(cat);
     const double prob = rates_.probability(cat);
     cache_.transition(model_, t * rate, p);
-    const double* av = &a.values[cat * stride];
-    const double* bv = b_values + (b_cats ? cat * stride : 0);
+    const double* av = &a.values[cat * cat_stride];
+    const double* bv = b_values + (b_cats ? cat * cat_stride : 0);
     for (std::size_t pat = 0; pat < num_patterns_; ++pat) {
       double s = 0.0;
       for (int i = 0; i < 4; ++i) {
         double inner = 0.0;
-        for (int j = 0; j < 4; ++j) inner += p[i][j] * bv[pat * 4 + j];
-        s += pi[i] * av[pat * 4 + i] * inner;
+        for (int j = 0; j < 4; ++j) {
+          inner += p[i][j] * bv[static_cast<std::size_t>(j) * padded_ + pat];
+        }
+        s += pi[i] * av[static_cast<std::size_t>(i) * padded_ + pat] * inner;
       }
       pattern_lnl[pat] += prob * s;
     }
   }
-  std::vector<double> out(data_.num_sites());
+  counters_.scratch_bytes_reused += num_patterns_ * sizeof(double);
+
+  out.resize(data_.num_sites());
   for (std::size_t site = 0; site < out.size(); ++site) {
     const std::size_t pat = data_.pattern_of_site(site);
     std::int32_t scale = a.scale[pat];
@@ -544,13 +467,13 @@ std::vector<double> LikelihoodEngine::site_log_likelihoods() {
                                        : kZeroPatternLogPenalty;
     out[site] = log_probability - scale * kLogScaleStep;
   }
-  return out;
 }
 
 KernelCounters LikelihoodEngine::counters() const {
   KernelCounters c = counters_;
   c.transition_hits = cache_.hits();
   c.transition_misses = cache_.misses();
+  c.transition_evictions = cache_.evictions();
   return c;
 }
 

@@ -16,7 +16,12 @@
 // its largest entry falls below 2^-256; log-likelihoods subtract the
 // accumulated scalings.
 //
-// Kernel layer (see DESIGN.md "Likelihood kernel & caching"):
+// Kernel layer (see DESIGN.md "SIMD kernel layer"):
+//   - CLVs, tip indicators and edge coefficients live in pattern-plane SoA
+//     layout ([category][state][padded pattern]) in 64-byte-aligned arenas,
+//     and the four hot loops run through a SIMD backend selected at runtime
+//     (scalar / SSE2 / AVX2 — kernels.hpp); the engine captures the active
+//     backend's dispatch table at construction;
 //   - transition matrices are served by a TransitionCache keyed by the
 //     effective length t * rate, invalidated by epoch on set_model();
 //   - the hot path is allocation-free: edge captures and Newton evaluations
@@ -29,11 +34,13 @@
 #include <cstdint>
 #include <vector>
 
+#include "likelihood/kernels.hpp"
 #include "likelihood/transition_cache.hpp"
 #include "model/rates.hpp"
 #include "model/submodel.hpp"
 #include "seq/alignment.hpp"
 #include "tree/tree.hpp"
+#include "util/aligned.hpp"
 
 namespace fdml {
 
@@ -43,14 +50,23 @@ namespace fdml {
 struct KernelCounters {
   std::uint64_t transition_hits = 0;    ///< TransitionCache hits
   std::uint64_t transition_misses = 0;  ///< TransitionCache misses (rebuilds)
+  /// Live same-epoch entries displaced by a conflicting fill (set-conflict
+  /// thrash; should stay near zero during smoothing).
+  std::uint64_t transition_evictions = 0;
   std::uint64_t edge_captures = 0;      ///< edge_likelihood() calls
   std::uint64_t edge_evaluations = 0;   ///< EdgeLikelihood::evaluate calls
   std::uint64_t clv_computations = 0;   ///< internal-CLV recomputations
+  /// Patterns rescaled by the 2^-256 underflow guard (deep-tree activity;
+  /// the backend-parity tests assert this matches across SIMD backends).
+  std::uint64_t clv_rescales = 0;
   /// Bytes of scratch served from preallocated arenas (i.e. heap traffic
   /// the kernel layer avoided) since construction.
   std::uint64_t scratch_bytes_reused = 0;
   /// Nanoseconds spent inside the CLV / edge-capture / evaluate kernels.
   std::uint64_t kernel_ns = 0;
+  /// SIMD backend label of the engine's kernel table ("scalar", "sse2",
+  /// "avx2") — static string, never owned.
+  const char* simd_backend = "scalar";
 
   double transition_hit_rate() const {
     const std::uint64_t total = transition_hits + transition_misses;
@@ -93,18 +109,21 @@ class EdgeLikelihood {
 /// coefficients written by edge_likelihood(), per-site accumulators reused
 /// by every evaluate() call. Pointers alias engine arenas sized once.
 struct EdgeLikelihood::Workspace {
-  const double* coeff = nullptr;  // [cat][pattern][4] eigen coefficients
+  const double* coeff = nullptr;  // [cat][4][padded] eigen coefficient planes
   const double* lam = nullptr;    // [cat][4] = lambda_k * rate_cat
-  double* site = nullptr;         // [pattern] accumulators
+  double* site = nullptr;         // [padded] accumulators
   double* site_d1 = nullptr;
   double* site_d2 = nullptr;
+  std::size_t padded = 0;         // padded pattern extent of the planes
+  const KernelTable* kernels = nullptr;  // engine's SIMD dispatch table
 };
 
 class LikelihoodEngine {
  public:
   /// `data` is captured by reference and must outlive the engine (pattern
   /// tables are large and shared across the evaluators of a run); the model
-  /// and rate model are small and copied in.
+  /// and rate model are small and copied in. The SIMD backend is resolved
+  /// here (simd::active_backend()) and fixed for the engine's lifetime.
   LikelihoodEngine(const PatternAlignment& data, SubstModel model,
                    RateModel rates);
 
@@ -146,6 +165,11 @@ class LikelihoodEngine {
 
   /// Per-site log-likelihoods (maps patterns back to sites).
   std::vector<double> site_log_likelihoods();
+  /// Allocation-lean overload: writes into `out` (resized to num_sites),
+  /// accumulating through engine scratch instead of fresh vectors. Repeated
+  /// callers (bootstrap, per-site diagnostics) should reuse one `out`.
+  /// Clobbers the same scratch as EdgeLikelihood views (see above).
+  void site_log_likelihoods(std::vector<double>& out);
 
   /// Number of internal-CLV recomputations since attach (perf counter; used
   /// by the FLOP/byte benchmark and by tests asserting cache behaviour).
@@ -160,14 +184,18 @@ class LikelihoodEngine {
   /// compute-per-byte claim).
   std::uint64_t flops() const { return flops_; }
 
-  /// Snapshot of the kernel instrumentation (includes cache hit/miss).
+  /// Snapshot of the kernel instrumentation (includes cache hit/miss and
+  /// the SIMD backend label).
   KernelCounters counters() const;
   TransitionCache& transition_cache() { return cache_; }
+  /// The SIMD kernel table this engine dispatches through (fixed at
+  /// construction from simd::active_backend()).
+  const KernelTable& kernels() const { return *kernels_; }
 
  private:
   struct Clv {
-    std::vector<double> values;       // [cat][pattern][state]
-    std::vector<std::int32_t> scale;  // per pattern
+    AlignedVector<double> values;     // [cat][state][padded] SoA planes
+    std::vector<std::int32_t> scale;  // per pattern (padded extent)
     bool valid = false;
   };
 
@@ -182,13 +210,18 @@ class LikelihoodEngine {
   void invalidate_away(int node, int toward);
 
   /// Tip CLVs have no category dimension and never need scaling; expands a
-  /// base code into indicator likelihoods (and keeps the raw codes for the
-  /// table-driven tip kernels).
+  /// base code into indicator likelihood planes (and keeps the raw codes
+  /// for the table-driven tip kernels).
   void build_tip_clvs();
 
   /// Rebuilds the model-derived projection tables (pi-weighted right
   /// eigenvectors, per-category scaled eigenvalues).
   void rebuild_model_tables();
+
+  /// Plane base of tip `node` / internal CLV category `cat`.
+  const double* tip_planes(int node) const {
+    return &tip_clvs_[static_cast<std::size_t>(node) * 4 * padded_];
+  }
 
   const PatternAlignment& data_;
   SubstModel model_;  // mutable via set_model()
@@ -196,10 +229,14 @@ class LikelihoodEngine {
   const Tree* tree_ = nullptr;
 
   std::size_t num_patterns_;
+  /// Pattern extent rounded up to kPatternPad: every SoA plane is this
+  /// long, tails zero-filled (inert through every kernel).
+  std::size_t padded_;
   std::size_t num_categories_;
+  const KernelTable* kernels_;  // SIMD dispatch table (fixed at construction)
 
-  std::vector<double> tip_clvs_;        // [tip][pattern][state]
-  std::vector<std::uint8_t> tip_codes_; // [tip][pattern] 4-bit base masks
+  AlignedVector<double> tip_clvs_;      // [tip][state][padded] SoA planes
+  std::vector<std::uint8_t> tip_codes_; // [tip][padded] 4-bit base masks
   std::vector<Clv> clvs_;               // indexed by key()
   std::uint64_t flops_ = 0;
 
@@ -213,17 +250,17 @@ class LikelihoodEngine {
   Mat4 pr_{};
   std::vector<double> lam_;
 
-  // Per-category child transition matrices / 16-code tip lookup tables used
-  // by the tiled CLV kernel: [child][cat] and [child][cat][code][state].
+  // Per-category child transition matrices / transposed 16-code tip lookup
+  // tables ([state][code]) used by the CLV kernels: [child][cat] each.
   std::vector<Mat4> clv_p_;
-  std::vector<double> tip_tab_;
+  AlignedVector<double> tip_tab_;
 
   // Edge-evaluation arenas handed out via EdgeLikelihood (edge_ws_ holds
   // the stable pointer view the returned EdgeLikelihood borrows).
-  std::vector<double> edge_coeff_;  // [cat][pattern][4] eigen coefficients
-  std::vector<double> edge_site_;
-  std::vector<double> edge_site_d1_;
-  std::vector<double> edge_site_d2_;
+  AlignedVector<double> edge_coeff_;  // [cat][4][padded] coefficient planes
+  AlignedVector<double> edge_site_;
+  AlignedVector<double> edge_site_d1_;
+  AlignedVector<double> edge_site_d2_;
   EdgeLikelihood::Workspace edge_ws_;
 };
 

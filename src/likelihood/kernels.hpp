@@ -1,0 +1,108 @@
+// SIMD kernel layer under the likelihood engine.
+//
+// The four hot loops of Felsenstein pruning — internal-CLV combine, tip
+// lookup-table combine, eigen-coefficient edge capture, and the per-pattern
+// dot of EdgeLikelihood::evaluate — are independent across site patterns,
+// so the engine stores CLVs and edge coefficients as pattern-plane SoA:
+//
+//   [category][state][pattern]   (pattern extent padded to kPatternPad)
+//
+// instead of the former [category][pattern][state] AoS. A kernel then reads
+// four *planes* with contiguous vector loads and does purely vertical
+// arithmetic (no shuffles); the per-pattern underflow check becomes a
+// vector max over planes plus a movemask.
+//
+// Backends are function-pointer tables. Each table is produced by one
+// translation unit compiled for its ISA (kernels_scalar.cpp at W = 1,
+// kernels_sse2.cpp at W = 2 with -msse2, kernels_avx2.cpp at W = 4 with
+// -mavx2) from the same width-generic bodies in kernels_body.hpp, so the
+// math is written exactly once. active_kernel_table() resolves
+// simd::active_backend() (runtime CPUID + FDML_SIMD override) to a table;
+// the engine captures the table at construction.
+//
+// Padded-tail contract: callers zero-fill plane tails (patterns in
+// [num_patterns, padded)). Kernels process full padded ranges; zero inputs
+// produce zero outputs and never trigger rescaling (the check requires a
+// strictly positive maximum), so tail lanes are inert by construction.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/simd.hpp"
+
+namespace fdml {
+
+/// Pattern-plane padding in doubles. A multiple of every backend width and
+/// a full cache line, so plane starts stay 64-byte aligned for any W.
+inline constexpr std::size_t kPatternPad = 8;
+
+/// Underflow guard (shared by the kernels and the engine): rescale a
+/// pattern by 2^256 whenever its largest CLV entry falls below 2^-256.
+inline constexpr double kClvScaleThreshold = 0x1.0p-256;
+inline constexpr double kClvScaleFactor = 0x1.0p+256;
+
+/// One child of a CLV combine, category-resolved. Exactly one of
+/// {codes+tip_tab, p} is consulted: a tip child is combined through its
+/// 16-code lookup table, an internal child through a P(t)-row dot with its
+/// CLV planes.
+struct ClvOperand {
+  const double* planes = nullptr;    ///< [4][padded] SoA planes
+  const std::uint8_t* codes = nullptr;  ///< per-pattern 4-bit codes (tip only)
+  const double* p = nullptr;         ///< 16 row-major P(t) entries (internal)
+  const double* tip_tab = nullptr;   ///< [4][16] transposed code table (tip)
+};
+
+struct KernelTable {
+  const char* name;        ///< backend label ("scalar", "sse2", "avx2")
+  simd::Backend backend;
+  int width;               ///< lanes per vector
+
+  /// CLV combine over patterns [begin, end): out[s][pat] = left_s(pat) *
+  /// right_s(pat) with each factor a tip-table lookup or a P-row dot.
+  /// begin/end are multiples of kPatternPad (end may equal padded).
+  void (*clv_combine)(std::size_t begin, std::size_t end, std::size_t padded,
+                      const ClvOperand& a, const ClvOperand& b, double* out);
+
+  /// Underflow pass over patterns [begin, end) of a whole CLV (planes at
+  /// values + (cat * 4 + s) * padded): combines child scale counters,
+  /// rescales underflowing patterns across all categories, writes
+  /// out_scale[pat], and returns the number of patterns rescaled.
+  std::uint64_t (*clv_rescale)(std::size_t begin, std::size_t end,
+                               std::size_t padded, std::size_t num_categories,
+                               double* values, const std::int32_t* a_scale,
+                               const std::int32_t* b_scale,
+                               std::int32_t* out_scale);
+
+  /// Eigen-coefficient capture for one category:
+  ///   coeff[k][pat] = (prob * dot4(pr row k, a[.][pat]))
+  ///                 * dot4(left row k, b[.][pat])
+  /// pr/left are 16 row-major doubles; a/b/coeff are [4][padded] planes.
+  void (*edge_capture)(std::size_t padded, const double* a_planes,
+                       const double* b_planes, const double* pr,
+                       const double* left, double prob, double* coeff);
+
+  /// Per-pattern 4-coefficient dot for one category (exp(lambda_k r t) is
+  /// hoisted into e[] by the caller — evaluate() itself is exp-free per
+  /// pattern): site[pat] (+)= sum_k coeff[k][pat] * e[k]; with derivs also
+  /// site_d1 via lam[k] * e[k] and site_d2 via lam[k]^2 * e[k].
+  void (*edge_evaluate)(std::size_t padded, const double* coeff,
+                        const double* e, const double* lam, bool accumulate,
+                        bool derivs, double* site, double* site_d1,
+                        double* site_d2);
+};
+
+/// Table for one backend, or nullptr if that backend was not compiled in.
+const KernelTable* kernel_table(simd::Backend backend);
+
+/// Table for simd::active_backend() (falls back to scalar, which is always
+/// compiled).
+const KernelTable& active_kernel_table();
+
+/// Every table compiled into this binary, scalar first. Entries for
+/// backends the running CPU lacks are still returned (callers gate on
+/// simd::cpu_supports before executing them).
+std::vector<const KernelTable*> compiled_kernel_tables();
+
+}  // namespace fdml

@@ -1,0 +1,19 @@
+// AVX2 (W = 4) kernel backend. Compiled with -mavx2 when FDML_SIMD allows;
+// the TU is empty otherwise. Runtime dispatch (simd::cpu_supports) keeps
+// these instructions off CPUs that lack them. No FMA: see the determinism
+// contract in util/simd.hpp.
+#if defined(FDML_HAVE_AVX2)
+
+#include "likelihood/kernels_body.hpp"
+
+namespace fdml::detail {
+
+const KernelTable* kernel_table_avx2() {
+  static const KernelTable table =
+      make_kernel_table<4>("avx2", simd::Backend::kAvx2);
+  return &table;
+}
+
+}  // namespace fdml::detail
+
+#endif  // FDML_HAVE_AVX2

@@ -1,0 +1,220 @@
+// Width-generic bodies of the likelihood kernels (see kernels.hpp).
+//
+// Included by exactly the per-backend translation units
+// (kernels_{scalar,sse2,avx2}.cpp), each compiled with its ISA flags and
+// -ffp-contract=off, and instantiated at that backend's lane width. All
+// arithmetic is lane-local and uses Vec::madd (unfused), so every width
+// produces bit-identical per-pattern results — the cross-backend parity
+// tests rely on this.
+#pragma once
+
+#include "likelihood/kernels.hpp"
+
+namespace fdml::detail {
+
+template <int W>
+struct Kernels {
+  using V = simd::Vec<double, W>;
+
+  /// Loads the four state lanes of one child at `pat`: tip children gather
+  /// from the transposed 16-code table, internal children do a P-row dot
+  /// with the child's CLV planes (same summation order as the scalar code
+  /// this replaces: ((p0*a0 + p1*a1) + p2*a2) + p3*a3 per state).
+  template <bool Tip>
+  static inline void load_child(const ClvOperand& c, std::size_t padded,
+                                std::size_t pat, V out[4]) {
+    if constexpr (Tip) {
+      for (int s = 0; s < 4; ++s) {
+        out[s] = V::gather(c.tip_tab + s * 16, c.codes + pat);
+      }
+    } else {
+      const V a0 = V::load(c.planes + 0 * padded + pat);
+      const V a1 = V::load(c.planes + 1 * padded + pat);
+      const V a2 = V::load(c.planes + 2 * padded + pat);
+      const V a3 = V::load(c.planes + 3 * padded + pat);
+      for (int s = 0; s < 4; ++s) {
+        const double* row = c.p + s * 4;
+        V acc = V::broadcast(row[0]) * a0;
+        acc = V::madd(V::broadcast(row[1]), a1, acc);
+        acc = V::madd(V::broadcast(row[2]), a2, acc);
+        acc = V::madd(V::broadcast(row[3]), a3, acc);
+        out[s] = acc;
+      }
+    }
+  }
+
+  template <bool ATip, bool BTip>
+  static void combine(std::size_t begin, std::size_t end, std::size_t padded,
+                      const ClvOperand& a, const ClvOperand& b, double* out) {
+    for (std::size_t pat = begin; pat < end; pat += W) {
+      V left[4];
+      V right[4];
+      load_child<ATip>(a, padded, pat, left);
+      load_child<BTip>(b, padded, pat, right);
+      for (int s = 0; s < 4; ++s) {
+        (left[s] * right[s]).store(out + s * padded + pat);
+      }
+    }
+  }
+
+  static void clv_combine(std::size_t begin, std::size_t end,
+                          std::size_t padded, const ClvOperand& a,
+                          const ClvOperand& b, double* out) {
+    const bool a_tip = a.codes != nullptr;
+    const bool b_tip = b.codes != nullptr;
+    if (a_tip && b_tip) {
+      combine<true, true>(begin, end, padded, a, b, out);
+    } else if (a_tip) {
+      combine<true, false>(begin, end, padded, a, b, out);
+    } else if (b_tip) {
+      combine<false, true>(begin, end, padded, a, b, out);
+    } else {
+      combine<false, false>(begin, end, padded, a, b, out);
+    }
+  }
+
+  static std::uint64_t clv_rescale(std::size_t begin, std::size_t end,
+                                   std::size_t padded,
+                                   std::size_t num_categories, double* values,
+                                   const std::int32_t* a_scale,
+                                   const std::int32_t* b_scale,
+                                   std::int32_t* out_scale) {
+    const V zero = V::zero();
+    const V threshold = V::broadcast(kClvScaleThreshold);
+    const std::size_t planes = num_categories * 4;
+    std::uint64_t rescaled = 0;
+    for (std::size_t pat = begin; pat < end; pat += W) {
+      V max_entry = V::zero();
+      for (std::size_t plane = 0; plane < planes; ++plane) {
+        max_entry = V::max(max_entry, V::load(values + plane * padded + pat));
+      }
+      // Underflowing lanes: 0 < max < threshold. Gap-only and padded-tail
+      // patterns have max == 0 and are intentionally excluded.
+      const int mask =
+          V::lt_mask(zero, max_entry) & V::lt_mask(max_entry, threshold);
+      for (int lane = 0; lane < W; ++lane) {
+        const std::size_t p = pat + static_cast<std::size_t>(lane);
+        std::int32_t scale = 0;
+        if (a_scale != nullptr) scale += a_scale[p];
+        if (b_scale != nullptr) scale += b_scale[p];
+        if ((mask >> lane) & 1) {
+          for (std::size_t plane = 0; plane < planes; ++plane) {
+            values[plane * padded + p] *= kClvScaleFactor;
+          }
+          ++scale;
+          ++rescaled;
+        }
+        out_scale[p] = scale;
+      }
+    }
+    return rescaled;
+  }
+
+  static void edge_capture(std::size_t padded, const double* a_planes,
+                           const double* b_planes, const double* pr,
+                           const double* left, double prob, double* coeff) {
+    const V prob_v = V::broadcast(prob);
+    for (std::size_t pat = 0; pat < padded; pat += W) {
+      const V a0 = V::load(a_planes + 0 * padded + pat);
+      const V a1 = V::load(a_planes + 1 * padded + pat);
+      const V a2 = V::load(a_planes + 2 * padded + pat);
+      const V a3 = V::load(a_planes + 3 * padded + pat);
+      const V b0 = V::load(b_planes + 0 * padded + pat);
+      const V b1 = V::load(b_planes + 1 * padded + pat);
+      const V b2 = V::load(b_planes + 2 * padded + pat);
+      const V b3 = V::load(b_planes + 3 * padded + pat);
+      for (int k = 0; k < 4; ++k) {
+        const double* pk = pr + k * 4;
+        V u = V::broadcast(pk[0]) * a0;
+        u = V::madd(V::broadcast(pk[1]), a1, u);
+        u = V::madd(V::broadcast(pk[2]), a2, u);
+        u = V::madd(V::broadcast(pk[3]), a3, u);
+        u = prob_v * u;
+        const double* lk = left + k * 4;
+        V v = V::broadcast(lk[0]) * b0;
+        v = V::madd(V::broadcast(lk[1]), b1, v);
+        v = V::madd(V::broadcast(lk[2]), b2, v);
+        v = V::madd(V::broadcast(lk[3]), b3, v);
+        (u * v).store(coeff + static_cast<std::size_t>(k) * padded + pat);
+      }
+    }
+  }
+
+  template <bool Accumulate, bool Derivs>
+  static void evaluate(std::size_t padded, const double* coeff,
+                       const double* e, const double* lam, double* site,
+                       double* site_d1, double* site_d2) {
+    const V e0 = V::broadcast(e[0]), e1 = V::broadcast(e[1]),
+            e2 = V::broadcast(e[2]), e3 = V::broadcast(e[3]);
+    // Derivative factors per eigenvalue: d/dt exp(lam_k t) = lam_k * exp,
+    // computed in scalar once (identical to the former per-category setup).
+    const double l0s = lam[0] * e[0], l1s = lam[1] * e[1], l2s = lam[2] * e[2],
+                 l3s = lam[3] * e[3];
+    const V l0 = V::broadcast(l0s), l1 = V::broadcast(l1s),
+            l2 = V::broadcast(l2s), l3 = V::broadcast(l3s);
+    const V q0 = V::broadcast(lam[0] * l0s), q1 = V::broadcast(lam[1] * l1s),
+            q2 = V::broadcast(lam[2] * l2s), q3 = V::broadcast(lam[3] * l3s);
+    for (std::size_t pat = 0; pat < padded; pat += W) {
+      const V c0 = V::load(coeff + 0 * padded + pat);
+      const V c1 = V::load(coeff + 1 * padded + pat);
+      const V c2 = V::load(coeff + 2 * padded + pat);
+      const V c3 = V::load(coeff + 3 * padded + pat);
+      V s = c0 * e0;
+      s = V::madd(c1, e1, s);
+      s = V::madd(c2, e2, s);
+      s = V::madd(c3, e3, s);
+      if constexpr (Accumulate) s = V::load(site + pat) + s;
+      s.store(site + pat);
+      if constexpr (Derivs) {
+        V g = c0 * l0;
+        g = V::madd(c1, l1, g);
+        g = V::madd(c2, l2, g);
+        g = V::madd(c3, l3, g);
+        V h = c0 * q0;
+        h = V::madd(c1, q1, h);
+        h = V::madd(c2, q2, h);
+        h = V::madd(c3, q3, h);
+        if constexpr (Accumulate) {
+          g = V::load(site_d1 + pat) + g;
+          h = V::load(site_d2 + pat) + h;
+        }
+        g.store(site_d1 + pat);
+        h.store(site_d2 + pat);
+      }
+    }
+  }
+
+  static void edge_evaluate(std::size_t padded, const double* coeff,
+                            const double* e, const double* lam,
+                            bool accumulate, bool derivs, double* site,
+                            double* site_d1, double* site_d2) {
+    if (derivs) {
+      if (accumulate) {
+        evaluate<true, true>(padded, coeff, e, lam, site, site_d1, site_d2);
+      } else {
+        evaluate<false, true>(padded, coeff, e, lam, site, site_d1, site_d2);
+      }
+    } else {
+      if (accumulate) {
+        evaluate<true, false>(padded, coeff, e, lam, site, site_d1, site_d2);
+      } else {
+        evaluate<false, false>(padded, coeff, e, lam, site, site_d1, site_d2);
+      }
+    }
+  }
+};
+
+template <int W>
+KernelTable make_kernel_table(const char* name, simd::Backend backend) {
+  KernelTable table;
+  table.name = name;
+  table.backend = backend;
+  table.width = W;
+  table.clv_combine = &Kernels<W>::clv_combine;
+  table.clv_rescale = &Kernels<W>::clv_rescale;
+  table.edge_capture = &Kernels<W>::edge_capture;
+  table.edge_evaluate = &Kernels<W>::edge_evaluate;
+  return table;
+}
+
+}  // namespace fdml::detail

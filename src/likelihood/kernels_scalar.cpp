@@ -1,0 +1,16 @@
+// Scalar (W = 1) kernel backend — always compiled; the portable reference
+// the wide backends are parity-tested against. Built with
+// -fno-tree-vectorize so "scalar" means scalar even at -O2: it is both the
+// fallback for CPUs without vector units and the honest baseline for the
+// speedup numbers in BENCH_kernels.json.
+#include "likelihood/kernels_body.hpp"
+
+namespace fdml::detail {
+
+const KernelTable* kernel_table_scalar() {
+  static const KernelTable table =
+      make_kernel_table<1>("scalar", simd::Backend::kScalar);
+  return &table;
+}
+
+}  // namespace fdml::detail

@@ -1,0 +1,17 @@
+// SSE2 (W = 2) kernel backend. Compiled with -msse2 when FDML_SIMD allows;
+// the TU is empty otherwise so the source list can stay unconditional.
+#if defined(FDML_HAVE_SSE2)
+
+#include "likelihood/kernels_body.hpp"
+
+namespace fdml::detail {
+
+const KernelTable* kernel_table_sse2() {
+  static const KernelTable table =
+      make_kernel_table<2>("sse2", simd::Backend::kSse2);
+  return &table;
+}
+
+}  // namespace fdml::detail
+
+#endif  // FDML_HAVE_SSE2

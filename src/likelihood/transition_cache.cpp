@@ -25,22 +25,42 @@ std::uint64_t mix(std::uint64_t x) {
 
 TransitionCache::TransitionCache(std::size_t capacity)
     : slots_(round_up_pow2(capacity < 2 ? 2 : capacity)),
-      mask_(slots_.size() - 1) {}
+      set_mask_(slots_.size() / 2 - 1) {}
+
+std::size_t TransitionCache::set_index(double effective_length) const {
+  return mix(std::bit_cast<std::uint64_t>(effective_length)) & set_mask_;
+}
 
 const TransitionCache::Entry& TransitionCache::lookup(const SubstModel& model,
                                                       double effective_length) {
   const std::uint64_t bits = std::bit_cast<std::uint64_t>(effective_length);
-  Entry& entry = slots_[mix(bits) & mask_];
-  if (entry.epoch == epoch_ &&
-      std::bit_cast<std::uint64_t>(entry.key) == bits) {
-    ++hits_;
-    return entry;
+  Entry* set = &slots_[(mix(bits) & set_mask_) * 2];
+  for (int way = 0; way < 2; ++way) {
+    Entry& entry = set[way];
+    if (entry.epoch == epoch_ &&
+        std::bit_cast<std::uint64_t>(entry.key) == bits) {
+      ++hits_;
+      entry.stamp = ++clock_;
+      return entry;
+    }
   }
   ++misses_;
-  entry.key = effective_length;
-  entry.epoch = epoch_;
-  model.transition_and_exp(effective_length, entry.p, entry.expl);
-  return entry;
+  // Victim choice: a stale way (never filled, or filled under an older
+  // epoch) is free real estate; with two live ways, evict the LRU one.
+  Entry* victim;
+  if (set[0].epoch != epoch_) {
+    victim = &set[0];
+  } else if (set[1].epoch != epoch_) {
+    victim = &set[1];
+  } else {
+    victim = set[0].stamp <= set[1].stamp ? &set[0] : &set[1];
+    ++evictions_;
+  }
+  victim->key = effective_length;
+  victim->epoch = epoch_;
+  victim->stamp = ++clock_;
+  model.transition_and_exp(effective_length, victim->p, victim->expl);
+  return *victim;
 }
 
 void TransitionCache::transition(const SubstModel& model,

@@ -7,11 +7,14 @@
 // CLVs whose recomputation re-reads every *other* edge's unchanged length),
 // so the eigendecomposition-based exp(Qt) is a prime memoization target.
 //
-// The cache is a fixed-size direct-mapped table keyed by the exact bit
-// pattern of the effective length. Entries carry both the clamped P(t)
-// matrix (CLV updates, per-site likelihoods) and the raw eigenvalue
-// exponentials exp(lambda_k * t) (the eigen-basis edge evaluation kernel).
-// Lookups never allocate; a conflict simply overwrites the slot.
+// The cache is a fixed-size 2-way set-associative table keyed by the exact
+// bit pattern of the effective length; the set index comes from a mixed
+// hash of those bits. Within a set, fills replace the least-recently-used
+// way, so two hot lengths that collide on the same set (which a
+// direct-mapped table would thrash between on every alternation) coexist.
+// Entries carry both the clamped P(t) matrix (CLV updates, per-site
+// likelihoods) and the raw eigenvalue exponentials exp(lambda_k * t)
+// (the eigen-basis edge evaluation kernel). Lookups never allocate.
 //
 // Invalidation contract: entries are valid for a fixed set of model
 // parameters. Whoever mutates the substitution model must call
@@ -31,7 +34,8 @@ namespace fdml {
 
 class TransitionCache {
  public:
-  /// `capacity` is rounded up to a power of two. The default comfortably
+  /// `capacity` counts entries (ways), rounded up to a power of two >= 2;
+  /// the table has capacity / 2 sets of 2 ways. The default comfortably
   /// holds every (edge, category) pair of a few-hundred-taxon tree.
   explicit TransitionCache(std::size_t capacity = 4096);
 
@@ -50,20 +54,28 @@ class TransitionCache {
 
   std::uint64_t hits() const { return hits_; }
   std::uint64_t misses() const { return misses_; }
+  /// Fills that displaced a live (current-epoch) entry — i.e. genuine
+  /// set-conflict pressure, not cold or post-invalidate fills.
+  std::uint64_t evictions() const { return evictions_; }
   std::uint64_t invalidations() const { return epoch_ - 1; }
   double hit_rate() const {
     const std::uint64_t total = hits_ + misses_;
     return total == 0 ? 0.0 : static_cast<double>(hits_) / static_cast<double>(total);
   }
-  void reset_stats() { hits_ = 0; misses_ = 0; }
+  void reset_stats() { hits_ = 0; misses_ = 0; evictions_ = 0; }
   std::size_t capacity() const { return slots_.size(); }
   /// Resident bytes of slot storage (observability).
   std::size_t bytes() const { return slots_.size() * sizeof(Entry); }
+
+  /// Set index an effective length hashes to (test hook: lets regression
+  /// tests construct colliding lengths deterministically).
+  std::size_t set_index(double effective_length) const;
 
  private:
   struct Entry {
     double key = 0.0;
     std::uint64_t epoch = 0;  // 0 = never filled
+    std::uint64_t stamp = 0;  // LRU clock value of the last touch
     Vec4 expl{};
     Mat4 p{};
   };
@@ -71,11 +83,13 @@ class TransitionCache {
   /// Returns the (filled, current-epoch) entry for `effective_length`.
   const Entry& lookup(const SubstModel& model, double effective_length);
 
-  std::vector<Entry> slots_;
-  std::size_t mask_ = 0;
+  std::vector<Entry> slots_;  // 2 consecutive ways per set
+  std::size_t set_mask_ = 0;
   std::uint64_t epoch_ = 1;
+  std::uint64_t clock_ = 0;  // monotonic LRU stamp source
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
 };
 
 }  // namespace fdml

@@ -1,5 +1,6 @@
 #include "search/bootstrap.hpp"
 
+#include "likelihood/engine.hpp"
 #include "tree/newick.hpp"
 
 namespace fdml {
@@ -17,6 +18,14 @@ BootstrapResult run_bootstrap(const Alignment& alignment, const SubstModel& mode
                               const BootstrapOptions& options) {
   BootstrapResult result;
   Rng rng(options.seed);
+
+  // One engine on the original data scores every replicate tree for the
+  // out-of-bag diagnostic; site buffer reused across replicates via the
+  // out-parameter overload (no per-replicate allocation).
+  const PatternAlignment full_data(alignment);
+  LikelihoodEngine full_engine(full_data, model, rates);
+  std::vector<double> site_lnl;
+
   for (int rep = 0; rep < options.replicates; ++rep) {
     const std::vector<int> weights =
         bootstrap_site_weights(alignment.num_sites(), rng);
@@ -28,8 +37,17 @@ BootstrapResult run_bootstrap(const Alignment& alignment, const SubstModel& mode
     search_options.record_trace = false;
     StepwiseSearch search(data, search_options);
     const SearchResult run = search.run(runner);
-    result.replicate_trees.push_back(
-        tree_from_newick(run.best_newick, data.names()));
+    Tree tree = tree_from_newick(run.best_newick, data.names());
+
+    // Attach-and-score before the tree moves into the result vector.
+    full_engine.attach(tree);
+    full_engine.site_log_likelihoods(site_lnl);
+    double full_lnl = 0.0;
+    for (const double l : site_lnl) full_lnl += l;
+    result.full_data_log_likelihoods.push_back(full_lnl);
+    full_engine.invalidate_all();
+
+    result.replicate_trees.push_back(std::move(tree));
     result.replicate_log_likelihoods.push_back(run.best_log_likelihood);
   }
   result.split_support = split_frequencies(result.replicate_trees);

@@ -34,6 +34,12 @@ struct BootstrapResult {
   /// Best tree per replicate.
   std::vector<Tree> replicate_trees;
   std::vector<double> replicate_log_likelihoods;
+  /// Each replicate's best tree re-evaluated on the *original* (unresampled)
+  /// data — an out-of-bag diagnostic: a replicate whose tree scores far
+  /// below the others here was shaped by resampling noise. Computed from
+  /// one shared engine via the scratch-reusing site_log_likelihoods
+  /// overload, so the extra cost per replicate is one tree evaluation.
+  std::vector<double> full_data_log_likelihoods;
   /// Majority-rule consensus with bootstrap proportions as node support.
   GeneralTree consensus;
   /// Split frequencies across replicates, descending.

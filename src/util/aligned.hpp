@@ -1,0 +1,67 @@
+// Cache-line/vector-width aligned storage for the kernel layer.
+//
+// The SIMD likelihood kernels (src/likelihood/kernels.hpp) use aligned
+// vector loads over pattern planes, so every CLV / coefficient / scratch
+// buffer must start on a 64-byte boundary (one cache line; enough for any
+// backend up to AVX-512). AlignedVector keeps the std::vector interface —
+// the engine's resize/assign bookkeeping is unchanged — while guaranteeing
+// the data() pointer alignment the kernels assume.
+#pragma once
+
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+namespace fdml {
+
+inline constexpr std::size_t kKernelAlignment = 64;
+
+/// Minimal C++17 allocator handing out `Align`-byte aligned blocks via the
+/// aligned operator new. Equality is stateless: any two instances compare
+/// equal, so vectors can swap storage freely.
+template <class T, std::size_t Align = kKernelAlignment>
+struct AlignedAllocator {
+  static_assert((Align & (Align - 1)) == 0, "alignment must be a power of two");
+  static_assert(Align >= alignof(T), "alignment below the type's own");
+
+  using value_type = T;
+
+  AlignedAllocator() noexcept = default;
+  template <class U>
+  AlignedAllocator(const AlignedAllocator<U, Align>&) noexcept {}
+
+  template <class U>
+  struct rebind {
+    using other = AlignedAllocator<U, Align>;
+  };
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t(Align)));
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t(Align));
+  }
+
+  friend bool operator==(const AlignedAllocator&, const AlignedAllocator&) {
+    return true;
+  }
+  friend bool operator!=(const AlignedAllocator&, const AlignedAllocator&) {
+    return false;
+  }
+};
+
+/// std::vector whose data() is 64-byte aligned. Value-initialization
+/// semantics are unchanged: resize() zero-fills new doubles, which the
+/// kernels rely on for the padded pattern tail.
+template <class T>
+using AlignedVector = std::vector<T, AlignedAllocator<T>>;
+
+/// Rounds `n` up to a multiple of `block` (the pattern-plane padding used
+/// by the SoA CLV layout).
+constexpr std::size_t round_up(std::size_t n, std::size_t block) {
+  return (n + block - 1) / block * block;
+}
+
+}  // namespace fdml

@@ -1,0 +1,185 @@
+// Width-generic SIMD vector abstraction and backend selection.
+//
+// `Vec<double, W>` wraps W-lane double arithmetic behind one interface so a
+// kernel written once against it compiles to scalar code (W = 1), SSE2
+// (W = 2) or AVX2 (W = 4) depending on the translation unit's target flags.
+// The per-backend kernel TUs (src/likelihood/kernels_*.cpp) instantiate the
+// shared kernel bodies at their width; everything else in the tree stays
+// ISA-agnostic and picks an implementation through the runtime dispatch
+// table below.
+//
+// Determinism contract: kernels use madd() — an UNFUSED multiply-then-add —
+// never hardware FMA, and the kernel TUs are compiled with
+// -ffp-contract=off. Each pattern's arithmetic is lane-local and performed
+// in the same order at every width, so all backends produce bit-identical
+// per-pattern results (the backend-parity test asserts a 2-ulp bound but
+// exact equality is the design point). A backend may only change *which*
+// instructions run, never the answer.
+//
+// Backend state: active_backend() starts at the widest compiled backend the
+// CPU supports (CPUID probe), overridable by the FDML_SIMD environment
+// variable or set_backend("scalar|sse2|avx2|auto"). Compile-time
+// availability is governed by the FDML_SIMD CMake option, which defines
+// FDML_HAVE_SSE2 / FDML_HAVE_AVX2 project-wide and adds -msse2 / -mavx2 to
+// the matching kernel TUs only — the rest of the build keeps the default
+// architecture so a binary built with FDML_SIMD=auto still runs (on the
+// scalar backend) on a CPU without AVX2.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
+#if defined(__AVX__) || defined(__AVX2__)
+#include <immintrin.h>
+#endif
+
+namespace fdml::simd {
+
+enum class Backend { kScalar = 0, kSse2 = 1, kAvx2 = 2 };
+
+/// Lane width of a backend (doubles per vector).
+constexpr int width(Backend b) {
+  return b == Backend::kAvx2 ? 4 : (b == Backend::kSse2 ? 2 : 1);
+}
+
+const char* backend_name(Backend b);
+
+/// Backends this binary was built with (FDML_SIMD), scalar first.
+std::vector<Backend> compiled_backends();
+
+/// True when the running CPU can execute `b` (CPUID probe; scalar: always).
+bool cpu_supports(Backend b);
+
+/// The backend new LikelihoodEngines will use. Resolution order: an earlier
+/// set_backend() call, else the FDML_SIMD environment variable, else the
+/// widest compiled backend the CPU supports.
+Backend active_backend();
+
+/// Forces the active backend by name ("scalar", "sse2", "avx2", or "auto"
+/// to return to automatic selection). Returns false — and leaves the state
+/// unchanged — if the name is unknown, the backend was not compiled in, or
+/// the CPU lacks it. Affects engines constructed afterwards; thread-safe
+/// only at init/test scope (not meant to be raced against engine work).
+bool set_backend(const std::string& name);
+
+// ---------------------------------------------------------------------------
+// Vec<double, W>: the operations the likelihood kernels need, nothing more.
+// The generic template is straight scalar code at any W (used at W = 1; it
+// is also the reference semantics for the specializations below).
+// ---------------------------------------------------------------------------
+
+template <class T, int W>
+struct Vec {
+  T lane[W];
+
+  static Vec load(const T* p) {
+    Vec v;
+    for (int i = 0; i < W; ++i) v.lane[i] = p[i];
+    return v;
+  }
+  void store(T* p) const {
+    for (int i = 0; i < W; ++i) p[i] = lane[i];
+  }
+  static Vec broadcast(T x) {
+    Vec v;
+    for (int i = 0; i < W; ++i) v.lane[i] = x;
+    return v;
+  }
+  static Vec zero() { return broadcast(T(0)); }
+  /// v.lane[i] = table[idx[i]] — the 16-code tip-table lookup.
+  static Vec gather(const T* table, const unsigned char* idx) {
+    Vec v;
+    for (int i = 0; i < W; ++i) v.lane[i] = table[idx[i]];
+    return v;
+  }
+
+  friend Vec operator+(Vec a, Vec b) {
+    Vec v;
+    for (int i = 0; i < W; ++i) v.lane[i] = a.lane[i] + b.lane[i];
+    return v;
+  }
+  friend Vec operator*(Vec a, Vec b) {
+    Vec v;
+    for (int i = 0; i < W; ++i) v.lane[i] = a.lane[i] * b.lane[i];
+    return v;
+  }
+  static Vec max(Vec a, Vec b) {
+    Vec v;
+    for (int i = 0; i < W; ++i) v.lane[i] = a.lane[i] > b.lane[i] ? a.lane[i] : b.lane[i];
+    return v;
+  }
+  /// Unfused multiply-add: a * b + c evaluated as separate rounding steps
+  /// (see the determinism contract above).
+  static Vec madd(Vec a, Vec b, Vec c) { return a * b + c; }
+  /// Bitmask of lanes where a < b (lane i -> bit i), the movemask idiom the
+  /// vectorized underflow check uses.
+  static int lt_mask(Vec a, Vec b) {
+    int m = 0;
+    for (int i = 0; i < W; ++i) m |= (a.lane[i] < b.lane[i]) ? (1 << i) : 0;
+    return m;
+  }
+};
+
+#if defined(__SSE2__)
+template <>
+struct Vec<double, 2> {
+  __m128d v;
+
+  static Vec load(const double* p) { return {_mm_load_pd(p)}; }
+  void store(double* p) const { _mm_store_pd(p, v); }
+  static Vec broadcast(double x) { return {_mm_set1_pd(x)}; }
+  static Vec zero() { return {_mm_setzero_pd()}; }
+  static Vec gather(const double* table, const unsigned char* idx) {
+    return {_mm_set_pd(table[idx[1]], table[idx[0]])};
+  }
+
+  friend Vec operator+(Vec a, Vec b) { return {_mm_add_pd(a.v, b.v)}; }
+  friend Vec operator*(Vec a, Vec b) { return {_mm_mul_pd(a.v, b.v)}; }
+  static Vec max(Vec a, Vec b) { return {_mm_max_pd(a.v, b.v)}; }
+  static Vec madd(Vec a, Vec b, Vec c) {
+    return {_mm_add_pd(_mm_mul_pd(a.v, b.v), c.v)};
+  }
+  static int lt_mask(Vec a, Vec b) {
+    return _mm_movemask_pd(_mm_cmplt_pd(a.v, b.v));
+  }
+};
+#endif  // __SSE2__
+
+#if defined(__AVX2__)
+template <>
+struct Vec<double, 4> {
+  __m256d v;
+
+  static Vec load(const double* p) { return {_mm256_load_pd(p)}; }
+  void store(double* p) const { _mm256_store_pd(p, v); }
+  static Vec broadcast(double x) { return {_mm256_set1_pd(x)}; }
+  static Vec zero() { return {_mm256_setzero_pd()}; }
+  static Vec gather(const double* table, const unsigned char* idx) {
+    const __m128i lanes =
+        _mm_set_epi32(idx[3], idx[2], idx[1], idx[0]);
+    // Masked form with an all-ones mask: same instruction, but avoids the
+    // _mm256_undefined_pd() source GCC warns about in the plain intrinsic.
+    const __m256d ones = _mm256_castsi256_pd(_mm256_set1_epi64x(-1));
+    return {_mm256_mask_i32gather_pd(_mm256_setzero_pd(), table, lanes, ones,
+                                     sizeof(double))};
+  }
+
+  friend Vec operator+(Vec a, Vec b) { return {_mm256_add_pd(a.v, b.v)}; }
+  friend Vec operator*(Vec a, Vec b) { return {_mm256_mul_pd(a.v, b.v)}; }
+  static Vec max(Vec a, Vec b) { return {_mm256_max_pd(a.v, b.v)}; }
+  static Vec madd(Vec a, Vec b, Vec c) {
+    // Intentionally mul + add, not _mm256_fmadd_pd: fused rounding would
+    // break cross-backend bit equality.
+    return {_mm256_add_pd(_mm256_mul_pd(a.v, b.v), c.v)};
+  }
+  static int lt_mask(Vec a, Vec b) {
+    return _mm256_movemask_pd(_mm256_cmp_pd(a.v, b.v, _CMP_LT_OQ));
+  }
+};
+#endif  // __AVX2__
+
+}  // namespace fdml::simd

@@ -59,6 +59,18 @@ TEST(Bootstrap, StrongSignalGetsHighSupport) {
       alignment, SubstModel::jc69(), RateModel::uniform(), boot);
   ASSERT_EQ(result.replicate_trees.size(), 8u);
   ASSERT_FALSE(result.split_support.empty());
+  // Out-of-bag diagnostic: every replicate tree re-scored on the original
+  // data. Values are finite log-likelihoods, and no replicate tree can beat
+  // the data it was not fit to by an implausible margin — each must score
+  // within a sane band of the replicate's own (resampled-data) score.
+  ASSERT_EQ(result.full_data_log_likelihoods.size(), 8u);
+  for (std::size_t r = 0; r < 8; ++r) {
+    const double full = result.full_data_log_likelihoods[r];
+    EXPECT_TRUE(std::isfinite(full));
+    EXPECT_LT(full, 0.0);
+    EXPECT_NEAR(full, result.replicate_log_likelihoods[r],
+                0.5 * std::abs(result.replicate_log_likelihoods[r]));
+  }
   // With this much signal the top splits are (nearly) unanimous.
   EXPECT_GE(result.split_support.front().frequency, 0.9);
   // Consensus supports are bootstrap proportions in (0, 1].
@@ -94,6 +106,8 @@ TEST(Bootstrap, DeterministicForSeed) {
   for (std::size_t r = 0; r < 3; ++r) {
     EXPECT_DOUBLE_EQ(a.replicate_log_likelihoods[r],
                      b.replicate_log_likelihoods[r]);
+    EXPECT_DOUBLE_EQ(a.full_data_log_likelihoods[r],
+                     b.full_data_log_likelihoods[r]);
     EXPECT_EQ(robinson_foulds(a.replicate_trees[r], b.replicate_trees[r]), 0);
   }
 }

@@ -322,6 +322,84 @@ TEST(TransitionCache, ServesBitIdenticalMatricesAndCountsHits) {
   EXPECT_EQ(cache.invalidations(), 1u);
 }
 
+TEST(TransitionCache, TwoWaySetSurvivesAlternatingCollisions) {
+  // Regression for the direct-mapped predecessor: two hot lengths hashing
+  // to the same slot thrashed it — every alternation was a miss plus a full
+  // exp(Qt) rebuild. The 2-way set keeps both resident; only a *third*
+  // collider evicts (LRU within the set).
+  const SubstModel model = SubstModel::jc69();
+  TransitionCache cache(4);  // 2 sets x 2 ways: collisions are easy to craft
+  std::vector<double> colliding{0.01};
+  const std::size_t target = cache.set_index(colliding.front());
+  for (double t = 0.011; colliding.size() < 3; t += 0.001) {
+    if (cache.set_index(t) == target) colliding.push_back(t);
+  }
+
+  Mat4 p{};
+  cache.transition(model, colliding[0], p);
+  cache.transition(model, colliding[1], p);
+  EXPECT_EQ(cache.misses(), 2u);
+  for (int round = 0; round < 10; ++round) {
+    cache.transition(model, colliding[0], p);
+    cache.transition(model, colliding[1], p);
+  }
+  EXPECT_EQ(cache.hits(), 20u);       // direct-mapped: 0 hits, 20 misses
+  EXPECT_EQ(cache.misses(), 2u);
+  EXPECT_EQ(cache.evictions(), 0u);
+
+  // Third collider: genuine conflict, evicts the LRU way (colliding[0],
+  // touched before colliding[1] in the last round).
+  cache.transition(model, colliding[2], p);
+  EXPECT_EQ(cache.misses(), 3u);
+  EXPECT_EQ(cache.evictions(), 1u);
+  cache.transition(model, colliding[1], p);  // survivor: still resident
+  EXPECT_EQ(cache.hits(), 21u);
+  cache.transition(model, colliding[0], p);  // victim: gone
+  EXPECT_EQ(cache.misses(), 4u);
+  EXPECT_EQ(cache.evictions(), 2u);
+
+  // Values stay bit-identical to the uncached path under all this churn.
+  Mat4 direct{};
+  model.transition(colliding[0], direct);
+  cache.transition(model, colliding[0], p);
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) EXPECT_EQ(direct[i][j], p[i][j]);
+  }
+
+  // Epoch invalidation makes ways stale; refilling them is not an eviction.
+  cache.invalidate();
+  const std::uint64_t evictions_before = cache.evictions();
+  cache.transition(model, colliding[0], p);
+  cache.transition(model, colliding[1], p);
+  EXPECT_EQ(cache.evictions(), evictions_before);
+}
+
+TEST(Engine, SiteLogLikelihoodOverloadMatchesReturningVersion) {
+  const PatternAlignment data(small_alignment());
+  Rng rng(83);
+  const Tree tree = random_tree(5, rng);
+  LikelihoodEngine engine(data, SubstModel::hky85({0.3, 0.2, 0.2, 0.3}, 2.5),
+                          RateModel::discrete_gamma(0.8, 3));
+  engine.attach(tree);
+
+  const std::vector<double> returned = engine.site_log_likelihoods();
+  std::vector<double> out(3, 99.0);  // wrong size + stale content on purpose
+  engine.site_log_likelihoods(out);
+  ASSERT_EQ(out.size(), returned.size());
+  for (std::size_t s = 0; s < out.size(); ++s) {
+    EXPECT_EQ(out[s], returned[s]) << "site " << s;
+  }
+
+  // Reusing the same buffer (the bootstrap pattern) reproduces the values.
+  engine.site_log_likelihoods(out);
+  double sum = 0.0;
+  for (std::size_t s = 0; s < out.size(); ++s) {
+    EXPECT_EQ(out[s], returned[s]) << "site " << s << " (reused buffer)";
+    sum += out[s];
+  }
+  EXPECT_NEAR(sum, engine.log_likelihood(), 1e-8);
+}
+
 TEST(Engine, SetModelInvalidatesTransitionCacheAndClvs) {
   const PatternAlignment data(small_alignment());
   Rng rng(71);
