@@ -47,6 +47,9 @@ void usage(const char* program) {
       "                    (rolls back to the newest valid generation)\n"
       "  --out=FILE        write the best tree (Newick)\n"
       "  --svg=FILE        write a comparison SVG across jumbles\n"
+      "  --trace-out=FILE  write a Chrome trace of the run (chrome://tracing;\n"
+      "                    feed it to trace_report for utilization tables)\n"
+      "  --log-level=L     debug|info|warn|error|off (default warn)\n"
       "  --quiet           suppress the ASCII tree\n"
       "  --version         print version and SIMD kernel backend info\n",
       program);
@@ -77,6 +80,17 @@ int main(int argc, char** argv) {
     usage(argv[0]);
     return 2;
   }
+  if (args.has("log-level")) {
+    const auto level = parse_log_level(args.get("log-level", ""));
+    if (!level.has_value()) {
+      std::fprintf(stderr,
+                   "error: bad --log-level (debug|info|warn|error|off)\n");
+      return 2;
+    }
+    set_log_level(*level);
+  }
+  const std::string trace_out = args.get("trace-out", "");
+  if (!trace_out.empty()) obs::Tracer::instance().enable();
 
   Alignment alignment;
   try {
@@ -239,6 +253,20 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(report.rounds),
                 static_cast<unsigned long long>(report.completions),
                 static_cast<unsigned long long>(report.requeues));
+  }
+  if (!trace_out.empty()) {
+    if (cluster != nullptr) cluster->shutdown();  // stable final spans
+    obs::Tracer::instance().disable();
+    const obs::TraceLog log = obs::Tracer::instance().drain();
+    std::ofstream out(trace_out);
+    log.write_chrome(out);
+    if (!out) {
+      std::fprintf(stderr, "error writing %s\n", trace_out.c_str());
+      return 1;
+    }
+    std::printf("wrote trace: %s (%zu events, %llu dropped)\n",
+                trace_out.c_str(), log.events.size(),
+                static_cast<unsigned long long>(log.dropped_events));
   }
   return 0;
 }

@@ -16,7 +16,10 @@
 //         the widest backend must stay >= 2x scalar on clv_combine and
 //         edge_evaluate (the kernel layer's headline contract);
 //       - with --check-absolute, raw patterns/s is also compared (only
-//         meaningful when baseline and current run share a host).
+//         meaningful when baseline and current run share a host);
+//       - the disabled-tracing overhead contract is enforced: constructing
+//         and destroying an obs::Span with tracing off must cost < 2% of
+//         one edge_evaluate call (baseline-independent, measured live).
 #include <benchmark/benchmark.h>
 
 #include <chrono>
@@ -608,6 +611,60 @@ void BM_SimulateAlignment(benchmark::State& state) {
 }
 BENCHMARK(BM_SimulateAlignment)->Unit(benchmark::kMillisecond);
 
+/// Cost contract of the observability layer (obs/trace.hpp): when tracing
+/// is disabled, an instrumented call site pays one relaxed atomic load.
+/// Measures the real disabled-Span cost and compares it against the
+/// fastest edge_evaluate per-call time from the sweep — the hot kernel an
+/// over-eager instrumentation pass would hurt first. Baseline-independent:
+/// both sides are measured on this host, this build.
+bool check_span_overhead(const std::vector<SweepResult>& results) {
+  if (obs::trace_enabled()) {
+    std::fprintf(stderr, "span-overhead: tracing unexpectedly enabled\n");
+    return false;
+  }
+  constexpr int kIters = 1 << 20;
+  using Clock = std::chrono::steady_clock;
+  double best_ns = 1e300;
+  for (int rep = 0; rep < 5; ++rep) {
+    const auto start = Clock::now();
+    for (int i = 0; i < kIters; ++i) {
+      obs::Span span("bench", "overhead", "i", i);
+      benchmark::DoNotOptimize(&span);
+    }
+    const double ns =
+        static_cast<double>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                Clock::now() - start)
+                                .count()) /
+        kIters;
+    best_ns = std::min(best_ns, ns);
+  }
+
+  double best_call_ns = 1e300;
+  for (const SweepResult& r : results) {
+    if (r.kernel != "edge_evaluate") continue;
+    // patterns_per_s = padded patterns / seconds-per-call.
+    const double call_ns =
+        static_cast<double>(kSweepPatterns) / r.patterns_per_s * 1e9;
+    best_call_ns = std::min(best_call_ns, call_ns);
+  }
+  if (best_call_ns >= 1e300) {
+    std::fprintf(stderr, "span-overhead: no edge_evaluate row in sweep\n");
+    return false;
+  }
+  const double fraction = best_ns / best_call_ns;
+  std::printf("disabled-span overhead: %.2f ns/span vs %.0f ns/edge_evaluate "
+              "(%.3f%%, contract < 2%%)\n",
+              best_ns, best_call_ns, fraction * 100.0);
+  if (fraction >= 0.02) {
+    std::fprintf(stderr,
+                 "span-overhead: %.3f%% >= 2%% — disabled tracing is no "
+                 "longer free\n",
+                 fraction * 100.0);
+    return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -664,6 +721,11 @@ int main(int argc, char** argv) {
     }
     std::printf("throughput check passed against %s (tolerance %.0f%%)\n",
                 check_path.c_str(), tolerance * 100.0);
+    if (!check_span_overhead(results)) {
+      std::fprintf(stderr,
+                   "bench_kernels: disabled-tracing overhead check FAILED\n");
+      return 1;
+    }
   }
   if (sweep_only) return 0;
 

@@ -9,6 +9,10 @@
 //                                              # durable restart checkpoints
 //   ./parallel_search --resume=run.ckpt --out=best.nwk
 //                                              # continue after a kill -9
+//   ./parallel_search --trace-out=run.json --log-level=info
+//                                              # Chrome trace + live logs
+//   ./parallel_search --sim-trace-out=sim.json --sim-procs=7
+//                                              # simulated replay trace
 //
 // Prints the result plus the monitor's instrumentation: per-worker task
 // counts, round count, and the barrier slack that limits scalability (the
@@ -21,6 +25,17 @@
 int main(int argc, char** argv) {
   using namespace fdml;
   const CliArgs args(argc, argv);
+
+  if (args.has("log-level")) {
+    const auto level = parse_log_level(args.get("log-level", ""));
+    if (!level.has_value()) {
+      std::fprintf(stderr, "error: bad --log-level (debug|info|warn|error|off)\n");
+      return 1;
+    }
+    set_log_level(*level);
+  }
+  const std::string trace_out = args.get("trace-out", "");
+  if (!trace_out.empty()) obs::Tracer::instance().enable();
 
   const int taxa = static_cast<int>(args.get_int("taxa", 20));
   const std::size_t sites = static_cast<std::size_t>(args.get_int("sites", 600));
@@ -79,6 +94,40 @@ int main(int argc, char** argv) {
   }
   const double wall = timer.seconds();
   cluster.shutdown();  // joins the role threads; final stats are now stable
+
+  if (!trace_out.empty()) {
+    obs::Tracer::instance().disable();
+    const obs::TraceLog log = obs::Tracer::instance().drain();
+    std::ofstream out(trace_out);
+    log.write_chrome(out);
+    if (!out) {
+      std::fprintf(stderr, "error writing %s\n", trace_out.c_str());
+      return 1;
+    }
+    std::printf("wrote trace: %s (%zu events, %llu dropped)\n",
+                trace_out.c_str(), log.events.size(),
+                static_cast<unsigned long long>(log.dropped_events));
+  }
+  if (args.has("sim-trace-out")) {
+    // Replay the recorded search trace through the discrete-event cluster
+    // and emit the same Chrome-trace vocabulary with virtual timestamps.
+    const std::string sim_out = args.get("sim-trace-out", "");
+    obs::TraceLog sim_log;
+    SimClusterConfig sim_config;
+    sim_config.processors = static_cast<int>(args.get_int("sim-procs", 7));
+    sim_config.trace = &sim_log;
+    const SimResult sim = simulate_trace(result.trace, sim_config);
+    std::ofstream out(sim_out);
+    sim_log.write_chrome(out);
+    if (!out) {
+      std::fprintf(stderr, "error writing %s\n", sim_out.c_str());
+      return 1;
+    }
+    std::printf("wrote simulated trace: %s (%d procs, %.3fs virtual wall, "
+                "utilization %.2f)\n",
+                sim_out.c_str(), sim_config.processors, sim.wall_seconds,
+                sim.worker_utilization);
+  }
 
   std::printf("\nBest ln L = %.4f after %zu candidate trees in %.2fs wall\n",
               result.best_log_likelihood, result.trees_evaluated, wall);

@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace_event JSON file produced by --trace-out (live
+runs) or the simulator's virtual-time replay.
+
+Checks, beyond well-formedness:
+  - every event carries the required fields for its phase;
+  - B/E duration events balance per thread with matching names (stack
+    discipline, the invariant chrome://tracing needs to render spans);
+  - every flow arc that starts (ph 's') also finishes (ph 'f'), and steps
+    ('t') never appear without a start;
+  - thread_name metadata is present, and at least --min-workers threads are
+    named worker-*;
+  - at least --min-tasks worker task spans completed.
+
+Usage: check_trace.py TRACE.json [--min-workers N] [--min-tasks N]
+Exits 1 with a diagnostic on the first violated invariant.
+"""
+import argparse
+import json
+import sys
+
+REQUIRED_PHASES = {"B", "E", "i", "s", "t", "f", "C", "M"}
+
+
+def fail(message):
+    print(f"check_trace: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("trace")
+    parser.add_argument("--min-workers", type=int, default=0)
+    parser.add_argument("--min-tasks", type=int, default=0)
+    args = parser.parse_args()
+
+    try:
+        with open(args.trace) as handle:
+            doc = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        fail(f"cannot load {args.trace}: {error}")
+
+    events = doc["traceEvents"] if isinstance(doc, dict) else doc
+    if not isinstance(events, list) or not events:
+        fail("no traceEvents")
+
+    open_spans = {}  # tid -> stack of names
+    flows = {}  # id -> [starts, steps, ends]
+    thread_names = {}
+    completed_tasks = 0
+
+    for index, event in enumerate(events):
+        where = f"event {index}"
+        if not isinstance(event, dict):
+            fail(f"{where}: not an object")
+        ph = event.get("ph")
+        if ph not in REQUIRED_PHASES:
+            fail(f"{where}: unexpected phase {ph!r}")
+        if "tid" not in event or "pid" not in event:
+            fail(f"{where}: missing pid/tid")
+        tid = event["tid"]
+        if ph == "M":
+            if event.get("name") == "thread_name":
+                thread_names[tid] = event.get("args", {}).get("name", "")
+            continue
+        if not isinstance(event.get("ts"), (int, float)):
+            fail(f"{where}: missing numeric ts")
+        name = event.get("name")
+        if not isinstance(name, str) or not name:
+            fail(f"{where}: missing name")
+
+        if ph == "B":
+            open_spans.setdefault(tid, []).append(name)
+        elif ph == "E":
+            stack = open_spans.get(tid)
+            if not stack:
+                fail(f"{where}: E without B on tid {tid} ({name})")
+            top = stack.pop()
+            if top != name:
+                fail(f"{where}: span mismatch on tid {tid}: "
+                     f"B {top!r} closed by E {name!r}")
+            if event.get("cat") == "worker" and name == "task":
+                completed_tasks += 1
+        elif ph in ("s", "t", "f"):
+            flow_id = event.get("id")
+            if flow_id is None:
+                fail(f"{where}: flow event without id")
+            counts = flows.setdefault(str(flow_id), [0, 0, 0])
+            counts["stf".index(ph)] += 1
+        elif ph == "C":
+            if "args" not in event or not event["args"]:
+                fail(f"{where}: counter without args")
+
+    for tid, stack in open_spans.items():
+        if stack:
+            fail(f"unclosed span(s) on tid {tid}: {stack}")
+    for flow_id, (starts, steps, ends) in flows.items():
+        if starts != 1 or ends != 1:
+            fail(f"flow {flow_id}: {starts} start(s), {ends} end(s)")
+        if steps < 1:
+            fail(f"flow {flow_id}: no execute step between dispatch and accept")
+
+    if not thread_names:
+        fail("no thread_name metadata")
+    workers = [n for n in thread_names.values() if n.startswith("worker")]
+    if len(workers) < args.min_workers:
+        fail(f"{len(workers)} worker thread(s), need {args.min_workers}")
+    if completed_tasks < args.min_tasks:
+        fail(f"{completed_tasks} completed task span(s), need {args.min_tasks}")
+
+    print(f"check_trace: OK: {len(events)} events, {len(thread_names)} threads "
+          f"({len(workers)} workers), {completed_tasks} task spans, "
+          f"{len(flows)} flow arcs")
+
+
+if __name__ == "__main__":
+    main()

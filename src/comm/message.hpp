@@ -25,6 +25,8 @@ enum class MessageTag : std::uint8_t {
   kNack = 10,        ///< worker -> foreman: received task was malformed
   kPing = 11,        ///< foreman -> worker: announce yourself (a revived
                      ///< foreman rebuilding its worker list after a crash)
+  kGoodbye = 12,     ///< worker -> foreman: end-of-run report (tasks done,
+                     ///< CPU time, kernel counters) sent on shutdown
 };
 
 struct Message {

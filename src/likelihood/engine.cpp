@@ -6,6 +6,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/trace.hpp"
+
 namespace fdml {
 
 namespace {
@@ -264,10 +266,18 @@ void LikelihoodEngine::compute_internal_clv(int u, int slot) {
 }
 
 double LikelihoodEngine::log_likelihood() {
+  // Full-tree evaluation span: CLV recomputation dominates it, so the
+  // end-args record how much of the tree the lazy cache actually redid.
+  obs::Span span("kernel", "tree_lnl");
+  const std::uint64_t clv_before = counters_.clv_computations;
   const int root = tree_->any_internal();
   if (root == Tree::kNoNode) throw std::logic_error("log_likelihood: empty tree");
   const int nbr = tree_->neighbor(root, 0);
-  return log_likelihood_edge(root, nbr);
+  const double lnl = log_likelihood_edge(root, nbr);
+  span.set_end_args("clv",
+                    static_cast<std::int64_t>(counters_.clv_computations -
+                                              clv_before));
+  return lnl;
 }
 
 double LikelihoodEngine::log_likelihood_edge(int u, int v) {

@@ -3,6 +3,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/trace.hpp"
 #include "parallel/protocol.hpp"
 
 namespace fdml {
@@ -18,6 +19,13 @@ InProcessCluster::InProcessCluster(const PatternAlignment& data,
   if (options_.chaos.has_value() || options_.chaos_foreman.has_value()) {
     chaos_totals_ = std::make_shared<ChaosTotals>();
   }
+  // The calling thread plays the master role.
+  obs::set_thread_name("master");
+
+  // Every role shares the cluster's registry unless the caller supplied
+  // its own; role stats stay per-incarnation deltas over it.
+  if (options_.master.metrics == nullptr) options_.master.metrics = &metrics_;
+  if (options_.foreman.metrics == nullptr) options_.foreman.metrics = &metrics_;
 
   master_endpoint_ = fabric_.endpoint(kMasterRank);
   master_ = std::make_unique<ParallelMaster>(*master_endpoint_,

@@ -22,6 +22,7 @@
 
 #include "comm/chaos.hpp"
 #include "comm/transport.hpp"
+#include "obs/metrics.hpp"
 #include "parallel/foreman.hpp"
 #include "parallel/master.hpp"
 #include "parallel/monitor.hpp"
@@ -72,12 +73,18 @@ class InProcessCluster {
   /// Foreman counters; valid after shutdown().
   const ForemanStats& foreman_stats() const { return foreman_stats_; }
   /// Master-side counters (watchdog trips, failed rounds, fallbacks).
-  const MasterStats& master_stats() const { return master_->stats(); }
+  MasterStats master_stats() const { return master_->stats(); }
   /// Aggregate fault-injection counters; non-null iff options.chaos is set.
   std::shared_ptr<const ChaosTotals> chaos_totals() const { return chaos_totals_; }
 
   std::uint64_t fabric_messages() const { return fabric_.messages_sent(); }
   std::uint64_t fabric_bytes() const { return fabric_.bytes_sent(); }
+
+  /// The registry every role's counters live in (master, foreman, kernel
+  /// and per-worker totals). Role stats structs above are delta views over
+  /// it; this is the cumulative whole-run truth.
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  obs::MetricsSnapshot metrics_snapshot() const { return metrics_.snapshot(); }
 
   /// Sends shutdown and joins every role thread (idempotent; the
   /// destructor calls it).
@@ -103,6 +110,9 @@ class InProcessCluster {
   void spawn_foreman(ForemanOptions options, bool with_chaos);
 
   ClusterOptions options_;
+  /// Owned registry shared by every role (declared before master_, which
+  /// holds counter references into it).
+  obs::MetricsRegistry metrics_;
   ThreadFabric fabric_;
   MonitorBoard board_;
   ForemanStats foreman_stats_;

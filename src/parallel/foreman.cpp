@@ -8,6 +8,8 @@
 
 #include "comm/integrity.hpp"
 #include "durable/journal.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "parallel/protocol.hpp"
 #include "search/runner.hpp"
 #include "util/log.hpp"
@@ -22,6 +24,121 @@ using Clock = std::chrono::steady_clock;
 /// TaskResult::worker value marking a result completed from the journal
 /// rather than evaluated by a live worker this incarnation.
 constexpr int kJournalWorker = -1;
+
+/// Registry-backed counters replacing the old parallel ForemanStats
+/// bookkeeping. ForemanStats is now a *view*: the delta of these counters
+/// since the incarnation started, so a revived foreman still reports only
+/// its own work while the registry accumulates whole-run totals.
+struct ForemanCounters {
+  obs::Counter& rounds;
+  obs::Counter& tasks_dispatched;
+  obs::Counter& tasks_completed;
+  obs::Counter& requeues;
+  obs::Counter& delinquencies;
+  obs::Counter& reinstatements;
+  obs::Counter& late_duplicate_results;
+  obs::Counter& mismatched_results;
+  obs::Counter& corrupt_messages;
+  obs::Counter& quarantines;
+  obs::Counter& probations;
+  obs::Counter& probation_probes;
+  obs::Counter& probation_passes;
+  obs::Counter& probation_failures;
+  obs::Counter& task_nacks;
+  obs::Counter& rounds_failed;
+  obs::Counter& unexpected_tags;
+  obs::Counter& journal_replayed;
+  obs::Counter& journal_appended;
+  obs::Counter& journal_write_failures;
+  obs::Counter& goodbyes_received;
+  /// Worker-side kernel work accumulated from per-result deltas (registry
+  /// only; not part of the ForemanStats view).
+  obs::Counter& kernel_clv_computations;
+  obs::Counter& kernel_edge_evaluations;
+  obs::Counter& kernel_transition_hits;
+  obs::Counter& kernel_transition_misses;
+
+  explicit ForemanCounters(obs::MetricsRegistry& r)
+      : rounds(r.counter("foreman.rounds")),
+        tasks_dispatched(r.counter("foreman.tasks_dispatched")),
+        tasks_completed(r.counter("foreman.tasks_completed")),
+        requeues(r.counter("foreman.requeues")),
+        delinquencies(r.counter("foreman.delinquencies")),
+        reinstatements(r.counter("foreman.reinstatements")),
+        late_duplicate_results(r.counter("foreman.late_duplicate_results")),
+        mismatched_results(r.counter("foreman.mismatched_results")),
+        corrupt_messages(r.counter("foreman.corrupt_messages")),
+        quarantines(r.counter("foreman.quarantines")),
+        probations(r.counter("foreman.probations")),
+        probation_probes(r.counter("foreman.probation_probes")),
+        probation_passes(r.counter("foreman.probation_passes")),
+        probation_failures(r.counter("foreman.probation_failures")),
+        task_nacks(r.counter("foreman.task_nacks")),
+        rounds_failed(r.counter("foreman.rounds_failed")),
+        unexpected_tags(r.counter("foreman.unexpected_tags")),
+        journal_replayed(r.counter("foreman.journal_replayed")),
+        journal_appended(r.counter("foreman.journal_appended")),
+        journal_write_failures(r.counter("foreman.journal_write_failures")),
+        goodbyes_received(r.counter("foreman.goodbyes_received")),
+        kernel_clv_computations(r.counter("kernel.clv_computations")),
+        kernel_edge_evaluations(r.counter("kernel.edge_evaluations")),
+        kernel_transition_hits(r.counter("kernel.transition_hits")),
+        kernel_transition_misses(r.counter("kernel.transition_misses")) {}
+
+  ForemanStats read() const {
+    ForemanStats s;
+    s.rounds = rounds.value();
+    s.tasks_dispatched = tasks_dispatched.value();
+    s.tasks_completed = tasks_completed.value();
+    s.requeues = requeues.value();
+    s.delinquencies = delinquencies.value();
+    s.reinstatements = reinstatements.value();
+    s.late_duplicate_results = late_duplicate_results.value();
+    s.mismatched_results = mismatched_results.value();
+    s.corrupt_messages = corrupt_messages.value();
+    s.quarantines = quarantines.value();
+    s.probations = probations.value();
+    s.probation_probes = probation_probes.value();
+    s.probation_passes = probation_passes.value();
+    s.probation_failures = probation_failures.value();
+    s.task_nacks = task_nacks.value();
+    s.rounds_failed = rounds_failed.value();
+    s.unexpected_tags = unexpected_tags.value();
+    s.journal_replayed = journal_replayed.value();
+    s.journal_appended = journal_appended.value();
+    s.journal_write_failures = journal_write_failures.value();
+    s.goodbyes_received = goodbyes_received.value();
+    return s;
+  }
+};
+
+ForemanStats stats_delta(const ForemanStats& end, const ForemanStats& start) {
+  ForemanStats d;
+  d.rounds = end.rounds - start.rounds;
+  d.tasks_dispatched = end.tasks_dispatched - start.tasks_dispatched;
+  d.tasks_completed = end.tasks_completed - start.tasks_completed;
+  d.requeues = end.requeues - start.requeues;
+  d.delinquencies = end.delinquencies - start.delinquencies;
+  d.reinstatements = end.reinstatements - start.reinstatements;
+  d.late_duplicate_results =
+      end.late_duplicate_results - start.late_duplicate_results;
+  d.mismatched_results = end.mismatched_results - start.mismatched_results;
+  d.corrupt_messages = end.corrupt_messages - start.corrupt_messages;
+  d.quarantines = end.quarantines - start.quarantines;
+  d.probations = end.probations - start.probations;
+  d.probation_probes = end.probation_probes - start.probation_probes;
+  d.probation_passes = end.probation_passes - start.probation_passes;
+  d.probation_failures = end.probation_failures - start.probation_failures;
+  d.task_nacks = end.task_nacks - start.task_nacks;
+  d.rounds_failed = end.rounds_failed - start.rounds_failed;
+  d.unexpected_tags = end.unexpected_tags - start.unexpected_tags;
+  d.journal_replayed = end.journal_replayed - start.journal_replayed;
+  d.journal_appended = end.journal_appended - start.journal_appended;
+  d.journal_write_failures =
+      end.journal_write_failures - start.journal_write_failures;
+  d.goodbyes_received = end.goodbyes_received - start.goodbyes_received;
+  return d;
+}
 
 /// Worker health state machine (DESIGN.md "Worker health model"):
 ///   Healthy --timeout/corrupt--> Suspect/quarantine --reply--> Probation
@@ -70,9 +187,15 @@ struct RoundState {
 class Foreman {
  public:
   Foreman(Transport& transport, const ForemanOptions& options)
-      : transport_(transport), options_(options) {}
+      : transport_(transport),
+        options_(options),
+        registry_(options.metrics != nullptr ? *options.metrics
+                                             : obs::MetricsRegistry::process()),
+        counters_(registry_),
+        start_(counters_.read()) {}
 
   ForemanStats run() {
+    obs::set_thread_name("foreman");
     if (!options_.journal_path.empty()) {
       journal_.emplace(options_.journal_path, options_.vfs);
       if (options_.journal_resume) {
@@ -115,15 +238,21 @@ class Foreman {
           break;
         case MessageTag::kShutdown:
           broadcast_shutdown();
-          return stats_;
+          collect_goodbyes();
+          return finish();
+        case MessageTag::kGoodbye:
+          // A worker exiting early (it saw the fabric close or a direct
+          // shutdown); take its report now rather than in the grace window.
+          handle_goodbye(message->source, std::move(message->payload));
+          break;
         default:
-          ++stats_.unexpected_tags;
+          counters_.unexpected_tags.add();
           FDML_WARN("foreman") << "unexpected tag "
                                << static_cast<int>(message->tag) << " from rank "
                                << message->source;
       }
     }
-    return stats_;
+    return finish();
   }
 
  private:
@@ -219,8 +348,11 @@ class Foreman {
                               round_.completed.count(task.task_id) == 0;
     if (still_needed) {
       work_queue_.push_front(task);
-      ++stats_.requeues;
+      counters_.requeues.add();
       notify(MonitorEventKind::kRequeue, task.task_id, worker);
+      obs::instant("foreman", "requeue", "task",
+                   static_cast<std::int64_t>(task.task_id), "worker", worker);
+      trace_queue_depth();
     }
     FDML_INFO("foreman") << "worker " << worker << " " << why
                          << (still_needed ? "; requeued task " : "; dropped task ")
@@ -243,12 +375,15 @@ class Foreman {
       h.suspect_since = now;
       h.awaiting_contact = false;  // timed out again without a word
       ++h.strikes;
-      ++stats_.delinquencies;
+      counters_.delinquencies.add();
       if (was_probe) {
-        ++stats_.probation_failures;
+        counters_.probation_failures.add();
         notify(MonitorEventKind::kProbeFail, 0, worker);
+        obs::instant("foreman", "probe_fail", "worker", worker);
       }
       notify(MonitorEventKind::kDelinquent, 0, worker);
+      obs::instant("foreman", "delinquent", "worker", worker, "strikes",
+                   h.strikes);
     }
   }
 
@@ -262,21 +397,24 @@ class Foreman {
     h.awaiting_contact = false;  // entered via an actual message
     if (h.strikes < 1) h.strikes = 1;
     h.eligible_at = Clock::now() + backoff_for(h.strikes);
-    ++stats_.probations;
+    counters_.probations.add();
     if (quarantine) {
-      ++stats_.quarantines;
+      counters_.quarantines.add();
     } else {
       // The paper's reinstatement path: a delinquent worker finally replied.
-      ++stats_.reinstatements;
+      counters_.reinstatements.add();
       notify(MonitorEventKind::kReinstate, task_id, worker);
     }
     notify(MonitorEventKind::kProbation, task_id, worker);
+    obs::instant("foreman", quarantine ? "quarantine" : "probation", "worker",
+                 worker, "strikes", h.strikes);
   }
 
   /// Malformed payload: count, quarantine a worker sender, never die.
   void handle_corrupt(int sender) {
-    ++stats_.corrupt_messages;
+    counters_.corrupt_messages.add();
     notify(MonitorEventKind::kCorrupt, 0, sender);
+    obs::instant("foreman", "corrupt", "worker", sender);
     FDML_WARN("foreman") << "malformed payload from rank " << sender;
     if (sender < kFirstWorkerRank) return;  // master/monitor: count only
     if (auto it = in_flight_.find(sender); it != in_flight_.end()) {
@@ -335,12 +473,15 @@ class Foreman {
         h.state = WorkerState::kProbation;
         h.eligible_at = Clock::now() + backoff_for(h.strikes);
         h.awaiting_contact = true;
-        ++stats_.probations;
+        counters_.probations.add();
         notify(MonitorEventKind::kProbation, 0, worker);
+        obs::instant("foreman", "probation", "worker", worker, "strikes",
+                     h.strikes);
       }
     }
-    ++stats_.rounds;
+    counters_.rounds.add();
     notify(MonitorEventKind::kRoundBegin, 0, -1);
+    begin_round_span(round_.round_id, static_cast<std::int64_t>(round_.expected));
     std::vector<std::uint64_t> digests;
     digests.reserve(message.tasks.size());
     for (TreeTask& task : message.tasks) {
@@ -354,6 +495,7 @@ class Foreman {
       work_queue_.push_back(std::move(task));
     }
     round_.round_key = round_content_key(digests);
+    trace_queue_depth();
     replay_journal();
     dispatch_work();
   }
@@ -379,7 +521,7 @@ class Foreman {
       replayed.newick = entry->newick;
       replayed.cpu_seconds = entry->cpu_seconds;
       replayed.worker = kJournalWorker;
-      ++stats_.journal_replayed;
+      counters_.journal_replayed.add();
       FDML_INFO("foreman") << "replaying task " << task_id
                            << " from the journal";
       accept(replayed, 0);
@@ -394,7 +536,12 @@ class Foreman {
     task.pack(packer);
     send_sealed(worker, MessageTag::kTask, packer.take());
     notify(MonitorEventKind::kDispatch, task.task_id, worker);
-    ++stats_.tasks_dispatched;
+    counters_.tasks_dispatched.add();
+    // Flow-begin on the foreman side of the dispatch->execute->result arc;
+    // the worker's execute span adds the step and accept() closes it.
+    obs::flow(obs::Phase::kFlowBegin,
+              obs::task_flow_id(task.round_id, task.task_id), "worker", worker);
+    trace_queue_depth();
     const auto now = Clock::now();
     in_flight_[worker] = {std::move(task), now, now + deadline_for(worker), probe};
   }
@@ -414,7 +561,7 @@ class Foreman {
       if (h.state != WorkerState::kProbation) continue;
       if (in_flight_.count(worker) != 0) continue;
       if (now < h.eligible_at) continue;
-      ++stats_.probation_probes;
+      counters_.probation_probes.add();
       notify(MonitorEventKind::kProbation, work_queue_.front().task_id, worker);
       dispatch_to(worker, /*probe=*/true);
     }
@@ -436,8 +583,9 @@ class Foreman {
   /// (the foreman's pristine copy re-serializes cleanly) and keep the
   /// worker in rotation — the corruption happened in transit, not in it.
   void handle_nack(int worker) {
-    ++stats_.task_nacks;
+    counters_.task_nacks.add();
     notify(MonitorEventKind::kNack, 0, worker);
+    obs::instant("foreman", "nack", "worker", worker);
     if (auto it = in_flight_.find(worker); it != in_flight_.end()) {
       requeue_record(it, "rejected a malformed task");
     }
@@ -473,8 +621,9 @@ class Foreman {
       // gates its re-entry, but the reinstatement is counted here, where
       // the contact actually happened.
       h.awaiting_contact = false;
-      ++stats_.reinstatements;
+      counters_.reinstatements.add();
       notify(MonitorEventKind::kReinstate, result.task_id, worker);
+      obs::instant("foreman", "reinstate", "worker", worker);
     }
     const auto flight = in_flight_.find(worker);
     if (flight != in_flight_.end()) {
@@ -485,8 +634,9 @@ class Foreman {
         if (was_probe) {
           h.state = WorkerState::kHealthy;
           h.strikes = 0;
-          ++stats_.probation_passes;
+          counters_.probation_passes.add();
           notify(MonitorEventKind::kProbePass, result.task_id, worker);
+          obs::instant("foreman", "probe_pass", "worker", worker);
         } else {
           h.strikes = 0;
         }
@@ -498,7 +648,7 @@ class Foreman {
         // the worker and silently drop the in-flight task when the record
         // was overwritten. The result itself may still complete the task
         // (accept() deduplicates), so fall through to accept below.
-        ++stats_.mismatched_results;
+        counters_.mismatched_results.add();
         FDML_WARN("foreman") << "worker " << worker << " sent result for task "
                              << result.task_id << " while task "
                              << flight->second.task.task_id << " is in flight";
@@ -521,10 +671,31 @@ class Foreman {
     if (!round_active_ || result.round_id != round_.round_id ||
         round_.completed.count(result.task_id) != 0) {
       // Stale or duplicate (e.g. a requeued task completed twice).
-      ++stats_.late_duplicate_results;
+      counters_.late_duplicate_results.add();
       return;
     }
     round_.completed.insert(result.task_id);
+    if (result.worker != kJournalWorker) {
+      obs::flow(obs::Phase::kFlowEnd,
+                obs::task_flow_id(result.round_id, result.task_id), "worker",
+                result.worker);
+      // Per-worker kernel attribution from the result's counter deltas (the
+      // goodbye report supersedes these with authoritative lifetime totals).
+      WorkerKernelReport& acc = worker_accum_[result.worker];
+      acc.worker = result.worker;
+      if (!acc.reported) {
+        ++acc.tasks_evaluated;
+        acc.cpu_seconds += result.cpu_seconds;
+        acc.clv_computations += result.clv_computations;
+        acc.edge_evaluations += result.edge_evaluations;
+        acc.transition_hits += result.transition_hits;
+        acc.transition_misses += result.transition_misses;
+      }
+      counters_.kernel_clv_computations.add(result.clv_computations);
+      counters_.kernel_edge_evaluations.add(result.edge_evaluations);
+      counters_.kernel_transition_hits.add(result.transition_hits);
+      counters_.kernel_transition_misses.add(result.transition_misses);
+    }
     // Drop every requeued copy still waiting in the queue — repeated
     // timeouts can have queued the same task more than once.
     work_queue_.erase(
@@ -539,7 +710,8 @@ class Foreman {
     stat.bytes = round_.task_bytes[result.task_id] + result_bytes;
     stat.worker = result.worker;
     round_.stats.push_back(stat);
-    ++stats_.tasks_completed;
+    counters_.tasks_completed.add();
+    trace_queue_depth();
     notify(MonitorEventKind::kComplete, result.task_id, result.worker,
            result.cpu_seconds);
 
@@ -556,11 +728,11 @@ class Foreman {
       entry.cpu_seconds = result.cpu_seconds;
       try {
         journal_->append(entry);
-        ++stats_.journal_appended;
+        counters_.journal_appended.add();
       } catch (const std::exception& error) {
         // A failed WAL append only weakens crash recovery; the round
         // itself must proceed.
-        ++stats_.journal_write_failures;
+        counters_.journal_write_failures.add();
         FDML_WARN("foreman") << "journal append failed: " << error.what();
       }
     }
@@ -591,6 +763,7 @@ class Foreman {
       done.stats = std::move(round_.stats);
       send_sealed(kMasterRank, MessageTag::kRoundDone, done.pack());
       notify(MonitorEventKind::kRoundEnd, 0, -1);
+      end_round_span(static_cast<std::int64_t>(round_.completed.size()));
       round_active_ = false;
     }
   }
@@ -626,10 +799,14 @@ class Foreman {
     failed.round_id = round_.round_id;
     failed.reason = "all workers delinquent";
     send_sealed(kMasterRank, MessageTag::kRoundFailed, failed.pack());
-    ++stats_.rounds_failed;
+    counters_.rounds_failed.add();
     notify(MonitorEventKind::kRoundFailed, 0, -1);
+    obs::instant("foreman", "round_failed", "round",
+                 static_cast<std::int64_t>(round_.round_id));
+    end_round_span(static_cast<std::int64_t>(round_.completed.size()));
     round_active_ = false;
     work_queue_.clear();
+    trace_queue_depth();
   }
 
   void broadcast_shutdown() {
@@ -639,6 +816,116 @@ class Foreman {
     if (options_.notify_monitor && transport_.size() > kMonitorRank) {
       transport_.send(kMonitorRank, MessageTag::kShutdown, {});
     }
+  }
+
+  /// After shutdown is broadcast, wait a short grace window for goodbye
+  /// reports from every worker we ever heard from. A crashed worker's
+  /// report never arrives; the per-result accumulation already collected
+  /// its task-level numbers, so the wait is bounded and best-effort.
+  void collect_goodbyes() {
+    if (options_.goodbye_timeout.count() <= 0 || health_.empty()) return;
+    std::set<int> pending;
+    for (const auto& [worker, h] : health_) pending.insert(worker);
+    const auto deadline = Clock::now() + options_.goodbye_timeout;
+    while (!pending.empty()) {
+      const auto now = Clock::now();
+      if (now >= deadline) break;
+      auto message = transport_.recv_for(
+          std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now) +
+          std::chrono::milliseconds(1));
+      if (!message.has_value()) {
+        if (transport_.closed()) break;
+        continue;
+      }
+      if (message->tag != MessageTag::kGoodbye) continue;  // late results etc.
+      if (handle_goodbye(message->source, std::move(message->payload))) {
+        pending.erase(message->source);
+      }
+    }
+  }
+
+  /// Decodes and absorbs one goodbye report; false on a corrupt payload.
+  bool handle_goodbye(int source, std::vector<std::uint8_t> payload) {
+    if (!open_payload(payload)) {
+      counters_.corrupt_messages.add();
+      return false;
+    }
+    WorkerReportMessage report;
+    try {
+      report = WorkerReportMessage::unpack(payload);
+    } catch (const std::exception&) {
+      counters_.corrupt_messages.add();
+      return false;
+    }
+    counters_.goodbyes_received.add();
+    WorkerKernelReport& acc = worker_accum_[source];
+    acc.worker = source;
+    acc.reported = true;
+    acc.tasks_evaluated = report.tasks_evaluated;
+    acc.cpu_seconds = report.cpu_seconds;
+    acc.corrupt_tasks = report.corrupt_tasks;
+    acc.clv_computations = report.clv_computations;
+    acc.clv_rescales = report.clv_rescales;
+    acc.edge_captures = report.edge_captures;
+    acc.edge_evaluations = report.edge_evaluations;
+    acc.transition_hits = report.transition_hits;
+    acc.transition_misses = report.transition_misses;
+    acc.transition_evictions = report.transition_evictions;
+    // Publish the worker's lifetime totals under its own registry prefix
+    // (one goodbye per worker per run, so add() never double-counts).
+    const std::string prefix = "worker." + std::to_string(source) + ".";
+    registry_.counter(prefix + "tasks_evaluated").add(report.tasks_evaluated);
+    registry_.counter(prefix + "clv_computations").add(report.clv_computations);
+    registry_.counter(prefix + "edge_evaluations").add(report.edge_evaluations);
+    registry_.counter(prefix + "transition_hits").add(report.transition_hits);
+    registry_.counter(prefix + "transition_misses")
+        .add(report.transition_misses);
+    registry_.counter(prefix + "transition_evictions")
+        .add(report.transition_evictions);
+    obs::instant("foreman", "goodbye", "worker", source, "tasks",
+                 static_cast<std::int64_t>(report.tasks_evaluated));
+    return true;
+  }
+
+  /// The incarnation's final stats: counter deltas plus per-worker reports.
+  ForemanStats finish() {
+    if (round_span_open_) end_round_span(
+        static_cast<std::int64_t>(round_.completed.size()));
+    ForemanStats stats = stats_delta(counters_.read(), start_);
+    stats.worker_reports.reserve(worker_accum_.size());
+    for (const auto& [worker, report] : worker_accum_) {
+      stats.worker_reports.push_back(report);
+    }
+    return stats;
+  }
+
+  void begin_round_span(std::uint64_t round_id, std::int64_t expected) {
+    if (round_span_open_) end_round_span(0);  // keep B/E balanced
+    round_span_open_ = true;
+    obs::TraceEvent e;
+    e.cat = "foreman";
+    e.name = "round";
+    e.ph = obs::Phase::kBegin;
+    e.arg0_name = "round";
+    e.arg0 = static_cast<std::int64_t>(round_id);
+    e.arg1_name = "tasks";
+    e.arg1 = expected;
+    obs::emit(e);
+  }
+
+  void end_round_span(std::int64_t completed) {
+    round_span_open_ = false;
+    obs::TraceEvent e;
+    e.cat = "foreman";
+    e.name = "round";
+    e.ph = obs::Phase::kEnd;
+    e.arg0_name = "completed";
+    e.arg0 = completed;
+    obs::emit(e);
+  }
+
+  void trace_queue_depth() {
+    obs::counter("queue_depth", static_cast<std::int64_t>(work_queue_.size()));
   }
 
   void notify(MonitorEventKind kind, std::uint64_t task_id, int worker,
@@ -656,7 +943,12 @@ class Foreman {
 
   Transport& transport_;
   ForemanOptions options_;
-  ForemanStats stats_;
+  obs::MetricsRegistry& registry_;
+  ForemanCounters counters_;
+  /// Counter values at construction; the stats view subtracts these.
+  ForemanStats start_;
+  std::map<int, WorkerKernelReport> worker_accum_;
+  bool round_span_open_ = false;
   Timer uptime_;
   std::optional<TaskJournal> journal_;
 

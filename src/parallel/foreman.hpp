@@ -26,9 +26,14 @@
 #include <chrono>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "comm/transport.hpp"
 #include "durable/vfs.hpp"
+
+namespace fdml::obs {
+class MetricsRegistry;
+}
 
 namespace fdml {
 
@@ -67,6 +72,33 @@ struct ForemanOptions {
   bool announce_ping = false;
   /// Filesystem for the journal; null = the real one.
   Vfs* vfs = nullptr;
+  /// Metrics registry the foreman's counters live in; null = the process
+  /// registry. ForemanStats is a delta view over these counters, so a
+  /// cluster can hand every role one registry and still get exact
+  /// per-incarnation stats.
+  obs::MetricsRegistry* metrics = nullptr;
+  /// How long to wait after broadcasting shutdown for worker goodbye
+  /// reports (per-worker kernel counters). Zero skips collection.
+  std::chrono::milliseconds goodbye_timeout{250};
+};
+
+/// Per-worker end-of-run accounting: queue-level tallies accumulated from
+/// results as they arrive, upgraded with the worker's authoritative goodbye
+/// report (which adds cache behaviour) when one arrives in time.
+struct WorkerKernelReport {
+  int worker = -1;
+  std::uint64_t tasks_evaluated = 0;
+  double cpu_seconds = 0.0;
+  std::uint64_t corrupt_tasks = 0;
+  std::uint64_t clv_computations = 0;
+  std::uint64_t clv_rescales = 0;
+  std::uint64_t edge_captures = 0;
+  std::uint64_t edge_evaluations = 0;
+  std::uint64_t transition_hits = 0;
+  std::uint64_t transition_misses = 0;
+  std::uint64_t transition_evictions = 0;
+  /// True once the worker's own goodbye report was folded in.
+  bool reported = false;
 };
 
 struct ForemanStats {
@@ -103,6 +135,11 @@ struct ForemanStats {
   /// Journal appends that failed (counted and logged, never fatal: a lost
   /// WAL entry only costs a re-evaluation after the next crash).
   std::uint64_t journal_write_failures = 0;
+  /// Worker goodbye reports received during the shutdown grace window.
+  std::uint64_t goodbyes_received = 0;
+  /// Per-worker kernel-work attribution (satellite of the end-of-run
+  /// report); not part of the counter-delta arithmetic.
+  std::vector<WorkerKernelReport> worker_reports;
 };
 
 /// Runs the foreman loop until a shutdown message arrives (which is

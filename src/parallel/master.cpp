@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "comm/integrity.hpp"
+#include "obs/trace.hpp"
 #include "parallel/protocol.hpp"
 #include "util/log.hpp"
 
@@ -14,9 +15,57 @@ namespace {
 using Clock = std::chrono::steady_clock;
 }  // namespace
 
+ParallelMaster::Counters::Counters(obs::MetricsRegistry& r)
+    : rounds(r.counter("master.rounds")),
+      progress_messages(r.counter("master.progress_messages")),
+      unexpected_tags(r.counter("master.unexpected_tags")),
+      stale_messages(r.counter("master.stale_messages")),
+      corrupt_messages(r.counter("master.corrupt_messages")),
+      watchdog_trips(r.counter("master.watchdog_trips")),
+      rounds_failed(r.counter("master.rounds_failed")),
+      serial_fallbacks(r.counter("master.serial_fallbacks")),
+      round_retries(r.counter("master.round_retries")),
+      fabric_revivals(r.counter("master.fabric_revivals")) {}
+
+MasterStats ParallelMaster::Counters::read() const {
+  MasterStats s;
+  s.rounds = rounds.value();
+  s.progress_messages = progress_messages.value();
+  s.unexpected_tags = unexpected_tags.value();
+  s.stale_messages = stale_messages.value();
+  s.corrupt_messages = corrupt_messages.value();
+  s.watchdog_trips = watchdog_trips.value();
+  s.rounds_failed = rounds_failed.value();
+  s.serial_fallbacks = serial_fallbacks.value();
+  s.round_retries = round_retries.value();
+  s.fabric_revivals = fabric_revivals.value();
+  return s;
+}
+
+MasterStats ParallelMaster::stats() const {
+  const MasterStats end = counters_.read();
+  MasterStats d;
+  d.rounds = end.rounds - start_.rounds;
+  d.progress_messages = end.progress_messages - start_.progress_messages;
+  d.unexpected_tags = end.unexpected_tags - start_.unexpected_tags;
+  d.stale_messages = end.stale_messages - start_.stale_messages;
+  d.corrupt_messages = end.corrupt_messages - start_.corrupt_messages;
+  d.watchdog_trips = end.watchdog_trips - start_.watchdog_trips;
+  d.rounds_failed = end.rounds_failed - start_.rounds_failed;
+  d.serial_fallbacks = end.serial_fallbacks - start_.serial_fallbacks;
+  d.round_retries = end.round_retries - start_.round_retries;
+  d.fabric_revivals = end.fabric_revivals - start_.fabric_revivals;
+  return d;
+}
+
 ParallelMaster::ParallelMaster(Transport& transport, int workers,
                                MasterOptions options)
-    : transport_(transport), workers_(workers), options_(options) {}
+    : transport_(transport),
+      workers_(workers),
+      options_(options),
+      counters_(options.metrics != nullptr ? *options.metrics
+                                           : obs::MetricsRegistry::process()),
+      start_(counters_.read()) {}
 
 RoundOutcome ParallelMaster::degrade(std::uint64_t round_id,
                                      const std::vector<TreeTask>& tasks,
@@ -24,7 +73,9 @@ RoundOutcome ParallelMaster::degrade(std::uint64_t round_id,
   if (!options_.serial_fallback || !fallback_) {
     throw RoundFailedError(round_id, reason);
   }
-  ++stats_.serial_fallbacks;
+  counters_.serial_fallbacks.add();
+  obs::instant("master", "serial_fallback", "round",
+               static_cast<std::int64_t>(round_id));
   FDML_WARN("master") << "round " << round_id << " failed (" << reason
                       << "); evaluating " << tasks.size()
                       << " tasks in-process";
@@ -33,7 +84,7 @@ RoundOutcome ParallelMaster::degrade(std::uint64_t round_id,
 
 RoundOutcome ParallelMaster::run_round(const std::vector<TreeTask>& tasks) {
   if (tasks.empty()) throw std::invalid_argument("run_round: empty round");
-  ++stats_.rounds;
+  counters_.rounds.add();
 
   std::uint64_t round_id = next_round_id_++;
   if (degraded_) {
@@ -48,7 +99,9 @@ RoundOutcome ParallelMaster::run_round(const std::vector<TreeTask>& tasks) {
       return attempt_round(round_id, tasks);
     } catch (const RoundFailedError& failure) {
       if (attempt < options_.max_round_retries) {
-        ++stats_.round_retries;
+        counters_.round_retries.add();
+        obs::instant("master", "round_retry", "round",
+                     static_cast<std::int64_t>(round_id));
         const int doublings = std::min(attempt, 16);
         const auto backoff = std::min<std::chrono::milliseconds>(
             std::chrono::duration_cast<std::chrono::milliseconds>(
@@ -61,7 +114,7 @@ RoundOutcome ParallelMaster::run_round(const std::vector<TreeTask>& tasks) {
                             << backoff.count() << " ms";
         std::this_thread::sleep_for(backoff);
         if (reviver_ && reviver_()) {
-          ++stats_.fabric_revivals;
+          counters_.fabric_revivals.add();
           // The wedged incarnation is gone; trust its replacement.
           degraded_ = false;
         }
@@ -86,6 +139,9 @@ RoundOutcome ParallelMaster::attempt_round(std::uint64_t round_id,
   // Stamp the round id the foreman will echo back.
   for (TreeTask& task : round.tasks) task.round_id = round.round_id;
 
+  obs::Span span("master", "round", "round",
+                 static_cast<std::int64_t>(round_id), "tasks",
+                 static_cast<std::int64_t>(tasks.size()));
   auto payload = round.pack();
   seal_payload(payload);
   transport_.send(kForemanRank, MessageTag::kRound, std::move(payload));
@@ -94,7 +150,9 @@ RoundOutcome ParallelMaster::attempt_round(std::uint64_t round_id,
   for (;;) {
     const auto now = Clock::now();
     if (now - last_progress >= options_.watchdog_timeout) {
-      ++stats_.watchdog_trips;
+      counters_.watchdog_trips.add();
+      obs::instant("master", "watchdog_trip", "round",
+                   static_cast<std::int64_t>(round.round_id));
       degraded_ = true;
       FDML_WARN("master") << "watchdog: no progress on round "
                           << round.round_id << " for "
@@ -114,37 +172,37 @@ RoundOutcome ParallelMaster::attempt_round(std::uint64_t round_id,
     switch (message->tag) {
       case MessageTag::kProgress: {
         if (!open_payload(message->payload)) {
-          ++stats_.corrupt_messages;
+          counters_.corrupt_messages.add();
           break;
         }
         try {
           const ProgressMessage progress =
               ProgressMessage::unpack(message->payload);
           if (progress.round_id == round.round_id) {
-            ++stats_.progress_messages;
+            counters_.progress_messages.add();
             last_progress = Clock::now();
           } else {
-            ++stats_.stale_messages;
+            counters_.stale_messages.add();
           }
         } catch (const std::exception&) {
-          ++stats_.corrupt_messages;
+          counters_.corrupt_messages.add();
         }
         break;
       }
       case MessageTag::kRoundDone: {
         if (!open_payload(message->payload)) {
-          ++stats_.corrupt_messages;
+          counters_.corrupt_messages.add();
           break;
         }
         RoundDoneMessage done;
         try {
           done = RoundDoneMessage::unpack(message->payload);
         } catch (const std::exception&) {
-          ++stats_.corrupt_messages;
+          counters_.corrupt_messages.add();
           break;
         }
         if (done.round_id != round.round_id) {
-          ++stats_.stale_messages;
+          counters_.stale_messages.add();
           break;
         }
         RoundOutcome outcome;
@@ -154,27 +212,27 @@ RoundOutcome ParallelMaster::attempt_round(std::uint64_t round_id,
       }
       case MessageTag::kRoundFailed: {
         if (!open_payload(message->payload)) {
-          ++stats_.corrupt_messages;
+          counters_.corrupt_messages.add();
           break;
         }
         RoundFailedMessage failed;
         try {
           failed = RoundFailedMessage::unpack(message->payload);
         } catch (const std::exception&) {
-          ++stats_.corrupt_messages;
+          counters_.corrupt_messages.add();
           break;
         }
         if (failed.round_id != round.round_id) {
-          ++stats_.stale_messages;
+          counters_.stale_messages.add();
           break;
         }
-        ++stats_.rounds_failed;
+        counters_.rounds_failed.add();
         throw RoundFailedError(round.round_id, failed.reason);
       }
       default:
         // Previously these were discarded without a trace, which hid real
         // protocol bugs; now they are at least visible and counted.
-        ++stats_.unexpected_tags;
+        counters_.unexpected_tags.add();
         FDML_WARN("master") << "ignoring unexpected tag "
                             << static_cast<int>(message->tag) << " from rank "
                             << message->source << " mid-round";

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "comm/transport.hpp"
+#include "obs/metrics.hpp"
 #include "search/runner.hpp"
 
 namespace fdml {
@@ -36,6 +37,10 @@ struct MasterOptions {
   /// retry_backoff * 2^(n-1), capped at retry_backoff_max.
   std::chrono::milliseconds retry_backoff{100};
   std::chrono::milliseconds retry_backoff_max{5000};
+  /// Metrics registry the master's counters live in; null = the process
+  /// registry. MasterStats is a delta view over these counters (same
+  /// pattern as ForemanStats).
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 struct MasterStats {
@@ -118,9 +123,28 @@ class ParallelMaster final : public TaskRunner {
   RoundOutcome run_round(const std::vector<TreeTask>& tasks) override;
   int worker_count() const override { return workers_; }
 
-  const MasterStats& stats() const { return stats_; }
+  /// Delta view: this master's bumps of the registry counters since
+  /// construction.
+  MasterStats stats() const;
 
  private:
+  /// Registry handles for every MasterStats field.
+  struct Counters {
+    explicit Counters(obs::MetricsRegistry& registry);
+    MasterStats read() const;
+
+    obs::Counter& rounds;
+    obs::Counter& progress_messages;
+    obs::Counter& unexpected_tags;
+    obs::Counter& stale_messages;
+    obs::Counter& corrupt_messages;
+    obs::Counter& watchdog_trips;
+    obs::Counter& rounds_failed;
+    obs::Counter& serial_fallbacks;
+    obs::Counter& round_retries;
+    obs::Counter& fabric_revivals;
+  };
+
   RoundOutcome degrade(std::uint64_t round_id,
                        const std::vector<TreeTask>& tasks,
                        const std::string& reason);
@@ -133,7 +157,9 @@ class ParallelMaster final : public TaskRunner {
   Transport& transport_;
   int workers_;
   MasterOptions options_;
-  MasterStats stats_;
+  Counters counters_;
+  /// Counter values at construction; stats() subtracts these.
+  MasterStats start_;
   std::function<RoundOutcome(const std::vector<TreeTask>&)> fallback_;
   std::function<bool()> reviver_;
   std::uint64_t next_round_id_ = 1;

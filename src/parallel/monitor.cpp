@@ -1,6 +1,8 @@
 #include "parallel/monitor.hpp"
 
 #include "comm/integrity.hpp"
+#include "obs/trace.hpp"
+#include "util/log.hpp"
 
 namespace fdml {
 
@@ -71,7 +73,17 @@ MonitorReport MonitorBoard::snapshot() const {
   return report_;
 }
 
+void trace_monitor_event(const MonitorEvent& event) {
+  const char* kind = monitor_event_kind_name(event.kind);
+  obs::instant("monitor", kind, "worker",
+               static_cast<std::int64_t>(event.worker), "task",
+               static_cast<std::int64_t>(event.task_id));
+  FDML_DEBUG("monitor") << kind << " worker=" << event.worker
+                        << " task=" << event.task_id;
+}
+
 void monitor_main(Transport& transport, MonitorBoard& board) {
+  obs::set_thread_name("monitor");
   while (auto message = transport.recv()) {
     if (message->tag == MessageTag::kShutdown) break;
     if (message->tag != MessageTag::kMonitorEvent) continue;
@@ -82,7 +94,9 @@ void monitor_main(Transport& transport, MonitorBoard& board) {
       continue;
     }
     try {
-      board.apply(MonitorEvent::unpack(message->payload));
+      const MonitorEvent event = MonitorEvent::unpack(message->payload);
+      trace_monitor_event(event);
+      board.apply(event);
     } catch (const std::exception&) {
       board.note_malformed_event();
     }

@@ -60,6 +60,13 @@ class MonitorBoard {
   double last_completion_at_ = -1.0;
 };
 
+/// Re-emits a monitor event as a trace instant (cat "monitor", name =
+/// monitor_event_kind_name) and a debug log line. Chaos runs used to drop
+/// this stream on the floor when nobody polled the board; with tracing on,
+/// every health-state transition now lands in the trace timeline. Split out
+/// of monitor_main so tests can drive it directly.
+void trace_monitor_event(const MonitorEvent& event);
+
 /// Runs the monitor loop until shutdown, applying events to `board`.
 void monitor_main(Transport& transport, MonitorBoard& board);
 

@@ -83,6 +83,33 @@ enum class MonitorEventKind : std::uint8_t {
   kRoundFailed = 13,
 };
 
+/// Static display name for a monitor event kind ("dispatch", "probation",
+/// ...); "unknown" for values outside the enum. Used by the trace
+/// instant-events so a chaos schedule is readable in the timeline.
+const char* monitor_event_kind_name(MonitorEventKind kind);
+
+/// worker -> foreman (kGoodbye): end-of-run self-report sent when the worker
+/// sees kShutdown, so the final report can attribute kernel work (CLV
+/// combines, cache behaviour) per worker instead of only foreman-visible
+/// queue stats.
+struct WorkerReportMessage {
+  int worker = -1;
+  std::uint64_t tasks_evaluated = 0;
+  double cpu_seconds = 0.0;
+  std::uint64_t corrupt_tasks = 0;
+  /// Cumulative engine counters for the worker's whole life (KernelCounters).
+  std::uint64_t clv_computations = 0;
+  std::uint64_t clv_rescales = 0;
+  std::uint64_t edge_captures = 0;
+  std::uint64_t edge_evaluations = 0;
+  std::uint64_t transition_hits = 0;
+  std::uint64_t transition_misses = 0;
+  std::uint64_t transition_evictions = 0;
+
+  std::vector<std::uint8_t> pack() const;
+  static WorkerReportMessage unpack(const std::vector<std::uint8_t>& payload);
+};
+
 struct MonitorEvent {
   MonitorEventKind kind = MonitorEventKind::kDispatch;
   std::uint64_t round_id = 0;

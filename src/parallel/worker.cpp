@@ -1,9 +1,11 @@
 #include "parallel/worker.hpp"
 
 #include <optional>
+#include <string>
 #include <utility>
 
 #include "comm/integrity.hpp"
+#include "obs/trace.hpp"
 #include "parallel/protocol.hpp"
 #include "search/task_evaluator.hpp"
 #include "util/log.hpp"
@@ -27,17 +29,43 @@ std::optional<TreeTask> decode_task(std::vector<std::uint8_t> payload) {
   }
 }
 
+/// End-of-run self-report: lifetime stats plus the engine's cumulative
+/// kernel counters, sent to the foreman on shutdown so final reports can
+/// attribute kernel work per worker.
+void send_goodbye(Transport& transport, const WorkerStats& stats,
+                  const KernelCounters& counters) {
+  WorkerReportMessage report;
+  report.worker = transport.rank();
+  report.tasks_evaluated = stats.tasks_evaluated;
+  report.cpu_seconds = stats.cpu_seconds;
+  report.corrupt_tasks = stats.corrupt_tasks;
+  report.clv_computations = counters.clv_computations;
+  report.clv_rescales = counters.clv_rescales;
+  report.edge_captures = counters.edge_captures;
+  report.edge_evaluations = counters.edge_evaluations;
+  report.transition_hits = counters.transition_hits;
+  report.transition_misses = counters.transition_misses;
+  report.transition_evictions = counters.transition_evictions;
+  auto payload = report.pack();
+  seal_payload(payload);
+  transport.send(kForemanRank, MessageTag::kGoodbye, std::move(payload));
+}
+
 }  // namespace
 
 WorkerStats worker_main(Transport& transport, const PatternAlignment& data,
                         SubstModel model, RateModel rates,
                         OptimizeOptions options) {
+  obs::set_thread_name("worker-" + std::to_string(transport.rank()));
   TaskEvaluator evaluator(data, std::move(model), std::move(rates), options);
   WorkerStats stats;
 
   transport.send(kForemanRank, MessageTag::kHello, {});
   while (auto message = transport.recv()) {
-    if (message->tag == MessageTag::kShutdown) break;
+    if (message->tag == MessageTag::kShutdown) {
+      send_goodbye(transport, stats, evaluator.engine().counters());
+      break;
+    }
     if (message->tag == MessageTag::kPing) {
       // A revived foreman lost its worker list with the old incarnation;
       // a fresh hello re-registers us.
@@ -53,12 +81,24 @@ WorkerStats worker_main(Transport& transport, const PatternAlignment& data,
     const std::optional<TreeTask> task = decode_task(std::move(message->payload));
     if (!task.has_value()) {
       ++stats.corrupt_tasks;
+      obs::instant("worker", "corrupt_task");
       FDML_WARN("worker") << "rank " << transport.rank()
                           << " received a malformed task payload; nacking";
       transport.send(kForemanRank, MessageTag::kNack, {});
       continue;
     }
-    TaskResult result = evaluator.evaluate(*task);
+    TaskResult result;
+    {
+      obs::Span span("worker", "task", "task",
+                     static_cast<std::int64_t>(task->task_id), "round",
+                     static_cast<std::int64_t>(task->round_id));
+      obs::flow(obs::Phase::kFlowStep,
+                obs::task_flow_id(task->round_id, task->task_id));
+      result = evaluator.evaluate(*task);
+      span.set_end_args("clv", static_cast<std::int64_t>(result.clv_computations),
+                        "edge_evals",
+                        static_cast<std::int64_t>(result.edge_evaluations));
+    }
     result.worker = transport.rank();
     ++stats.tasks_evaluated;
     stats.cpu_seconds += result.cpu_seconds;

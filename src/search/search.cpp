@@ -9,6 +9,7 @@
 
 #include "durable/checkpoint_store.hpp"
 #include "durable/frame.hpp"
+#include "obs/trace.hpp"
 #include "tree/neighborhood.hpp"
 #include "tree/newick.hpp"
 #include "tree/splits.hpp"
@@ -123,6 +124,11 @@ class SearchRun {
     round.taxa_in_tree = taxa_in_tree;
     round.master_seconds = master_timer_.seconds();
 
+    // Master-side round span: the search loop's serial bookkeeping plus the
+    // blocking run_round call (a paper Figure-3 "serial fraction" input).
+    obs::Span span("search", round_kind_name(kind), "round",
+                   static_cast<std::int64_t>(next_round_id_), "tasks",
+                   static_cast<std::int64_t>(tasks.size()));
     ++next_round_id_;
     result_.trees_evaluated += tasks.size();
     RoundOutcome outcome = runner_.run_round(tasks);

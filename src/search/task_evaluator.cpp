@@ -12,6 +12,7 @@ TaskEvaluator::TaskEvaluator(const PatternAlignment& data, SubstModel model,
       evaluator_(data, std::move(model), std::move(rates), options) {}
 
 TaskResult TaskEvaluator::evaluate(const TreeTask& task) {
+  const KernelCounters before = evaluator_.engine().counters();
   Tree tree = tree_from_newick(task.newick, data_.names());
   Evaluation evaluation;
   if (task.focus_taxon >= 0) {
@@ -34,6 +35,11 @@ TaskResult TaskEvaluator::evaluate(const TreeTask& task) {
   result.log_likelihood = evaluation.log_likelihood;
   result.newick = to_newick(tree, data_.names(), 17);
   result.cpu_seconds = evaluation.cpu_seconds;
+  const KernelCounters& after = evaluator_.engine().counters();
+  result.clv_computations = after.clv_computations - before.clv_computations;
+  result.edge_evaluations = after.edge_evaluations - before.edge_evaluations;
+  result.transition_hits = after.transition_hits - before.transition_hits;
+  result.transition_misses = after.transition_misses - before.transition_misses;
   return result;
 }
 

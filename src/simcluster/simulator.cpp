@@ -3,15 +3,38 @@
 #include <algorithm>
 #include <queue>
 #include <stdexcept>
+#include <string>
+
+#include "obs/trace.hpp"
 
 namespace fdml {
 
 namespace {
 
+// Virtual tids mirror the live rank layout (comm/transport.hpp) so a
+// simulated trace and a live trace read identically in the viewer and in
+// trace_report: 0 = master, 1 = foreman, 2 = monitor, 3.. = workers.
+constexpr int kSimMasterTid = 0;
+constexpr int kSimForemanTid = 1;
+constexpr int kSimFirstWorkerTid = 3;
+
+constexpr double kSecondsToNs = 1e9;
+
+void sim_trace_threads(obs::TraceLog* trace, int workers) {
+  if (trace == nullptr) return;
+  trace->set_thread(kSimMasterTid, "master");
+  trace->set_thread(kSimForemanTid, "foreman");
+  for (int w = 0; w < workers; ++w) {
+    const int tid = kSimFirstWorkerTid + w;
+    trace->set_thread(tid, "worker-" + std::to_string(tid));
+  }
+}
+
 struct InFlight {
   double arrival;  ///< when the result reaches the foreman
   int worker;
   bool speculative;
+  std::size_t task = 0;  ///< index within its round (flow-arc binding)
   bool operator>(const InFlight& other) const { return arrival > other.arrival; }
 };
 
@@ -35,7 +58,9 @@ struct RoundOutcomeSim {
 RoundOutcomeSim run_round_sim(const RoundTrace& round,
                               const RoundTrace* speculative,
                               const SimClusterConfig& config,
-                              MachineState& machine) {
+                              MachineState& machine,
+                              std::uint64_t round_id = 0,
+                              obs::TraceLog* trace = nullptr) {
   const double overhead = config.message_overhead_seconds;
   const double latency = config.latency_seconds;
   const double inv_bandwidth = 1.0 / config.bandwidth_bytes_per_second;
@@ -66,7 +91,29 @@ RoundOutcomeSim run_round_sim(const RoundTrace& round,
     const double start =
         machine.foreman_free + latency + transfer(source, task);
     const double done = start + source.task_cpu_seconds[task];
-    in_flight.push({done + latency + transfer(source, task), worker, spec});
+    in_flight.push(
+        {done + latency + transfer(source, task), worker, spec, task});
+    if (trace != nullptr && !spec) {
+      const std::uint64_t flow = obs::task_flow_id(round_id, task);
+      trace->add(kSimForemanTid, obs::Phase::kFlowBegin,
+                 machine.foreman_free * kSecondsToNs, "flow", "task", flow);
+      auto& depth =
+          trace->add(kSimForemanTid, obs::Phase::kCounter,
+                     machine.foreman_free * kSecondsToNs, "counter",
+                     "queue_depth");
+      depth.arg0_name = "value";
+      depth.arg0 = static_cast<std::int64_t>(n - next);
+      const int tid = kSimFirstWorkerTid + worker;
+      auto& begin = trace->add(tid, obs::Phase::kBegin, start * kSecondsToNs,
+                               "worker", "task");
+      begin.arg0_name = "task";
+      begin.arg0 = static_cast<std::int64_t>(task);
+      begin.arg1_name = "round";
+      begin.arg1 = static_cast<std::int64_t>(round_id);
+      trace->add(tid, obs::Phase::kFlowStep, start * kSecondsToNs, "flow",
+                 "task", flow);
+      trace->add(tid, obs::Phase::kEnd, done * kSecondsToNs, "worker", "task");
+    }
     return true;
   };
 
@@ -80,6 +127,11 @@ RoundOutcomeSim run_round_sim(const RoundTrace& round,
     in_flight.pop();
     machine.foreman_free = std::max(machine.foreman_free, flight.arrival) + overhead;
     machine.worker_ready[static_cast<std::size_t>(flight.worker)] = flight.arrival;
+    if (trace != nullptr && !flight.speculative) {
+      trace->add(kSimForemanTid, obs::Phase::kFlowEnd,
+                 machine.foreman_free * kSecondsToNs, "flow", "task",
+                 obs::task_flow_id(round_id, flight.task));
+    }
     if (flight.speculative) {
       outcome.speculative_done =
           std::max(outcome.speculative_done, machine.foreman_free);
@@ -107,11 +159,23 @@ void check_layout(const SimClusterConfig& config) {
 SimResult simulate_serial(const SearchTrace& trace, const SimClusterConfig& config) {
   SimResult result;
   result.busy_seconds = trace.total_task_seconds();
+  if (config.trace != nullptr) {
+    config.trace->set_thread(kSimMasterTid, "master");
+  }
   double clock = 0.0;
   for (const RoundTrace& round : trace.rounds) {
     const double begin = clock;
     clock += round.master_seconds * config.master_speed;
     for (double cpu : round.task_cpu_seconds) clock += cpu;
+    if (config.trace != nullptr) {
+      auto& b = config.trace->add(kSimMasterTid, obs::Phase::kBegin,
+                                  begin * kSecondsToNs, "search",
+                                  round_kind_name(round.kind));
+      b.arg0_name = "tasks";
+      b.arg0 = static_cast<std::int64_t>(round.task_cpu_seconds.size());
+      config.trace->add(kSimMasterTid, obs::Phase::kEnd, clock * kSecondsToNs,
+                        "search", round_kind_name(round.kind));
+    }
     result.round_durations.push_back(clock - begin);
   }
   result.wall_seconds = clock;
@@ -143,24 +207,54 @@ SimResult simulate_trace(const SearchTrace& trace, const SimClusterConfig& confi
   SimResult result;
   result.busy_seconds = trace.total_task_seconds();
   const int workers = config.workers();
+  sim_trace_threads(config.trace, workers);
 
   double clock = 0.0;
   double total_slack = 0.0;
   std::size_t slack_rounds = 0;
+  std::uint64_t round_id = 0;
   for (const RoundTrace& round : trace.rounds) {
+    ++round_id;
     const double round_begin = clock;
     MachineState machine;
     machine.foreman_free = clock + round.master_seconds * config.master_speed +
                            config.latency_seconds;
     machine.worker_ready.assign(static_cast<std::size_t>(workers), round_begin);
-    const RoundOutcomeSim outcome = run_round_sim(round, nullptr, config, machine);
+    if (config.trace != nullptr) {
+      // Master-side serial slice, then the foreman round span.
+      auto& m = config.trace->add(kSimMasterTid, obs::Phase::kBegin,
+                                  round_begin * kSecondsToNs, "search",
+                                  round_kind_name(round.kind));
+      m.arg0_name = "round";
+      m.arg0 = static_cast<std::int64_t>(round_id);
+      auto& b = config.trace->add(kSimForemanTid, obs::Phase::kBegin,
+                                  machine.foreman_free * kSecondsToNs,
+                                  "foreman", "round");
+      b.arg0_name = "round";
+      b.arg0 = static_cast<std::int64_t>(round_id);
+      b.arg1_name = "tasks";
+      b.arg1 = static_cast<std::int64_t>(round.task_cpu_seconds.size());
+    }
+    const RoundOutcomeSim outcome =
+        run_round_sim(round, nullptr, config, machine, round_id, config.trace);
     if (outcome.first_completion >= 0.0) {
       total_slack += outcome.last_completion - outcome.first_completion;
       ++slack_rounds;
     }
     clock = outcome.last_completion + config.latency_seconds;
+    if (config.trace != nullptr) {
+      auto& e = config.trace->add(kSimForemanTid, obs::Phase::kEnd,
+                                  outcome.last_completion * kSecondsToNs,
+                                  "foreman", "round");
+      e.arg0_name = "completed";
+      e.arg0 = static_cast<std::int64_t>(round.task_cpu_seconds.size());
+      config.trace->add(kSimMasterTid, obs::Phase::kEnd, clock * kSecondsToNs,
+                        "search", round_kind_name(round.kind));
+    }
     result.round_durations.push_back(clock - round_begin);
   }
+
+  if (config.trace != nullptr) config.trace->sort_events();
 
   result.wall_seconds = clock;
   result.worker_utilization =

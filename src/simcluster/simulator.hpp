@@ -16,6 +16,10 @@
 
 #include "search/trace.hpp"
 
+namespace fdml::obs {
+struct TraceLog;
+}
+
 namespace fdml {
 
 struct SimClusterConfig {
@@ -31,6 +35,12 @@ struct SimClusterConfig {
   double bandwidth_bytes_per_second = 100e6;
   /// Multiplier on the master's recorded between-round compute.
   double master_speed = 1.0;
+  /// Optional trace sink: the simulator fills it with the same span/flow
+  /// vocabulary the live runtime emits (foreman "round" spans, worker
+  /// "task" spans, dispatch->execute->accept flow arcs, queue depth), with
+  /// *virtual* timestamps — so trace_report and chrome://tracing work
+  /// identically on replays and live runs.
+  obs::TraceLog* trace = nullptr;
 
   int workers() const { return processors <= 1 ? 1 : processors - 3; }
 };

@@ -1,23 +1,106 @@
 #include "util/log.hpp"
 
+#include <atomic>
+#include <cstdio>
+#include <iostream>
+
+#include "util/timer.hpp"
+
 namespace fdml {
 
 namespace detail {
 
-LogLevel& global_log_level() {
-  static LogLevel level = LogLevel::kWarn;
+namespace {
+
+std::atomic<LogLevel>& level_cell() {
+  static std::atomic<LogLevel> level{LogLevel::kWarn};
   return level;
 }
+
+// Guarded by log_mutex(); empty function means "stderr".
+LogSink& sink_cell() {
+  static LogSink sink;
+  return sink;
+}
+
+thread_local std::string t_thread_label;
+
+}  // namespace
 
 std::mutex& log_mutex() {
   static std::mutex mutex;
   return mutex;
 }
 
+LogLevel load_log_level() {
+  return level_cell().load(std::memory_order_relaxed);
+}
+
+std::string format_log_prefix(LogLevel level, std::string_view component) {
+  const char* name = "?";
+  switch (level) {
+    case LogLevel::kDebug: name = "debug"; break;
+    case LogLevel::kInfo: name = "info"; break;
+    case LogLevel::kWarn: name = "warn"; break;
+    case LogLevel::kError: name = "error"; break;
+    default: break;
+  }
+  char stamp[32];
+  std::snprintf(stamp, sizeof stamp, "+%.6fs",
+                static_cast<double>(monotonic_ns()) * 1e-9);
+  std::string prefix;
+  prefix.reserve(48 + component.size());
+  prefix += '[';
+  prefix += name;
+  prefix += ' ';
+  prefix += stamp;
+  if (!t_thread_label.empty()) {
+    prefix += ' ';
+    prefix += t_thread_label;
+  }
+  prefix += "] ";
+  prefix += component;
+  prefix += ": ";
+  return prefix;
+}
+
+void emit_log_line(LogLevel level, const std::string& line) {
+  std::lock_guard lock(log_mutex());
+  if (sink_cell()) {
+    sink_cell()(level, line);
+  } else {
+    std::cerr << line << "\n";
+  }
+}
+
 }  // namespace detail
 
-void set_log_level(LogLevel level) { detail::global_log_level() = level; }
+void set_log_level(LogLevel level) {
+  detail::level_cell().store(level, std::memory_order_relaxed);
+}
 
-LogLevel log_level() { return detail::global_log_level(); }
+LogLevel log_level() { return detail::load_log_level(); }
+
+std::optional<LogLevel> parse_log_level(std::string_view text) {
+  if (text == "debug") return LogLevel::kDebug;
+  if (text == "info") return LogLevel::kInfo;
+  if (text == "warn" || text == "warning") return LogLevel::kWarn;
+  if (text == "error") return LogLevel::kError;
+  if (text == "off" || text == "none") return LogLevel::kOff;
+  return std::nullopt;
+}
+
+LogSink set_log_sink(LogSink sink) {
+  std::lock_guard lock(detail::log_mutex());
+  LogSink previous = std::move(detail::sink_cell());
+  detail::sink_cell() = std::move(sink);
+  return previous;
+}
+
+void set_log_thread_label(std::string label) {
+  detail::t_thread_label = std::move(label);
+}
+
+const std::string& log_thread_label() { return detail::t_thread_label; }
 
 }  // namespace fdml

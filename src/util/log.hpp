@@ -1,38 +1,63 @@
 // Minimal leveled, thread-safe logger. The parallel roles run on separate
-// threads, so lines are serialized under a global mutex.
+// threads, so lines are serialized under a global mutex. Each line carries a
+// monotonic timestamp (shared epoch with the span tracer, util/timer.hpp) and
+// the emitting thread's role label; the sink is redirectable so tests can
+// assert on log output instead of scraping stderr.
 #pragma once
 
-#include <iostream>
+#include <functional>
 #include <mutex>
+#include <optional>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace fdml {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 
 namespace detail {
-LogLevel& global_log_level();
 std::mutex& log_mutex();
+LogLevel load_log_level();
 }  // namespace detail
 
 /// Sets the process-wide minimum level that is emitted.
 void set_log_level(LogLevel level);
 LogLevel log_level();
 
+/// Parses "debug" / "info" / "warn" / "error" / "off" (the --log-level
+/// spellings); nullopt on anything else.
+std::optional<LogLevel> parse_log_level(std::string_view text);
+
+/// Where finished lines go. Called under the log mutex with the formatted
+/// line (no trailing newline). Passing nullptr restores the default stderr
+/// sink. Returns the previous sink so tests can restore it.
+using LogSink = std::function<void(LogLevel, const std::string&)>;
+LogSink set_log_sink(LogSink sink);
+
+/// Role label stamped into this thread's lines (e.g. "worker-3"). The span
+/// tracer's set_thread_name() forwards here so traces and logs agree.
+void set_log_thread_label(std::string label);
+const std::string& log_thread_label();
+
+namespace detail {
+void emit_log_line(LogLevel level, const std::string& line);
+std::string format_log_prefix(LogLevel level, std::string_view component);
+}  // namespace detail
+
 /// Stream-style log statement: LogLine(LogLevel::kInfo, "foreman") << ...;
-/// Emits on destruction.
+/// Emits on destruction. Format:
+///   [info +12.345s worker-3] foreman: message
+/// (the thread label is omitted when unset).
 class LogLine {
  public:
   LogLine(LogLevel level, std::string_view component)
-      : level_(level), enabled_(level >= log_level()) {
-    if (enabled_) stream_ << "[" << name(level) << "] " << component << ": ";
+      : level_(level), enabled_(level >= log_level() && level < LogLevel::kOff) {
+    if (enabled_) stream_ << detail::format_log_prefix(level, component);
   }
 
   ~LogLine() {
-    if (!enabled_) return;
-    std::lock_guard lock(detail::log_mutex());
-    std::cerr << stream_.str() << "\n";
+    if (enabled_) detail::emit_log_line(level_, stream_.str());
   }
 
   template <typename T>
@@ -42,16 +67,6 @@ class LogLine {
   }
 
  private:
-  static const char* name(LogLevel level) {
-    switch (level) {
-      case LogLevel::kDebug: return "debug";
-      case LogLevel::kInfo: return "info";
-      case LogLevel::kWarn: return "warn";
-      case LogLevel::kError: return "error";
-      default: return "?";
-    }
-  }
-
   LogLevel level_;
   bool enabled_;
   std::ostringstream stream_;

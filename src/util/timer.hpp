@@ -3,9 +3,21 @@
 #pragma once
 
 #include <chrono>
+#include <cstdint>
 #include <ctime>
 
 namespace fdml {
+
+/// Nanoseconds since the first call in this process. The logger and the
+/// span tracer both stamp with this so their timelines line up; the epoch
+/// is latched once (thread-safe static init) on first use.
+inline std::uint64_t monotonic_ns() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point epoch = Clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - epoch)
+          .count());
+}
 
 /// Monotonic wall-clock stopwatch.
 class Timer {
