@@ -41,6 +41,13 @@ void usage(const char* program) {
       "  --adaptive=K      escalate stalled rearrangements up to K\n"
       "  --workers=N       run the parallel cluster with N workers\n"
       "  --timeout-ms=T    worker fault-tolerance timeout (default 30000)\n"
+      "  --transport=T     thread (default) or socket (multi-process TCP;\n"
+      "                    launch one process per rank, see\n"
+      "                    scripts/launch_cluster.sh)\n"
+      "  --rank=N          socket mode: this process's rank (0 = master)\n"
+      "  --port=P          socket mode: hub TCP port\n"
+      "  --host=H          socket mode: hub address (default 127.0.0.1)\n"
+      "  --fabric-size=S   socket mode: total process count\n"
       "  --checkpoint=FILE write a restart checkpoint after each addition\n"
       "  --checkpoint-keep=K  checkpoint generations retained (default 3)\n"
       "  --resume=FILE     continue an interrupted run from its checkpoint\n"
@@ -65,6 +72,17 @@ void print_version() {
                 fdml::simd::cpu_supports(b) ? "" : " (unsupported on this cpu)");
   }
   std::printf("\n");
+}
+
+fdml::SocketRunOptions socket_options_from_args(const fdml::CliArgs& args) {
+  fdml::SocketRunOptions options;
+  options.socket.rank = static_cast<int>(args.get_int("rank", 0));
+  options.socket.size = static_cast<int>(args.get_int("fabric-size", 0));
+  options.socket.host = args.get("host", "127.0.0.1");
+  options.socket.port = static_cast<std::uint16_t>(args.get_int("port", 0));
+  options.foreman.worker_timeout =
+      std::chrono::milliseconds(args.get_int("timeout-ms", 30000));
+  return options;
 }
 
 }  // namespace
@@ -114,6 +132,68 @@ int main(int argc, char** argv) {
   std::printf("model: %s, ts/tv=%.2f, rates: %s\n", model.name().c_str(),
               model.tstv_ratio(), rates.name().c_str());
 
+  const std::string transport = args.get("transport", "thread");
+  if (transport != "thread" && transport != "socket") {
+    std::fprintf(stderr, "error: unknown --transport=%s (thread|socket)\n",
+                 transport.c_str());
+    return 2;
+  }
+  if (transport == "socket") {
+    if (!args.has("port") || !args.has("fabric-size")) {
+      std::fprintf(stderr,
+                   "error: --transport=socket needs --port and --fabric-size "
+                   "(and --rank, 0 for the master)\n");
+      return 2;
+    }
+    if (args.has("bootstrap")) {
+      std::fprintf(stderr,
+                   "error: --bootstrap is not available over --transport=socket "
+                   "(run the plain search; bootstrap uses in-process runners)\n");
+      return 2;
+    }
+    const int rank = static_cast<int>(args.get_int("rank", 0));
+    if (rank != 0) {
+      // Non-master rank: run this process's role loop (foreman / monitor /
+      // worker) until the fabric shuts down, then exit. Every rank loads
+      // the same alignment file and model flags.
+      SocketRoleResult role;
+      try {
+        role = run_socket_role(data, model, rates, socket_options_from_args(args));
+      } catch (const std::exception& error) {
+        std::fprintf(stderr, "rank %d: %s\n", rank, error.what());
+        return 1;
+      }
+      if (role.foreman.has_value()) {
+        std::printf("foreman: %llu rounds, %llu tasks, %llu quarantines\n",
+                    static_cast<unsigned long long>(role.foreman->rounds),
+                    static_cast<unsigned long long>(role.foreman->tasks_completed),
+                    static_cast<unsigned long long>(role.foreman->quarantines));
+      } else if (role.monitor.has_value()) {
+        std::printf("monitor: %llu rounds, %llu completions\n",
+                    static_cast<unsigned long long>(role.monitor->rounds),
+                    static_cast<unsigned long long>(role.monitor->completions));
+      } else if (role.worker.has_value()) {
+        std::printf("worker %d: %llu tasks, %.2fs CPU\n", role.rank,
+                    static_cast<unsigned long long>(role.worker->tasks_evaluated),
+                    role.worker->cpu_seconds);
+      }
+      if (!trace_out.empty()) {
+        obs::Tracer::instance().disable();
+        const obs::TraceLog log = obs::Tracer::instance().drain();
+        const std::string path = trace_out + ".rank" + std::to_string(rank);
+        std::ofstream out(path);
+        log.write_chrome(out);
+        if (!out) {
+          std::fprintf(stderr, "error writing %s\n", path.c_str());
+          return 1;
+        }
+        std::printf("wrote trace: %s (%zu events)\n", path.c_str(),
+                    log.events.size());
+      }
+      return 0;
+    }
+  }
+
   SearchOptions options;
   options.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
   options.rearrange_cross = static_cast<int>(args.get_int("cross", 1));
@@ -145,9 +225,31 @@ int main(int argc, char** argv) {
   // Plain (possibly jumbled, possibly parallel) search.
   const int jumbles = static_cast<int>(args.get_int("jumble", 1));
   std::unique_ptr<InProcessCluster> cluster;
+  std::unique_ptr<SocketCluster> socket_cluster;
   std::unique_ptr<SerialTaskRunner> serial;
   TaskRunner* runner;
-  if (args.has("workers")) {
+  if (transport == "socket") {
+    // Rank 0 of a multi-process run: fabric hub + master, everything else
+    // is other OS processes rendezvousing on our port.
+    SocketRunOptions socket_options = socket_options_from_args(args);
+    socket_options.socket.rank = 0;
+    socket_cluster =
+        std::make_unique<SocketCluster>(data, model, rates, socket_options);
+    std::printf("socket cluster: hub on port %u, %d workers (%d processes)\n",
+                static_cast<unsigned>(socket_options.socket.port),
+                socket_cluster->num_workers(), socket_options.socket.size);
+    if (!socket_cluster->wait_ready(socket_options.socket.connect_timeout)) {
+      std::fprintf(stderr,
+                   "error: fabric incomplete after %lld ms (some rank never "
+                   "announced)\n",
+                   static_cast<long long>(
+                       socket_options.socket.connect_timeout.count()));
+      return 1;
+    }
+    std::printf("fabric ready: all %d ranks announced\n",
+                socket_options.socket.size);
+    runner = &socket_cluster->runner();
+  } else if (args.has("workers")) {
     ClusterOptions cluster_options;
     cluster_options.num_workers = static_cast<int>(args.get_int("workers", 4));
     cluster_options.foreman.worker_timeout =
@@ -253,6 +355,16 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(report.rounds),
                 static_cast<unsigned long long>(report.completions),
                 static_cast<unsigned long long>(report.requeues));
+  }
+  if (socket_cluster != nullptr) {
+    socket_cluster->shutdown();  // drain the peers before reading stats
+    const SocketFabricStats fabric = socket_cluster->fabric_stats();
+    std::printf("\nfabric: %llu frames out / %llu in, %llu peer deaths, "
+                "%llu dropped\n",
+                static_cast<unsigned long long>(fabric.frames_sent),
+                static_cast<unsigned long long>(fabric.frames_received),
+                static_cast<unsigned long long>(fabric.peer_deaths),
+                static_cast<unsigned long long>(fabric.frames_dropped));
   }
   if (!trace_out.empty()) {
     if (cluster != nullptr) cluster->shutdown();  // stable final spans

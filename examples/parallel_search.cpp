@@ -1,5 +1,6 @@
 // Parallel search: the paper's master/foreman/worker/monitor layout running
-// over the in-process thread transport.
+// over the in-process thread transport, or across real OS processes over
+// the TCP socket transport.
 //
 //   ./parallel_search --workers=4 --taxa=20 --sites=600 --seed=3
 //   ./parallel_search --timeout-ms=5000        # fault-tolerance timeout
@@ -14,16 +15,204 @@
 //   ./parallel_search --sim-trace-out=sim.json --sim-procs=7
 //                                              # simulated replay trace
 //
+//   # Multi-process: one rank per process (0=master, 1=foreman, 2=monitor,
+//   # 3..=workers); scripts/launch_cluster.sh spawns all of them.
+//   ./parallel_search --transport=socket --rank=N --port=P --fabric-size=6
+//
 // Prints the result plus the monitor's instrumentation: per-worker task
 // counts, round count, and the barrier slack that limits scalability (the
 // paper's "loosely synchronized" comparison barriers).
 #include <cstdio>
 #include <fstream>
+#include <string>
 
 #include "fdml.hpp"
 
+namespace {
+
+using namespace fdml;
+
+/// Runs (or resumes) the search over whichever runner the transport mode
+/// built. Returns false on a usage error (bad --resume path).
+bool run_search(const PatternAlignment& data, const Alignment& alignment,
+                const CliArgs& args, TaskRunner& runner, SearchResult& result) {
+  SearchOptions options;
+  options.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  options.rearrange_cross = static_cast<int>(args.get_int("cross", 1));
+  options.checkpoint_path = args.get("checkpoint", "");
+  options.checkpoint_keep = static_cast<std::uint64_t>(args.get_int("keep", 3));
+  options.dataset_fingerprint = alignment_fingerprint(data);
+  (void)alignment;
+
+  if (args.has("resume")) {
+    // Crash recovery: roll back to the newest valid checkpoint generation
+    // (fingerprint-checked against this alignment) and continue from there.
+    // The completed result is bit-for-bit the uninterrupted run's.
+    const std::string resume_path = args.get("resume", "");
+    const auto recovered =
+        recover_checkpoint(resume_path, options.dataset_fingerprint);
+    if (!recovered.has_value()) {
+      std::fprintf(stderr, "error: no usable checkpoint at %s\n",
+                   resume_path.c_str());
+      return false;
+    }
+    std::printf("resuming from %s (generation %llu, %d of %zu taxa placed)\n",
+                recovered->path.c_str(),
+                static_cast<unsigned long long>(recovered->generation),
+                recovered->checkpoint.next_order_index, data.num_taxa());
+    if (options.checkpoint_path.empty()) options.checkpoint_path = resume_path;
+    options.seed = recovered->checkpoint.seed;
+    result = StepwiseSearch(data, options).resume(runner, recovered->checkpoint);
+  } else {
+    result = StepwiseSearch(data, options).run(runner);
+  }
+  return true;
+}
+
+bool write_trace_file(const std::string& path) {
+  obs::Tracer::instance().disable();
+  const obs::TraceLog log = obs::Tracer::instance().drain();
+  std::ofstream out(path);
+  log.write_chrome(out);
+  if (!out) {
+    std::fprintf(stderr, "error writing %s\n", path.c_str());
+    return false;
+  }
+  std::printf("wrote trace: %s (%zu events, %llu dropped)\n", path.c_str(),
+              log.events.size(),
+              static_cast<unsigned long long>(log.dropped_events));
+  return true;
+}
+
+bool write_result_file(const std::string& path, const Tree& best,
+                       const PatternAlignment& data, double log_likelihood) {
+  // Canonical result file for the recovery/equivalence smoke tests: runs
+  // that must agree are compared byte-for-byte on this file.
+  std::ofstream out(path);
+  out << to_newick(best, data.names(), 10) << "\n";
+  char lnl[64];
+  std::snprintf(lnl, sizeof lnl, "lnL %.6f\n", log_likelihood);
+  out << lnl;
+  if (!out) {
+    std::fprintf(stderr, "error writing %s\n", path.c_str());
+    return false;
+  }
+  std::printf("wrote %s\n", path.c_str());
+  return true;
+}
+
+SocketRunOptions socket_options_from_args(const CliArgs& args) {
+  SocketRunOptions options;
+  options.socket.rank = static_cast<int>(args.get_int("rank", 0));
+  options.socket.size = static_cast<int>(args.get_int("fabric-size", 0));
+  options.socket.host = args.get("host", "127.0.0.1");
+  options.socket.port =
+      static_cast<std::uint16_t>(args.get_int("port", 0));
+  options.socket.connect_timeout =
+      std::chrono::milliseconds(args.get_int("connect-timeout-ms", 15000));
+  options.foreman.worker_timeout =
+      std::chrono::milliseconds(args.get_int("timeout-ms", 30000));
+  return options;
+}
+
+/// A non-master rank of a multi-process run: execute the role loop until
+/// the fabric shuts down, then print a one-line summary.
+int run_socket_peer(const CliArgs& args, const PatternAlignment& data,
+                    const SubstModel& model, const RateModel& rates,
+                    const std::string& trace_out) {
+  const SocketRunOptions options = socket_options_from_args(args);
+  SocketRoleResult role;
+  try {
+    role = run_socket_role(data, model, rates, options);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "rank %lld: %s\n",
+                 static_cast<long long>(args.get_int("rank", 0)), error.what());
+    return 1;
+  }
+  if (role.foreman.has_value()) {
+    std::printf("foreman: %llu rounds, %llu tasks, %llu requeues, "
+                "%llu quarantines\n",
+                static_cast<unsigned long long>(role.foreman->rounds),
+                static_cast<unsigned long long>(role.foreman->tasks_completed),
+                static_cast<unsigned long long>(role.foreman->requeues),
+                static_cast<unsigned long long>(role.foreman->quarantines));
+  } else if (role.monitor.has_value()) {
+    std::printf("monitor: %llu rounds, %llu completions, %.2fs worker CPU\n",
+                static_cast<unsigned long long>(role.monitor->rounds),
+                static_cast<unsigned long long>(role.monitor->completions),
+                role.monitor->total_worker_cpu_seconds);
+  } else if (role.worker.has_value()) {
+    std::printf("worker %d: %llu tasks, %.2fs CPU\n", role.rank,
+                static_cast<unsigned long long>(role.worker->tasks_evaluated),
+                role.worker->cpu_seconds);
+  }
+  if (!trace_out.empty()) {
+    // Every process traces itself; suffix by rank so a cluster launched
+    // with one argv does not clobber a shared path.
+    if (!write_trace_file(trace_out + ".rank" + std::to_string(role.rank))) {
+      return 1;
+    }
+  }
+  return 0;
+}
+
+/// The master rank of a multi-process run: hub + search + result output.
+int run_socket_master(const CliArgs& args, const PatternAlignment& data,
+                      const Alignment& alignment, const SubstModel& model,
+                      const RateModel& rates, const std::string& trace_out) {
+  SocketRunOptions options = socket_options_from_args(args);
+  options.socket.rank = 0;
+  SocketCluster cluster(data, model, rates, options);
+  std::printf("Socket cluster: hub on port %u, 1 master + 1 foreman + "
+              "1 monitor + %d workers (%d processes)\n",
+              static_cast<unsigned>(options.socket.port),
+              cluster.num_workers(), options.socket.size);
+  if (!cluster.wait_ready(options.socket.connect_timeout)) {
+    std::fprintf(stderr, "error: fabric incomplete after %lld ms (some rank "
+                 "never announced)\n",
+                 static_cast<long long>(options.socket.connect_timeout.count()));
+    return 1;
+  }
+  std::printf("fabric ready: all %d ranks announced\n", options.socket.size);
+
+  Timer timer;
+  SearchResult result;
+  if (!run_search(data, alignment, args, cluster.runner(), result)) return 1;
+  const double wall = timer.seconds();
+  cluster.shutdown();
+
+  std::printf("\nBest ln L = %.4f after %zu candidate trees in %.2fs wall\n",
+              result.best_log_likelihood, result.trees_evaluated, wall);
+  const SocketFabricStats fabric = cluster.fabric_stats();
+  std::printf("fabric traffic: %llu frames out / %llu in, %llu bytes out / "
+              "%llu in, %llu peer deaths, %llu dropped\n",
+              static_cast<unsigned long long>(fabric.frames_sent),
+              static_cast<unsigned long long>(fabric.frames_received),
+              static_cast<unsigned long long>(fabric.bytes_sent),
+              static_cast<unsigned long long>(fabric.bytes_received),
+              static_cast<unsigned long long>(fabric.peer_deaths),
+              static_cast<unsigned long long>(fabric.frames_dropped));
+  const MasterStats master = cluster.master_stats();
+  if (master.serial_fallbacks > 0 || master.rounds_failed > 0) {
+    std::printf("degradation: %llu failed rounds, %llu serial fallbacks\n",
+                static_cast<unsigned long long>(master.rounds_failed),
+                static_cast<unsigned long long>(master.serial_fallbacks));
+  }
+
+  const Tree best = tree_from_newick(result.best_newick, data.names());
+  std::printf("\nNewick: %s\n", to_newick(best, data.names(), 6).c_str());
+  if (args.has("out") &&
+      !write_result_file(args.get("out", ""), best, data,
+                         result.best_log_likelihood)) {
+    return 1;
+  }
+  if (!trace_out.empty() && !write_trace_file(trace_out)) return 1;
+  return 0;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  using namespace fdml;
   const CliArgs args(argc, argv);
 
   if (args.has("log-level")) {
@@ -39,12 +228,34 @@ int main(int argc, char** argv) {
 
   const int taxa = static_cast<int>(args.get_int("taxa", 20));
   const std::size_t sites = static_cast<std::size_t>(args.get_int("sites", 600));
+  // Every process of a socket run rebuilds the identical dataset from the
+  // same flags (or reads the same file), exactly like the paper's PVM
+  // processes each loading the alignment.
   Alignment alignment = args.has("input")
                             ? read_phylip_file(args.get("input", ""))
                             : make_paper_like_dataset(taxa, sites, 4242);
   const PatternAlignment data(alignment);
   const SubstModel model = SubstModel::f84_from_tstv(data.base_frequencies(), 2.0);
   const RateModel rates = RateModel::uniform();
+
+  const std::string transport = args.get("transport", "thread");
+  if (transport == "socket") {
+    if (!args.has("port") || !args.has("fabric-size")) {
+      std::fprintf(stderr,
+                   "error: --transport=socket needs --port and --fabric-size "
+                   "(and --rank, 0 for the master)\n");
+      return 2;
+    }
+    const int rank = static_cast<int>(args.get_int("rank", 0));
+    return rank == 0
+               ? run_socket_master(args, data, alignment, model, rates, trace_out)
+               : run_socket_peer(args, data, model, rates, trace_out);
+  }
+  if (transport != "thread") {
+    std::fprintf(stderr, "error: unknown --transport=%s (thread|socket)\n",
+                 transport.c_str());
+    return 2;
+  }
 
   ClusterOptions cluster_options;
   cluster_options.num_workers = static_cast<int>(args.get_int("workers", 4));
@@ -60,54 +271,13 @@ int main(int argc, char** argv) {
               "(%d \"processors\")\n",
               cluster.num_workers(), cluster.num_workers() + 3);
 
-  SearchOptions options;
-  options.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
-  options.rearrange_cross = static_cast<int>(args.get_int("cross", 1));
-  options.checkpoint_path = args.get("checkpoint", "");
-  options.checkpoint_keep = static_cast<std::uint64_t>(args.get_int("keep", 3));
-  options.dataset_fingerprint = alignment_fingerprint(data);
-
   Timer timer;
   SearchResult result;
-  if (args.has("resume")) {
-    // Crash recovery: roll back to the newest valid checkpoint generation
-    // (fingerprint-checked against this alignment) and continue from there.
-    // The completed result is bit-for-bit the uninterrupted run's.
-    const std::string resume_path = args.get("resume", "");
-    const auto recovered =
-        recover_checkpoint(resume_path, options.dataset_fingerprint);
-    if (!recovered.has_value()) {
-      std::fprintf(stderr, "error: no usable checkpoint at %s\n",
-                   resume_path.c_str());
-      return 1;
-    }
-    std::printf("resuming from %s (generation %llu, %d of %zu taxa placed)\n",
-                recovered->path.c_str(),
-                static_cast<unsigned long long>(recovered->generation),
-                recovered->checkpoint.next_order_index, data.num_taxa());
-    if (options.checkpoint_path.empty()) options.checkpoint_path = resume_path;
-    options.seed = recovered->checkpoint.seed;
-    result = StepwiseSearch(data, options)
-                 .resume(cluster.runner(), recovered->checkpoint);
-  } else {
-    result = StepwiseSearch(data, options).run(cluster.runner());
-  }
+  if (!run_search(data, alignment, args, cluster.runner(), result)) return 1;
   const double wall = timer.seconds();
   cluster.shutdown();  // joins the role threads; final stats are now stable
 
-  if (!trace_out.empty()) {
-    obs::Tracer::instance().disable();
-    const obs::TraceLog log = obs::Tracer::instance().drain();
-    std::ofstream out(trace_out);
-    log.write_chrome(out);
-    if (!out) {
-      std::fprintf(stderr, "error writing %s\n", trace_out.c_str());
-      return 1;
-    }
-    std::printf("wrote trace: %s (%zu events, %llu dropped)\n",
-                trace_out.c_str(), log.events.size(),
-                static_cast<unsigned long long>(log.dropped_events));
-  }
+  if (!trace_out.empty() && !write_trace_file(trace_out)) return 1;
   if (args.has("sim-trace-out")) {
     // Replay the recorded search trace through the discrete-event cluster
     // and emit the same Chrome-trace vocabulary with virtual timestamps.
@@ -184,19 +354,10 @@ int main(int argc, char** argv) {
 
   const Tree best = tree_from_newick(result.best_newick, data.names());
   std::printf("\nNewick: %s\n", to_newick(best, data.names(), 6).c_str());
-  if (args.has("out")) {
-    // Canonical result file for the crash-recovery smoke test: the resumed
-    // run's file must compare byte-identical to the uninterrupted run's.
-    std::ofstream out(args.get("out", ""));
-    out << to_newick(best, data.names(), 10) << "\n";
-    char lnl[64];
-    std::snprintf(lnl, sizeof lnl, "lnL %.6f\n", result.best_log_likelihood);
-    out << lnl;
-    if (!out) {
-      std::fprintf(stderr, "error writing %s\n", args.get("out", "").c_str());
-      return 1;
-    }
-    std::printf("wrote %s\n", args.get("out", "").c_str());
+  if (args.has("out") &&
+      !write_result_file(args.get("out", ""), best, data,
+                         result.best_log_likelihood)) {
+    return 1;
   }
   return 0;
 }

@@ -54,6 +54,7 @@ inline bool tag_is_sealed(MessageTag tag) {
     case MessageTag::kMonitorEvent:
     case MessageTag::kProgress:
     case MessageTag::kRoundFailed:
+    case MessageTag::kGoodbye:
       return true;
     default:
       return false;

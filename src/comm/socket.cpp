@@ -1,0 +1,623 @@
+#include "comm/socket.hpp"
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/log.hpp"
+
+namespace fdml {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Global traffic counters (whole-process totals; the fabric also keeps its
+/// own). Registered lazily, addresses stable for the process lifetime.
+obs::Counter& global_counter(const char* name) {
+  return obs::MetricsRegistry::process().counter(name);
+}
+
+void set_socket_options(int fd, std::chrono::milliseconds write_timeout) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  // Bound every blocking write: a receiver that stops draining its TCP
+  // buffer must look like a dead peer, not wedge the writer thread forever.
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(write_timeout.count() / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((write_timeout.count() % 1000) * 1000);
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+std::uint32_t read_u32_payload(const std::vector<std::uint8_t>& payload) {
+  if (payload.size() != 4) return 0;
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(payload[i]) << (8 * i);
+  return v;
+}
+
+std::vector<std::uint8_t> u32_payload(std::uint32_t v) {
+  std::vector<std::uint8_t> payload(4);
+  for (int i = 0; i < 4; ++i) payload[i] = static_cast<std::uint8_t>(v >> (8 * i));
+  return payload;
+}
+
+}  // namespace
+
+/// The Transport face of a SocketFabric: one per-process mailbox, sends
+/// routed over TCP (or locally for self-sends).
+class SocketEndpoint final : public Transport {
+ public:
+  explicit SocketEndpoint(SocketFabric& fabric) : fabric_(fabric) {}
+
+  int rank() const override { return fabric_.rank(); }
+  int size() const override { return fabric_.size(); }
+
+  void send(int dest, MessageTag tag, std::vector<std::uint8_t> payload) override {
+    if (dest < 0 || dest >= fabric_.size()) {
+      throw std::out_of_range("socket transport: bad destination rank");
+    }
+    fabric_.send_message(dest, tag, std::move(payload));
+  }
+
+  std::optional<Message> recv() override { return fabric_.mailbox_.recv(); }
+
+  std::optional<Message> recv_for(std::chrono::milliseconds timeout) override {
+    return fabric_.mailbox_.recv_for(timeout);
+  }
+
+  bool closed() const override { return fabric_.mailbox_.closed(); }
+
+ private:
+  SocketFabric& fabric_;
+};
+
+SocketFabric::SocketFabric(SocketOptions options) : options_(std::move(options)) {
+  if (options_.size < 2) {
+    throw std::invalid_argument("SocketFabric: need >= 2 ranks");
+  }
+  if (options_.rank < 0 || options_.rank >= options_.size) {
+    throw std::invalid_argument("SocketFabric: rank out of range");
+  }
+  if (options_.port == 0) {
+    throw std::invalid_argument("SocketFabric: port required");
+  }
+  peers_.resize(static_cast<std::size_t>(options_.size));
+  for (auto& peer : peers_) peer = std::make_unique<Peer>();
+  if (options_.rank == 0) {
+    start_hub();
+  } else {
+    connect_to_hub();
+  }
+}
+
+SocketFabric::~SocketFabric() { close(); }
+
+std::unique_ptr<Transport> SocketFabric::endpoint() {
+  return std::make_unique<SocketEndpoint>(*this);
+}
+
+// --- shared plumbing ---
+
+bool SocketFabric::write_all(int fd, const std::uint8_t* data, std::size_t size) {
+  std::size_t written = 0;
+  while (written < size) {
+    const ssize_t n =
+        ::send(fd, data + written, size - written, MSG_NOSIGNAL);
+    if (n > 0) {
+      written += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    // EAGAIN here is the SO_SNDTIMEO write timeout: the receiver stopped
+    // draining. Everything else (EPIPE, ECONNRESET) is a dead peer.
+    return false;
+  }
+  return true;
+}
+
+void SocketFabric::deliver_local(int source, MessageTag tag,
+                                 std::vector<std::uint8_t> payload) {
+  Message message;
+  message.source = source;
+  message.tag = tag;
+  message.payload = std::move(payload);
+  if (!mailbox_.send(std::move(message))) {
+    frames_dropped_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void SocketFabric::send_message(int dest, MessageTag tag,
+                                std::vector<std::uint8_t> payload) {
+  if (dest == options_.rank) {
+    deliver_local(options_.rank, tag, std::move(payload));
+    return;
+  }
+  WireFrame frame;
+  frame.kind = FrameKind::kData;
+  frame.source = options_.rank;
+  frame.dest = dest;
+  frame.tag = tag;
+  frame.payload = std::move(payload);
+  auto bytes = encode_frame(frame);
+  // Non-hub ranks have exactly one route: through the hub.
+  Peer& route = options_.rank == 0 ? *peers_[static_cast<std::size_t>(dest)]
+                                   : *peers_[0];
+  if (route.dead.load(std::memory_order_acquire) ||
+      !route.outbound.send(std::move(bytes))) {
+    frames_dropped_.fetch_add(1, std::memory_order_relaxed);
+    global_counter("socket.frames_dropped").add();
+  }
+}
+
+void SocketFabric::start_writer(Peer& peer) {
+  peer.writer = std::thread([this, &peer] { writer_loop(peer); });
+}
+
+void SocketFabric::writer_loop(Peer& peer) {
+  while (auto bytes = peer.outbound.recv()) {
+    if (peer.dead.load(std::memory_order_acquire)) {
+      frames_dropped_.fetch_add(1, std::memory_order_relaxed);
+      continue;  // drain and discard: the connection is gone
+    }
+    if (!write_all(peer.fd.load(std::memory_order_acquire), bytes->data(),
+                   bytes->size())) {
+      mark_peer_dead(peer, "write failed");
+      frames_dropped_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    frames_sent_.fetch_add(1, std::memory_order_relaxed);
+    bytes_sent_.fetch_add(bytes->size(), std::memory_order_relaxed);
+    global_counter("socket.frames_sent").add();
+    global_counter("socket.bytes_sent").add(bytes->size());
+  }
+}
+
+void SocketFabric::mark_peer_dead(Peer& peer, const char* why) {
+  if (peer.dead.exchange(true, std::memory_order_acq_rel)) return;
+  const int fd = peer.fd.load(std::memory_order_acquire);
+  if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+  // Orderly departures (peers draining off after a shutdown broadcast, or
+  // our own close) are not deaths: peer_deaths must mean unexpected loss so
+  // the kill-a-worker CI assertion and the obs counters stay meaningful.
+  const bool expected = closing_.load(std::memory_order_acquire) ||
+                        expecting_departures_.load(std::memory_order_acquire);
+  if (!expected) {
+    peer_deaths_.fetch_add(1, std::memory_order_relaxed);
+    global_counter("socket.peer_deaths").add();
+    obs::instant("socket", "peer_death");
+    FDML_WARN("socket") << "rank " << options_.rank << ": peer connection died ("
+                        << why << ")";
+  }
+  {
+    std::lock_guard lock(conn_mutex_);
+    if (peer.announced.load(std::memory_order_acquire) && live_count_ > 0) {
+      --live_count_;
+    }
+  }
+  conn_cv_.notify_all();
+}
+
+// --- hub (rank 0) ---
+
+void SocketFabric::start_hub() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    throw std::runtime_error("SocketFabric: socket() failed: " +
+                             std::string(std::strerror(errno)));
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(options_.port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const std::string error = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("SocketFabric: bind(port " +
+                             std::to_string(options_.port) + ") failed: " + error);
+  }
+  if (::listen(listen_fd_, options_.size) < 0) {
+    const std::string error = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("SocketFabric: listen() failed: " + error);
+  }
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+void SocketFabric::accept_loop() {
+  obs::set_thread_name("socket-accept");
+  while (!closing_.load(std::memory_order_acquire)) {
+    pollfd pfd{};
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    const int ready = ::poll(&pfd, 1, 200);
+    if (ready < 0 && errno != EINTR) break;
+    if (ready <= 0 || !(pfd.revents & POLLIN)) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    set_socket_options(fd, options_.write_timeout);
+    obs::instant("socket", "accept");
+    std::lock_guard lock(conn_mutex_);
+    if (closing_.load(std::memory_order_acquire)) {
+      ::close(fd);
+      break;
+    }
+    conn_threads_.emplace_back([this, fd] { hub_connection(fd); });
+  }
+}
+
+/// Owns one inbound connection: handshake (first frame must announce a
+/// valid, unclaimed rank), then route data frames until EOF or a framing
+/// error. The fd is shut down on death but only closed at fabric close(),
+/// so a racing shutdown can never hit a reused descriptor.
+void SocketFabric::hub_connection(int fd) {
+  FrameParser parser;
+  std::vector<std::uint8_t> buffer(64 * 1024);
+  Peer* peer = nullptr;
+  const char* why = "eof";
+  for (;;) {
+    const ssize_t n = ::recv(fd, buffer.data(), buffer.size(), 0);
+    if (n == 0) break;
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      why = "read error";
+      break;
+    }
+    bytes_received_.fetch_add(static_cast<std::uint64_t>(n),
+                              std::memory_order_relaxed);
+    std::vector<WireFrame> frames;
+    if (!parser.feed(buffer.data(), static_cast<std::size_t>(n), frames)) {
+      frame_errors_.fetch_add(1, std::memory_order_relaxed);
+      global_counter("socket.frame_errors").add();
+      obs::instant("socket", "frame_error");
+      FDML_WARN("socket") << "hub: dropping connection with malformed stream ("
+                          << wire_error_name(parser.error()) << ")";
+      why = "framing error";
+      break;
+    }
+    bool fatal = false;
+    for (WireFrame& frame : frames) {
+      frames_received_.fetch_add(1, std::memory_order_relaxed);
+      global_counter("socket.frames_received").add();
+      if (peer == nullptr) {
+        // Handshake: the first frame must claim a rank.
+        if (frame.kind != FrameKind::kAnnounce || frame.source < 1 ||
+            frame.source >= options_.size ||
+            read_u32_payload(frame.payload) !=
+                static_cast<std::uint32_t>(options_.size)) {
+          FDML_WARN("socket") << "hub: rejecting connection with bad announce";
+          why = "bad announce";
+          fatal = true;
+          break;
+        }
+        Peer& candidate = *peers_[static_cast<std::size_t>(frame.source)];
+        if (candidate.announced.exchange(true, std::memory_order_acq_rel)) {
+          FDML_WARN("socket") << "hub: duplicate announce for rank "
+                              << frame.source;
+          why = "duplicate rank";
+          fatal = true;
+          break;
+        }
+        candidate.fd.store(fd, std::memory_order_release);
+        // Welcome must hit the wire before the writer thread starts: the
+        // writer is the only other producer on this fd and flushing queued
+        // frames ahead of the welcome would interleave the byte stream.
+        WireFrame welcome;
+        welcome.kind = FrameKind::kWelcome;
+        welcome.source = 0;
+        welcome.dest = frame.source;
+        welcome.payload = u32_payload(static_cast<std::uint32_t>(options_.size));
+        const auto bytes = encode_frame(welcome);
+        if (!write_all(fd, bytes.data(), bytes.size())) {
+          why = "welcome write failed";
+          fatal = true;
+          break;
+        }
+        start_writer(candidate);
+        peer = &candidate;
+        {
+          std::lock_guard lock(conn_mutex_);
+          ++announced_count_;
+          ++live_count_;
+        }
+        conn_cv_.notify_all();
+        obs::instant("socket", "announce", "rank", frame.source);
+        FDML_INFO("socket") << "hub: rank " << frame.source << " joined ("
+                            << announced_count_ << "/" << (options_.size - 1)
+                            << ")";
+        continue;
+      }
+      if (frame.kind != FrameKind::kData) {
+        frames_dropped_.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      route_frame(std::move(frame));
+    }
+    if (fatal) break;
+  }
+  if (peer != nullptr) {
+    mark_peer_dead(*peer, why);
+  } else {
+    ::shutdown(fd, SHUT_RDWR);
+  }
+}
+
+void SocketFabric::route_frame(WireFrame frame) {
+  if (frame.kind != FrameKind::kData || frame.dest < 0 ||
+      frame.dest >= options_.size) {
+    frames_dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  if (frame.dest == 0) {
+    deliver_local(frame.source, frame.tag, std::move(frame.payload));
+    return;
+  }
+  Peer& route = *peers_[static_cast<std::size_t>(frame.dest)];
+  auto bytes = encode_frame(frame);
+  if (route.dead.load(std::memory_order_acquire) ||
+      !route.outbound.send(std::move(bytes))) {
+    frames_dropped_.fetch_add(1, std::memory_order_relaxed);
+    global_counter("socket.frames_dropped").add();
+  }
+}
+
+bool SocketFabric::wait_ready(std::chrono::milliseconds timeout) {
+  std::unique_lock lock(conn_mutex_);
+  return conn_cv_.wait_for(lock, timeout, [&] {
+    return announced_count_ >= options_.size - 1;
+  });
+}
+
+bool SocketFabric::wait_peers_gone(std::chrono::milliseconds timeout) {
+  std::unique_lock lock(conn_mutex_);
+  return conn_cv_.wait_for(lock, timeout, [&] { return live_count_ == 0; });
+}
+
+std::vector<int> SocketFabric::dead_peers() const {
+  std::vector<int> dead;
+  for (int r = 0; r < options_.size; ++r) {
+    const Peer& peer = *peers_[static_cast<std::size_t>(r)];
+    if (peer.announced.load(std::memory_order_acquire) &&
+        peer.dead.load(std::memory_order_acquire)) {
+      dead.push_back(r);
+    }
+  }
+  return dead;
+}
+
+// --- peer (rank != 0) ---
+
+void SocketFabric::connect_to_hub() {
+  obs::Span span("socket", "rendezvous", "rank", options_.rank);
+  const auto deadline = Clock::now() + options_.connect_timeout;
+  int fd = -1;
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* resolved = nullptr;
+  const std::string port_text = std::to_string(options_.port);
+  if (::getaddrinfo(options_.host.c_str(), port_text.c_str(), &hints,
+                    &resolved) != 0 ||
+      resolved == nullptr) {
+    throw std::runtime_error("SocketFabric: cannot resolve host " +
+                             options_.host);
+  }
+  // Rendezvous retry loop: the hub may not be up yet (launch order is the
+  // launcher's business, not ours), so keep knocking until the deadline.
+  while (fd < 0) {
+    connect_attempts_.fetch_add(1, std::memory_order_relaxed);
+    global_counter("socket.connect_attempts").add();
+    obs::instant("socket", "connect_attempt", "rank", options_.rank);
+    const int candidate = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (candidate >= 0 &&
+        ::connect(candidate, resolved->ai_addr, resolved->ai_addrlen) == 0) {
+      fd = candidate;
+      break;
+    }
+    if (candidate >= 0) ::close(candidate);
+    if (Clock::now() + options_.connect_retry > deadline) {
+      ::freeaddrinfo(resolved);
+      throw std::runtime_error(
+          "SocketFabric: rank " + std::to_string(options_.rank) +
+          " could not reach hub " + options_.host + ":" + port_text + " within " +
+          std::to_string(options_.connect_timeout.count()) + " ms");
+    }
+    std::this_thread::sleep_for(options_.connect_retry);
+  }
+  ::freeaddrinfo(resolved);
+  set_socket_options(fd, options_.write_timeout);
+
+  Peer& hub = *peers_[0];
+  hub.fd.store(fd, std::memory_order_release);
+
+  WireFrame announce;
+  announce.kind = FrameKind::kAnnounce;
+  announce.source = options_.rank;
+  announce.dest = 0;
+  announce.payload = u32_payload(static_cast<std::uint32_t>(options_.size));
+  const auto announce_bytes = encode_frame(announce);
+  if (!write_all(fd, announce_bytes.data(), announce_bytes.size())) {
+    ::close(fd);
+    hub.fd.store(-1, std::memory_order_release);
+    throw std::runtime_error("SocketFabric: announce write failed");
+  }
+
+  // Wait for the hub's welcome (the handshake's other half) before letting
+  // any traffic flow. This uses the connection's long-lived parser
+  // (peer_parser_): the hub starts flushing queued data frames the moment
+  // the welcome is written, so frames that arrive in the same recv() — or a
+  // partial one straddling the handoff — must survive into the reader loop.
+  std::vector<std::uint8_t> buffer(4096);
+  bool welcomed = false;
+  while (!welcomed) {
+    const auto now = Clock::now();
+    if (now >= deadline) break;
+    pollfd pfd{};
+    pfd.fd = fd;
+    pfd.events = POLLIN;
+    const auto wait = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - now);
+    const int ready = ::poll(&pfd, 1, static_cast<int>(wait.count()) + 1);
+    if (ready < 0 && errno == EINTR) continue;
+    if (ready <= 0) break;
+    const ssize_t n = ::recv(fd, buffer.data(), buffer.size(), 0);
+    if (n <= 0) break;
+    bytes_received_.fetch_add(static_cast<std::uint64_t>(n),
+                              std::memory_order_relaxed);
+    std::vector<WireFrame> frames;
+    if (!peer_parser_.feed(buffer.data(), static_cast<std::size_t>(n), frames)) {
+      break;
+    }
+    for (WireFrame& frame : frames) {
+      if (frame.kind == FrameKind::kWelcome &&
+          read_u32_payload(frame.payload) ==
+              static_cast<std::uint32_t>(options_.size)) {
+        welcomed = true;
+        continue;
+      }
+      // Data already riding behind the welcome: deliver it now, exactly as
+      // the reader loop would have.
+      frames_received_.fetch_add(1, std::memory_order_relaxed);
+      global_counter("socket.frames_received").add();
+      if (frame.kind != FrameKind::kData || frame.dest != options_.rank) {
+        frames_dropped_.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      deliver_local(frame.source, frame.tag, std::move(frame.payload));
+    }
+  }
+  if (!welcomed) {
+    ::close(fd);
+    hub.fd.store(-1, std::memory_order_release);
+    throw std::runtime_error("SocketFabric: rank " +
+                             std::to_string(options_.rank) +
+                             " handshake failed (no welcome from hub)");
+  }
+  hub.announced.store(true, std::memory_order_release);
+  obs::instant("socket", "connected", "rank", options_.rank);
+  start_writer(hub);
+  reader_thread_ = std::thread([this] { peer_reader_loop(); });
+}
+
+void SocketFabric::peer_reader_loop() {
+  Peer& hub = *peers_[0];
+  const int fd = hub.fd.load(std::memory_order_acquire);
+  FrameParser& parser = peer_parser_;  // continues the handshake's stream
+  std::vector<std::uint8_t> buffer(64 * 1024);
+  const char* why = "eof";
+  for (;;) {
+    const ssize_t n = ::recv(fd, buffer.data(), buffer.size(), 0);
+    if (n == 0) break;
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      why = "read error";
+      break;
+    }
+    bytes_received_.fetch_add(static_cast<std::uint64_t>(n),
+                              std::memory_order_relaxed);
+    std::vector<WireFrame> frames;
+    if (!parser.feed(buffer.data(), static_cast<std::size_t>(n), frames)) {
+      frame_errors_.fetch_add(1, std::memory_order_relaxed);
+      global_counter("socket.frame_errors").add();
+      why = "framing error";
+      break;
+    }
+    for (WireFrame& frame : frames) {
+      frames_received_.fetch_add(1, std::memory_order_relaxed);
+      global_counter("socket.frames_received").add();
+      if (frame.kind != FrameKind::kData || frame.dest != options_.rank) {
+        frames_dropped_.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      deliver_local(frame.source, frame.tag, std::move(frame.payload));
+    }
+  }
+  // The hub is gone (or the stream turned to garbage): the fabric is over
+  // for this process. Closing the mailbox is what surfaces it — recv()
+  // returns nullopt and the role loop unwinds.
+  mark_peer_dead(hub, why);
+  mailbox_.close();
+}
+
+// --- teardown ---
+
+void SocketFabric::close() {
+  {
+    std::lock_guard lock(close_mutex_);
+    if (closed_) return;
+    closed_ = true;
+  }
+  closing_.store(true, std::memory_order_release);
+
+  // Flush first: closing an outbound channel lets its writer drain every
+  // queued frame (a worker's goodbye, the foreman's last round report)
+  // before the socket goes away.
+  for (auto& peer : peers_) {
+    if (peer) peer->outbound.close();
+  }
+  for (auto& peer : peers_) {
+    if (peer && peer->writer.joinable()) peer->writer.join();
+  }
+
+  if (options_.rank == 0) {
+    if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+    if (accept_thread_.joinable()) accept_thread_.join();
+    for (auto& peer : peers_) {
+      const int fd = peer ? peer->fd.load(std::memory_order_acquire) : -1;
+      if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+    }
+    std::vector<std::thread> conns;
+    {
+      std::lock_guard lock(conn_mutex_);
+      conns.swap(conn_threads_);
+    }
+    for (auto& thread : conns) {
+      if (thread.joinable()) thread.join();
+    }
+    for (auto& peer : peers_) {
+      const int fd = peer ? peer->fd.exchange(-1, std::memory_order_acq_rel) : -1;
+      if (fd >= 0) ::close(fd);
+    }
+    if (listen_fd_ >= 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+  } else {
+    const int fd = peers_[0]->fd.load(std::memory_order_acquire);
+    if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+    if (reader_thread_.joinable()) reader_thread_.join();
+    const int closing_fd = peers_[0]->fd.exchange(-1, std::memory_order_acq_rel);
+    if (closing_fd >= 0) ::close(closing_fd);
+  }
+  mailbox_.close();
+}
+
+SocketFabricStats SocketFabric::stats() const {
+  SocketFabricStats s;
+  s.frames_sent = frames_sent_.load(std::memory_order_relaxed);
+  s.frames_received = frames_received_.load(std::memory_order_relaxed);
+  s.bytes_sent = bytes_sent_.load(std::memory_order_relaxed);
+  s.bytes_received = bytes_received_.load(std::memory_order_relaxed);
+  s.connect_attempts = connect_attempts_.load(std::memory_order_relaxed);
+  s.peer_deaths = peer_deaths_.load(std::memory_order_relaxed);
+  s.frames_dropped = frames_dropped_.load(std::memory_order_relaxed);
+  s.frame_errors = frame_errors_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace fdml

@@ -1,0 +1,188 @@
+// Cross-process TCP transport: the first backend of the comm seam that
+// actually crosses the process boundary the seam exists for.
+//
+// Topology is a star, like the paper's PVM runs routing through pvmd: rank 0
+// (the master process) listens on a TCP port and routes frames; every other
+// rank connects to it, announces itself (kAnnounce -> kWelcome rendezvous
+// handshake), and then exchanges length-framed messages (comm/wire.hpp).
+// Each side runs one reader thread (robust partial-read loop feeding a
+// FrameParser) and per-connection writer threads draining unbounded send
+// queues, so Transport::send() never blocks on a slow receiver.
+//
+// Failure mapping (the PR 2 health machine does the rest):
+//   - A peer dying (EOF/ECONNRESET at the hub) marks its route dead; frames
+//     to it are dropped and counted. To the foreman the worker simply goes
+//     silent, which the adaptive deadline turns into suspect -> quarantine.
+//   - The hub dying closes every peer's connection; the peer's reader exits
+//     and its mailbox closes, so recv() returns nullopt and the role loop
+//     unwinds cleanly (the same "closed mailbox" contract ThreadFabric has).
+//   - A malformed byte stream (bad magic, oversized length, digest
+//     mismatch) poisons that connection only; it is dropped like a death.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "comm/transport.hpp"
+#include "comm/wire.hpp"
+#include "util/channel.hpp"
+
+namespace fdml {
+
+struct SocketOptions {
+  /// This process's rank (0 = hub/master; see protocol.hpp rank layout).
+  int rank = 0;
+  /// Total ranks in the fabric (master + foreman + monitor + workers).
+  int size = 0;
+  /// Hub address peers connect to. The hub itself binds all interfaces.
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  /// Rendezvous budget: peers retry connecting every `connect_retry` until
+  /// `connect_timeout` so launch order does not matter.
+  std::chrono::milliseconds connect_timeout{15000};
+  std::chrono::milliseconds connect_retry{100};
+  /// Ceiling on one blocking socket write; a peer that stays unwritable
+  /// this long is treated as dead (keeps shutdown from hanging on a stalled
+  /// receiver that never drains its TCP buffer).
+  std::chrono::milliseconds write_timeout{10000};
+};
+
+/// Live traffic/lifecycle counters (fabric-local; the same values are also
+/// published to the process metrics registry under "socket.*").
+struct SocketFabricStats {
+  std::uint64_t frames_sent = 0;
+  std::uint64_t frames_received = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_received = 0;
+  std::uint64_t connect_attempts = 0;
+  std::uint64_t peer_deaths = 0;
+  /// Frames dropped because their destination was dead or never announced
+  /// by the time the fabric closed.
+  std::uint64_t frames_dropped = 0;
+  /// Connections dropped for a malformed byte stream.
+  std::uint64_t frame_errors = 0;
+};
+
+/// One process's endpoint of the TCP fabric. Construct with rank 0 to
+/// listen (the constructor returns once the port is bound; peers may then
+/// rendezvous at any time) or rank != 0 to connect (the constructor blocks
+/// through the announce/welcome handshake and throws on timeout).
+class SocketFabric {
+ public:
+  explicit SocketFabric(SocketOptions options);
+  ~SocketFabric();
+
+  SocketFabric(const SocketFabric&) = delete;
+  SocketFabric& operator=(const SocketFabric&) = delete;
+
+  int rank() const { return options_.rank; }
+  int size() const { return options_.size; }
+
+  /// The local Transport endpoint (one mailbox per process; endpoints
+  /// borrow the fabric and must not outlive it).
+  std::unique_ptr<Transport> endpoint();
+
+  /// Hub only: blocks until every peer rank has completed the handshake.
+  /// False on timeout (some rank never arrived).
+  bool wait_ready(std::chrono::milliseconds timeout);
+
+  /// Hub only: blocks until every announced peer has disconnected (their
+  /// processes exited) or `timeout` elapsed. Lets the hub keep routing
+  /// shutdown traffic until the fabric has actually drained.
+  bool wait_peers_gone(std::chrono::milliseconds timeout);
+
+  /// Ranks whose connection has died (EOF / reset / framing error). Hub
+  /// only; used by tests and diagnostics.
+  std::vector<int> dead_peers() const;
+
+  /// Marks subsequent disconnects as orderly (not counted as peer deaths).
+  /// The hub calls this right before broadcasting shutdown so only
+  /// unexpected losses show up in stats().peer_deaths.
+  void expect_departures() {
+    expecting_departures_.store(true, std::memory_order_release);
+  }
+
+  SocketFabricStats stats() const;
+
+  /// Flushes send queues, tears down every connection and closes the local
+  /// mailbox (receivers drain then observe shutdown). Idempotent.
+  void close();
+
+ private:
+  friend class SocketEndpoint;
+
+  struct Peer {
+    std::atomic<int> fd{-1};
+    std::atomic<bool> announced{false};
+    std::atomic<bool> dead{false};
+    /// Encoded frames awaiting the writer thread. Exists from fabric
+    /// construction so traffic to a rank that has not rendezvoused yet is
+    /// buffered, then flushed in order when it announces.
+    Channel<std::vector<std::uint8_t>> outbound;
+    std::thread writer;
+  };
+
+  void send_message(int dest, MessageTag tag, std::vector<std::uint8_t> payload);
+  void deliver_local(int source, MessageTag tag, std::vector<std::uint8_t> payload);
+
+  void start_hub();
+  void accept_loop();
+  void hub_connection(int fd);
+  void route_frame(WireFrame frame);
+
+  void connect_to_hub();
+  void peer_reader_loop();
+
+  void start_writer(Peer& peer);
+  void writer_loop(Peer& peer);
+  void mark_peer_dead(Peer& peer, const char* why);
+
+  bool write_all(int fd, const std::uint8_t* data, std::size_t size);
+
+  SocketOptions options_;
+  Channel<Message> mailbox_;
+
+  std::atomic<bool> closing_{false};
+  std::atomic<bool> expecting_departures_{false};
+  std::mutex close_mutex_;
+  bool closed_ = false;
+
+  // --- hub state (rank 0) ---
+  int listen_fd_ = -1;
+  std::thread accept_thread_;
+  /// Indexed by rank; [0] unused. Hub: every remote rank. Peer: only
+  /// [0] (the hub connection) is live.
+  std::vector<std::unique_ptr<Peer>> peers_;
+  mutable std::mutex conn_mutex_;
+  std::condition_variable conn_cv_;
+  int announced_count_ = 0;
+  int live_count_ = 0;
+  std::vector<std::thread> conn_threads_;
+
+  // --- peer state (rank != 0) ---
+  std::thread reader_thread_;
+  /// The hub connection's frame parser. Shared between the handshake and
+  /// the reader loop: the hub may flush queued data frames right behind the
+  /// welcome, and any of them read together with it (same recv()) must not
+  /// be lost when the reader takes over mid-stream.
+  FrameParser peer_parser_;
+
+  // --- counters ---
+  std::atomic<std::uint64_t> frames_sent_{0};
+  std::atomic<std::uint64_t> frames_received_{0};
+  std::atomic<std::uint64_t> bytes_sent_{0};
+  std::atomic<std::uint64_t> bytes_received_{0};
+  std::atomic<std::uint64_t> connect_attempts_{0};
+  std::atomic<std::uint64_t> peer_deaths_{0};
+  std::atomic<std::uint64_t> frames_dropped_{0};
+  std::atomic<std::uint64_t> frame_errors_{0};
+};
+
+}  // namespace fdml

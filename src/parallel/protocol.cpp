@@ -15,6 +15,8 @@ RoundMessage RoundMessage::unpack(const std::vector<std::uint8_t>& payload) {
   RoundMessage message;
   message.round_id = unpacker.get_u64();
   const std::uint32_t count = unpacker.get_u32();
+  // Minimal TreeTask encoding: task_id + round_id + empty string + two i32s.
+  unpacker.require_count(count, 8 + 8 + 4 + 4 + 4);
   message.tasks.reserve(count);
   for (std::uint32_t i = 0; i < count; ++i) {
     message.tasks.push_back(TreeTask::unpack(unpacker));
@@ -42,6 +44,8 @@ RoundDoneMessage RoundDoneMessage::unpack(const std::vector<std::uint8_t>& paylo
   message.round_id = unpacker.get_u64();
   message.best = TaskResult::unpack(unpacker);
   const std::uint32_t count = unpacker.get_u32();
+  // Each TaskStat encodes as task_id + cpu_seconds + bytes + worker.
+  unpacker.require_count(count, 8 + 8 + 8 + 4);
   message.stats.reserve(count);
   for (std::uint32_t i = 0; i < count; ++i) {
     TaskStat stat;

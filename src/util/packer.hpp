@@ -101,10 +101,25 @@ class Unpacker {
 
   std::vector<double> get_f64_vector() {
     const std::uint32_t n = get_u32();
+    // Validate before reserving: a corrupt length prefix (one flipped byte
+    // can turn a small count into 0xFFFFFFFF) must throw the truncation
+    // error, not attempt a multi-gigabyte allocation.
+    require_count(n, 8);
     std::vector<double> v;
     v.reserve(n);
     for (std::uint32_t i = 0; i < n; ++i) v.push_back(get_f64());
     return v;
+  }
+
+  /// Guards length-prefixed loops: throws unless the remaining buffer can
+  /// still hold `n` items of at least `min_bytes_each` encoded bytes. Call
+  /// before any n-proportional reserve() so a corrupt count fails as a clean
+  /// truncation error instead of an allocation attempt sized by the
+  /// corruption.
+  void require_count(std::uint32_t n, std::size_t min_bytes_each) const {
+    if (static_cast<std::size_t>(n) * min_bytes_each > remaining()) {
+      throw std::out_of_range("Unpacker: truncated message (bad length prefix)");
+    }
   }
 
   bool exhausted() const { return pos_ == size_; }

@@ -2,9 +2,15 @@
 // small linear algebra, LogNumber, binary packing, channels, CLI parsing.
 #include <gtest/gtest.h>
 
+#include <sys/resource.h>
+
 #include <cmath>
 #include <set>
 #include <thread>
+
+#ifndef __has_feature
+#define __has_feature(x) 0  // GCC spells the sanitizers __SANITIZE_*__
+#endif
 
 #include "util/channel.hpp"
 #include "util/cli.hpp"
@@ -288,6 +294,48 @@ TEST(Packer, TruncatedMessageThrows) {
   Unpacker unpacker(packer.data());
   EXPECT_EQ(unpacker.get_u32(), 5u);
   EXPECT_THROW(unpacker.get_u64(), std::out_of_range);
+}
+
+TEST(Packer, CorruptVectorLengthThrowsBeforeAllocating) {
+  // One flipped byte can turn a length prefix into 0xFFFFFFFF. The decoder
+  // must reject it against the bytes actually present — specifically with
+  // the truncation error, not by first attempting a ~32 GB reserve (the
+  // pre-fix behaviour, which surfaced as bad_alloc or an OOM kill under
+  // memory pressure instead of a clean protocol error).
+  //
+  // Overcommitting kernels can let a 32 GB reserve *succeed*, which would
+  // mask the bug, so outside sanitizer builds (whose shadow mappings cannot
+  // live under an address-space cap) the heap is temporarily capped tightly
+  // enough that any corruption-sized allocation fails as bad_alloc — the
+  // wrong exception type — instead of quietly succeeding.
+#if !defined(__SANITIZE_ADDRESS__) && !defined(__SANITIZE_THREAD__) && \
+    !__has_feature(address_sanitizer) && !__has_feature(thread_sanitizer)
+  rlimit previous{};
+  ASSERT_EQ(getrlimit(RLIMIT_AS, &previous), 0);
+  rlimit capped = previous;
+  capped.rlim_cur = 4ull << 30;  // far below the 32 GB a corrupt count implies
+  const bool limited = setrlimit(RLIMIT_AS, &capped) == 0;
+#endif
+  std::vector<std::uint8_t> bytes = {0xFF, 0xFF, 0xFF, 0xFF,  // count
+                                     1,    2,    3,    4};    // 8 stray bytes
+  bytes.resize(12, 0);
+  Unpacker unpacker(bytes);
+  EXPECT_THROW(unpacker.get_f64_vector(), std::out_of_range);
+#if !defined(__SANITIZE_ADDRESS__) && !defined(__SANITIZE_THREAD__) && \
+    !__has_feature(address_sanitizer) && !__has_feature(thread_sanitizer)
+  if (limited) setrlimit(RLIMIT_AS, &previous);
+#endif
+}
+
+TEST(Packer, RequireCountGuardsLengthPrefixedLoops) {
+  Packer packer;
+  packer.put_f64_vector({1.0, 2.0});
+  Unpacker unpacker(packer.data());
+  const std::uint32_t n = unpacker.get_u32();
+  EXPECT_NO_THROW(unpacker.require_count(n, 8));
+  EXPECT_THROW(unpacker.require_count(n + 1, 8), std::out_of_range);
+  // Overflow-adjacent counts must not wrap the byte arithmetic.
+  EXPECT_THROW(unpacker.require_count(0xFFFFFFFFu, 8), std::out_of_range);
 }
 
 TEST(Packer, NanAndInfinitySurvive) {
