@@ -62,23 +62,39 @@ mkdir -p "$LOGDIR"
 
 echo "launch_cluster: $SIZE processes on port $PORT, logs in $LOGDIR" >&2
 
+# Each rank runs in its own session (= its own process group) via setsid,
+# so a rank that forks helpers can still be reaped as a unit: killing the
+# negated pid reaches the whole group, not just the direct child. Without
+# this, a wedged rank 0 used to leave orphaned peer processes behind on CI.
 declare -a PIDS
-cleanup() {
+sweep() {
+  # TERM the whole group of every rank, give them a moment, then KILL.
   for pid in "${PIDS[@]:-}"; do
-    kill "$pid" 2>/dev/null || true
+    kill -TERM -- "-$pid" 2>/dev/null || kill -TERM "$pid" 2>/dev/null || true
+  done
+  for _ in 1 2 3 4 5; do
+    local alive=0
+    for pid in "${PIDS[@]:-}"; do
+      kill -0 "$pid" 2>/dev/null && alive=1
+    done
+    [ "$alive" -eq 0 ] && break
+    sleep 0.2
+  done
+  for pid in "${PIDS[@]:-}"; do
+    kill -KILL -- "-$pid" 2>/dev/null || kill -KILL "$pid" 2>/dev/null || true
   done
 }
-trap cleanup EXIT INT TERM
+trap sweep EXIT INT TERM
 
 # Non-master ranks first (they retry the connect until the hub binds, so
 # launch order does not actually matter — this just shortens rendezvous).
 for ((r = 1; r < SIZE; ++r)); do
-  "$BINARY" "$@" --transport=socket --rank="$r" --port="$PORT" \
+  setsid "$BINARY" "$@" --transport=socket --rank="$r" --port="$PORT" \
       --fabric-size="$SIZE" > "$LOGDIR/rank$r.log" 2>&1 &
   PIDS[$r]=$!
 done
 
-"$BINARY" "$@" --transport=socket --rank=0 --port="$PORT" \
+setsid "$BINARY" "$@" --transport=socket --rank=0 --port="$PORT" \
     --fabric-size="$SIZE" > "$LOGDIR/rank0.log" 2>&1 &
 RANK0_PID=$!
 PIDS[0]=$RANK0_PID
@@ -87,6 +103,7 @@ if [ -n "$KILL_RANK" ]; then
   (
     sleep "$KILL_AFTER"
     # The process may have finished already; a failed kill is not an error.
+    # Direct -9 to the single pid: this is the fault drill, not cleanup.
     kill -9 "${PIDS[$KILL_RANK]}" 2>/dev/null || true
   ) &
 fi
@@ -94,14 +111,21 @@ fi
 wait "$RANK0_PID"
 STATUS=$?
 
-# Give the peers a moment to drain off the hub's EOF, then sweep them.
-for ((r = 1; r < SIZE; ++r)); do
-  for _ in 1 2 3 4 5 6 7 8 9 10; do
-    kill -0 "${PIDS[$r]}" 2>/dev/null || break
-    sleep 0.2
+if [ "$STATUS" -ne 0 ]; then
+  # Rank 0 failed: do not wait politely for peers that may now never hear a
+  # shutdown — reap every rank's process group immediately.
+  echo "launch_cluster: rank 0 failed ($STATUS); sweeping peer groups" >&2
+  sweep
+else
+  # Give the peers a moment to drain off the hub's EOF, then sweep them.
+  for ((r = 1; r < SIZE; ++r)); do
+    for _ in 1 2 3 4 5 6 7 8 9 10; do
+      kill -0 "${PIDS[$r]}" 2>/dev/null || break
+      sleep 0.2
+    done
   done
-done
-cleanup
+  sweep
+fi
 trap - EXIT INT TERM
 
 cat "$LOGDIR/rank0.log"

@@ -1,0 +1,197 @@
+#!/usr/bin/env bash
+# Chaos soak for the fdmld service.
+#
+# Stands up a 6-rank socket deployment in which every non-master rank dials
+# the hub through a seeded ChaosProxy (injected latency, byte corruption,
+# mid-stream closes, and one transient partition), then pushes more
+# concurrent jobs at the service than admission control will hold while a
+# worker is kill -9'd and restarted mid-run.
+#
+# Passes iff:
+#   * every admitted job completes with a tree bit-for-bit equal to the
+#     serial reference for its seed (zero jobs lost),
+#   * at least one submission is shed by admission control and the shed
+#     count shows up in the metrics snapshot,
+#   * the SIGTERM'd service drains cleanly with zero jobs in flight.
+#
+#   scripts/service_soak.sh [BUILD_DIR]
+set -u
+
+BUILD_DIR=${1:-build}
+FDMLD=$BUILD_DIR/apps/fdmld
+if [ ! -x "$FDMLD" ]; then
+  echo "service_soak: $FDMLD not built" >&2
+  exit 2
+fi
+
+TAXA=16
+SITES=400
+SIZE=6
+JOBS=13           # capacity is max_active=2 + max_queued=8, so >=3 shed
+MAX_ACTIVE=2
+MAX_QUEUED=8
+VICTIM_RANK=4     # a worker (ranks 3+ are workers)
+HUB_PORT=$((20000 + RANDOM % 10000))
+PROXY_PORT=$((HUB_PORT + 10000))
+SVC_PORT=$((HUB_PORT + 15000))
+# Deterministic socket-layer fault plan: background latency/corruption/close
+# chaos plus a 600 ms partition window that severs every rank from the hub.
+PLAN="chaos-plan v1 seed=101 sock_latency=0.08 delay_min_ms=1 delay_max_ms=4"
+PLAN="$PLAN sock_corrupt=0.0005 sock_close=0.001"
+PLAN="$PLAN sock_partition_at_ms=4500 sock_partition_ms=600"
+
+WORKDIR=$(mktemp -d /tmp/fdml_soak.XXXXXX)
+echo "service_soak: hub=$HUB_PORT proxy=$PROXY_PORT service=$SVC_PORT workdir=$WORKDIR" >&2
+
+declare -a PIDS
+sweep() {
+  for pid in "${PIDS[@]:-}"; do
+    kill -TERM -- "-$pid" 2>/dev/null || kill -TERM "$pid" 2>/dev/null || true
+  done
+  sleep 0.5
+  for pid in "${PIDS[@]:-}"; do
+    kill -KILL -- "-$pid" 2>/dev/null || kill -KILL "$pid" 2>/dev/null || true
+  done
+}
+trap sweep EXIT INT TERM
+
+fail() {
+  echo "service_soak: FAIL: $*" >&2
+  echo "service_soak: logs in $WORKDIR" >&2
+  exit 1
+}
+
+# Poll a log file until a line matches (the service and proxy announce
+# readiness on stdout), so launch order never races the first submission.
+wait_for_line() {
+  local file=$1 pattern=$2 deadline=$((SECONDS + ${3:-30}))
+  while [ "$SECONDS" -lt "$deadline" ]; do
+    grep -q "$pattern" "$file" 2>/dev/null && return 0
+    sleep 0.2
+  done
+  return 1
+}
+
+# --- serial references, one per seed, before any chaos exists ------------
+for ((i = 0; i < JOBS; ++i)); do
+  seed=$((11 + i))
+  "$FDMLD" --mode=reference --seed=$seed --taxa=$TAXA --sites=$SITES \
+      --out="$WORKDIR/ref$seed.nwk" > /dev/null \
+      || fail "reference run for seed $seed"
+done
+
+# --- server: fabric hub + scheduler + service endpoint -------------------
+setsid "$FDMLD" --mode=serve --port=$HUB_PORT --fabric-size=$SIZE \
+    --service-port=$SVC_PORT --taxa=$TAXA --sites=$SITES \
+    --max-active=$MAX_ACTIVE --max-queued=$MAX_QUEUED \
+    --round-retries=4 --watchdog-ms=5000 \
+    --checkpoint-dir="$WORKDIR/ckpts" \
+    --metrics-out="$WORKDIR/metrics.json" \
+    > "$WORKDIR/serve.log" 2>&1 &
+SERVE_PID=$!
+PIDS+=("$SERVE_PID")
+
+# --- chaos proxy between every non-master rank and the hub ---------------
+setsid "$FDMLD" --mode=proxy --listen-port=$PROXY_PORT \
+    --target-port=$HUB_PORT --chaos="$PLAN" \
+    > "$WORKDIR/proxy.log" 2>&1 &
+PIDS+=("$!")
+wait_for_line "$WORKDIR/proxy.log" "chaos proxy ready" 10 \
+    || fail "proxy never came up"
+
+# --- the other ranks, reconnect-hardened, dialing through the proxy ------
+role() {
+  local rank=$1 log=$2
+  setsid "$FDMLD" --mode=role --rank=$rank --port=$PROXY_PORT \
+      --fabric-size=$SIZE --taxa=$TAXA --sites=$SITES \
+      --reconnect --reconnect-budget-ms=20000 --heartbeat-ms=250 \
+      --timeout-ms=2000 > "$log" 2>&1 &
+  echo $!
+}
+declare -a ROLE_PIDS
+for ((r = 1; r < SIZE; ++r)); do
+  ROLE_PIDS[$r]=$(role "$r" "$WORKDIR/rank$r.log")
+  PIDS+=("${ROLE_PIDS[$r]}")
+done
+
+wait_for_line "$WORKDIR/serve.log" "service ready" 30 \
+    || fail "service never became ready (see serve.log)"
+
+# --- submit a burst that overflows admission -----------------------------
+declare -a SUBMIT_PIDS
+for ((i = 0; i < JOBS; ++i)); do
+  seed=$((11 + i))
+  (
+    "$FDMLD" --mode=submit --service-port=$SVC_PORT --seed=$seed \
+        --taxa=$TAXA --sites=$SITES --wait-timeout-ms=120000 \
+        --out="$WORKDIR/job$seed.nwk" > "$WORKDIR/submit$seed.log" 2>&1
+    echo $? > "$WORKDIR/submit$seed.rc"
+  ) &
+  SUBMIT_PIDS+=("$!")
+done
+
+# --- fault drills while the jobs run -------------------------------------
+# 1) kill -9 the victim worker, then restart it with the same rank; the
+#    foreman must walk it through suspect -> probation -> healthy.
+#    (The transient partition fires on the proxy's own clock, from PLAN.)
+sleep 2
+echo "service_soak: kill -9 worker rank $VICTIM_RANK" >&2
+kill -9 "${ROLE_PIDS[$VICTIM_RANK]}" 2>/dev/null || true
+sleep 0.5
+ROLE_PIDS[$VICTIM_RANK]=$(role "$VICTIM_RANK" "$WORKDIR/rank${VICTIM_RANK}b.log")
+PIDS+=("${ROLE_PIDS[$VICTIM_RANK]}")
+
+for pid in "${SUBMIT_PIDS[@]}"; do wait "$pid"; done
+
+# --- tally: every job either completed correctly or was shed -------------
+DONE=0
+SHED=0
+LOST=0
+for ((i = 0; i < JOBS; ++i)); do
+  seed=$((11 + i))
+  rc=$(cat "$WORKDIR/submit$seed.rc" 2>/dev/null || echo 99)
+  case "$rc" in
+    0)
+      cmp -s "$WORKDIR/job$seed.nwk" "$WORKDIR/ref$seed.nwk" \
+          || fail "seed $seed tree differs from serial reference"
+      DONE=$((DONE + 1)) ;;
+    3) SHED=$((SHED + 1)) ;;
+    *) echo "service_soak: seed $seed exit $rc" >&2; LOST=$((LOST + 1)) ;;
+  esac
+done
+echo "service_soak: $DONE done (all bit-for-bit), $SHED shed, $LOST lost" >&2
+[ "$LOST" -eq 0 ] || fail "$LOST jobs lost or failed"
+[ "$DONE" -ge 8 ] || fail "only $DONE jobs completed (need >= 8)"
+[ "$SHED" -ge 1 ] || fail "admission control never shed a job"
+
+# --- live stats: shed count visible, nothing still in flight -------------
+metric() {  # metric FILE NAME -> value (0 if absent)
+  local v
+  v=$(grep -o "\"name\":\"$2\",\"value\":[0-9.-]*" "$1" | head -1 \
+      | grep -o '[0-9.-]*$')
+  echo "${v:-0}"
+}
+"$FDMLD" --mode=stats --service-port=$SVC_PORT --out="$WORKDIR/stats.json" \
+    || fail "stats query"
+REJECTED=$(metric "$WORKDIR/stats.json" service.jobs_rejected_full)
+ACTIVE=$(metric "$WORKDIR/stats.json" service.jobs_active)
+COMPLETED=$(metric "$WORKDIR/stats.json" service.jobs_completed)
+echo "service_soak: stats: completed=$COMPLETED rejected_full=$REJECTED active=$ACTIVE" >&2
+[ "${REJECTED%%.*}" -ge 1 ] || fail "metrics do not report the shed jobs"
+[ "${COMPLETED%%.*}" -eq "$DONE" ] || fail "metrics completed=$COMPLETED, submitters saw $DONE"
+
+# --- graceful drain ------------------------------------------------------
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID"
+SERVE_STATUS=$?
+grep -q "drained" "$WORKDIR/serve.log" || fail "no drain line in serve.log"
+[ "$SERVE_STATUS" -eq 0 ] || fail "serve exited $SERVE_STATUS (jobs in flight?)"
+[ -s "$WORKDIR/metrics.json" ] || fail "no metrics snapshot written"
+REJECTED_FINAL=$(metric "$WORKDIR/metrics.json" service.jobs_rejected_full)
+[ "${REJECTED_FINAL%%.*}" -ge 1 ] || fail "final snapshot lost the shed count"
+
+sweep
+trap - EXIT INT TERM
+grep "chunks" "$WORKDIR/proxy.log" >&2 || true
+echo "service_soak: PASS ($DONE jobs bit-for-bit, $SHED shed, clean drain)" >&2
+exit 0

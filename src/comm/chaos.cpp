@@ -65,6 +65,11 @@ std::string FaultPlan::serialize() const {
   append_kv(out, "fs_error", fs_error);
   append_kv(out, "fs_short_write", fs_short_write);
   append_kv(out, "fs_crash_at_op", fs_crash_at_op);
+  append_kv(out, "sock_latency", sock_latency);
+  append_kv(out, "sock_corrupt", sock_corrupt);
+  append_kv(out, "sock_close", sock_close);
+  append_kv(out, "sock_partition_at_ms", sock_partition_at_ms);
+  append_kv(out, "sock_partition_ms", sock_partition_ms);
   return out;
 }
 
@@ -99,6 +104,11 @@ FaultPlan FaultPlan::parse(const std::string& text) {
       else if (key == "fs_error") plan.fs_error = std::stod(value);
       else if (key == "fs_short_write") plan.fs_short_write = std::stod(value);
       else if (key == "fs_crash_at_op") plan.fs_crash_at_op = std::stoull(value);
+      else if (key == "sock_latency") plan.sock_latency = std::stod(value);
+      else if (key == "sock_corrupt") plan.sock_corrupt = std::stod(value);
+      else if (key == "sock_close") plan.sock_close = std::stod(value);
+      else if (key == "sock_partition_at_ms") plan.sock_partition_at_ms = std::stoull(value);
+      else if (key == "sock_partition_ms") plan.sock_partition_ms = std::stoull(value);
       else throw std::runtime_error("FaultPlan: unknown key " + key);
     } catch (const std::invalid_argument&) {
       throw std::runtime_error("FaultPlan: bad value for " + key + ": " + value);

@@ -73,6 +73,21 @@ struct FaultPlan {
   /// partial effect (write truncated at a seeded offset, rename that may or
   /// may not land) and DurableCrash is thrown. 0 disables.
   std::uint64_t fs_crash_at_op = 0;
+  /// Socket-layer faults (ChaosProxy, src/comm/chaos_proxy.hpp) — the same
+  /// plan line drives a fault-injecting loopback proxy between socket-fabric
+  /// peers and the hub. Per-forwarded-chunk probabilities:
+  /// hold a chunk for a seeded delay in [delay_min_ms, delay_max_ms]:
+  double sock_latency = 0.0;
+  /// flip one byte of a chunk (the wire digest turns this into a dropped
+  /// connection at the receiver, which then reconnects):
+  double sock_corrupt = 0.0;
+  /// sever the connection mid-stream (both directions, abrupt):
+  double sock_close = 0.0;
+  /// Timed transient partition: `sock_partition_ms` after proxy start (0 =
+  /// never), every proxied connection is severed and new connects are
+  /// refused for `sock_partition_ms` milliseconds.
+  std::uint64_t sock_partition_at_ms = 0;
+  std::uint64_t sock_partition_ms = 0;
 
   std::string serialize() const;
   static FaultPlan parse(const std::string& text);

@@ -27,6 +27,14 @@ enum class MessageTag : std::uint8_t {
                      ///< foreman rebuilding its worker list after a crash)
   kGoodbye = 12,     ///< worker -> foreman: end-of-run report (tasks done,
                      ///< CPU time, kernel counters) sent on shutdown
+  // Service-plane tags (src/service/): client <-> fdmld job traffic. These
+  // ride the same wire framing but never cross the foreman/worker fabric.
+  kSubmit = 13,       ///< client -> service: submit a search job
+  kJobAccepted = 14,  ///< service -> client: admitted (payload: job id)
+  kJobRejected = 15,  ///< service -> client: shed (payload: reason)
+  kJobDone = 16,      ///< service -> client: outcome (tree, lnL, status)
+  kStatsQuery = 17,   ///< client -> service: request a metrics snapshot
+  kStatsReply = 18,   ///< service -> client: metrics snapshot JSON
 };
 
 struct Message {

@@ -16,6 +16,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/log.hpp"
+#include "util/rng.hpp"
 
 namespace fdml {
 
@@ -51,6 +52,16 @@ std::vector<std::uint8_t> u32_payload(std::uint32_t v) {
   std::vector<std::uint8_t> payload(4);
   for (int i = 0; i < 4; ++i) payload[i] = static_cast<std::uint8_t>(v >> (8 * i));
   return payload;
+}
+
+/// Jittered exponential backoff draw: uniform in [backoff/2, backoff], so a
+/// fleet of peers knocked loose by the same outage does not re-dial in
+/// lockstep (the thundering-herd classic).
+std::chrono::milliseconds jittered(std::chrono::milliseconds backoff, Rng& rng) {
+  const auto half = backoff.count() / 2;
+  return std::chrono::milliseconds(
+      half + static_cast<long long>(rng.below(
+                 static_cast<std::uint64_t>(backoff.count() - half + 1))));
 }
 
 }  // namespace
@@ -167,13 +178,18 @@ void SocketFabric::start_writer(Peer& peer) {
 
 void SocketFabric::writer_loop(Peer& peer) {
   while (auto bytes = peer.outbound.recv()) {
-    if (peer.dead.load(std::memory_order_acquire)) {
+    // Generation before fd: if a reconnect lands between the two loads the
+    // write goes to the fresh connection (fine — the welcome already hit the
+    // wire before the fd was installed) and a failure report carrying the
+    // stale generation is ignored instead of killing the replacement.
+    const std::uint64_t generation = peer.generation.load(std::memory_order_acquire);
+    const int fd = peer.fd.load(std::memory_order_acquire);
+    if (peer.dead.load(std::memory_order_acquire) || fd < 0) {
       frames_dropped_.fetch_add(1, std::memory_order_relaxed);
       continue;  // drain and discard: the connection is gone
     }
-    if (!write_all(peer.fd.load(std::memory_order_acquire), bytes->data(),
-                   bytes->size())) {
-      mark_peer_dead(peer, "write failed");
+    if (!write_all(fd, bytes->data(), bytes->size())) {
+      mark_peer_dead(peer, generation, "write failed");
       frames_dropped_.fetch_add(1, std::memory_order_relaxed);
       continue;
     }
@@ -184,10 +200,21 @@ void SocketFabric::writer_loop(Peer& peer) {
   }
 }
 
-void SocketFabric::mark_peer_dead(Peer& peer, const char* why) {
-  if (peer.dead.exchange(true, std::memory_order_acq_rel)) return;
-  const int fd = peer.fd.load(std::memory_order_acquire);
-  if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+void SocketFabric::mark_peer_dead(Peer& peer, std::uint64_t generation,
+                                  const char* why) {
+  {
+    std::lock_guard lock(conn_mutex_);
+    if (peer.generation.load(std::memory_order_acquire) != generation) {
+      return;  // a newer connection owns this route; the report is stale
+    }
+    if (peer.dead.exchange(true, std::memory_order_acq_rel)) return;
+    const int fd = peer.fd.load(std::memory_order_acquire);
+    if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+    if (peer.announced.load(std::memory_order_acquire) && live_count_ > 0) {
+      --live_count_;
+    }
+  }
+  conn_cv_.notify_all();
   // Orderly departures (peers draining off after a shutdown broadcast, or
   // our own close) are not deaths: peer_deaths must mean unexpected loss so
   // the kill-a-worker CI assertion and the obs counters stay meaningful.
@@ -200,13 +227,13 @@ void SocketFabric::mark_peer_dead(Peer& peer, const char* why) {
     FDML_WARN("socket") << "rank " << options_.rank << ": peer connection died ("
                         << why << ")";
   }
-  {
-    std::lock_guard lock(conn_mutex_);
-    if (peer.announced.load(std::memory_order_acquire) && live_count_ > 0) {
-      --live_count_;
-    }
-  }
-  conn_cv_.notify_all();
+}
+
+void SocketFabric::retire_fd(int fd) {
+  if (fd < 0) return;
+  ::shutdown(fd, SHUT_RDWR);
+  std::lock_guard lock(conn_mutex_);
+  retired_fds_.push_back(fd);
 }
 
 // --- hub (rank 0) ---
@@ -265,12 +292,48 @@ void SocketFabric::accept_loop() {
 /// valid, unclaimed rank), then route data frames until EOF or a framing
 /// error. The fd is shut down on death but only closed at fabric close(),
 /// so a racing shutdown can never hit a reused descriptor.
+///
+/// Two hardenings over the first version:
+///   - Slow-loris guard: until the announce completes, reads run against a
+///     handshake deadline; a connection that opens TCP and then stalls (or
+///     trickles bytes) is timed out and closed instead of holding this
+///     thread hostage forever.
+///   - Re-admission: an announce for a rank whose previous connection died
+///     is accepted as a reconnection (new fd, bumped generation) instead of
+///     being rejected as a duplicate — the door a restarted or
+///     partition-healed peer walks back in through.
 void SocketFabric::hub_connection(int fd) {
   FrameParser parser;
   std::vector<std::uint8_t> buffer(64 * 1024);
   Peer* peer = nullptr;
+  std::uint64_t generation = 0;
   const char* why = "eof";
+  const auto handshake_deadline = Clock::now() + options_.handshake_timeout;
   for (;;) {
+    if (peer == nullptr) {
+      const auto now = Clock::now();
+      if (now >= handshake_deadline) {
+        why = "handshake timeout";
+        handshake_timeouts_.fetch_add(1, std::memory_order_relaxed);
+        global_counter("socket.handshake_timeouts").add();
+        obs::instant("socket", "handshake_timeout");
+        FDML_WARN("socket") << "hub: dropping connection that never finished "
+                               "its announce";
+        break;
+      }
+      pollfd pfd{};
+      pfd.fd = fd;
+      pfd.events = POLLIN;
+      const auto wait = std::chrono::duration_cast<std::chrono::milliseconds>(
+          handshake_deadline - now);
+      const int ready = ::poll(&pfd, 1, static_cast<int>(wait.count()) + 1);
+      if (ready < 0 && errno == EINTR) continue;
+      if (ready < 0) {
+        why = "read error";
+        break;
+      }
+      if (ready == 0) continue;  // loop re-checks the deadline
+    }
     const ssize_t n = ::recv(fd, buffer.data(), buffer.size(), 0);
     if (n == 0) break;
     if (n < 0) {
@@ -306,17 +369,32 @@ void SocketFabric::hub_connection(int fd) {
           break;
         }
         Peer& candidate = *peers_[static_cast<std::size_t>(frame.source)];
-        if (candidate.announced.exchange(true, std::memory_order_acq_rel)) {
+        // Claim the rank. A live connection (or one mid-handshake) makes
+        // this a duplicate; a dead one makes it a re-admission.
+        bool readmission = false;
+        {
+          std::lock_guard lock(conn_mutex_);
+          const bool was_announced =
+              candidate.announced.load(std::memory_order_acquire);
+          const bool was_dead = candidate.dead.load(std::memory_order_acquire);
+          if (candidate.handshaking || (was_announced && !was_dead)) {
+            why = "duplicate rank";
+            fatal = true;
+          } else {
+            candidate.handshaking = true;
+            readmission = was_announced;
+          }
+        }
+        if (fatal) {
           FDML_WARN("socket") << "hub: duplicate announce for rank "
                               << frame.source;
-          why = "duplicate rank";
-          fatal = true;
           break;
         }
-        candidate.fd.store(fd, std::memory_order_release);
-        // Welcome must hit the wire before the writer thread starts: the
-        // writer is the only other producer on this fd and flushing queued
-        // frames ahead of the welcome would interleave the byte stream.
+        // Welcome must hit the wire before the fd is installed: the writer
+        // thread (already running on a re-admission) is the only other
+        // producer on this route, and it cannot touch the new fd until the
+        // install below flips `dead` — so the welcome is always the
+        // connection's first outbound frame.
         WireFrame welcome;
         welcome.kind = FrameKind::kWelcome;
         welcome.source = 0;
@@ -324,22 +402,39 @@ void SocketFabric::hub_connection(int fd) {
         welcome.payload = u32_payload(static_cast<std::uint32_t>(options_.size));
         const auto bytes = encode_frame(welcome);
         if (!write_all(fd, bytes.data(), bytes.size())) {
+          std::lock_guard lock(conn_mutex_);
+          candidate.handshaking = false;
           why = "welcome write failed";
           fatal = true;
           break;
         }
-        start_writer(candidate);
-        peer = &candidate;
         {
           std::lock_guard lock(conn_mutex_);
-          ++announced_count_;
+          candidate.handshaking = false;
+          const int old = candidate.fd.exchange(fd, std::memory_order_acq_rel);
+          if (old >= 0 && old != fd) retired_fds_.push_back(old);
+          generation =
+              candidate.generation.fetch_add(1, std::memory_order_acq_rel) + 1;
+          candidate.announced.store(true, std::memory_order_release);
+          candidate.dead.store(false, std::memory_order_release);
+          if (!readmission) ++announced_count_;
           ++live_count_;
         }
+        if (!readmission) start_writer(candidate);
+        peer = &candidate;
         conn_cv_.notify_all();
-        obs::instant("socket", "announce", "rank", frame.source);
-        FDML_INFO("socket") << "hub: rank " << frame.source << " joined ("
-                            << announced_count_ << "/" << (options_.size - 1)
-                            << ")";
+        if (readmission) {
+          readmissions_.fetch_add(1, std::memory_order_relaxed);
+          global_counter("socket.readmissions").add();
+          obs::instant("socket", "readmission", "rank", frame.source);
+          FDML_INFO("socket") << "hub: rank " << frame.source
+                              << " re-admitted on a fresh connection";
+        } else {
+          obs::instant("socket", "announce", "rank", frame.source);
+          FDML_INFO("socket") << "hub: rank " << frame.source << " joined ("
+                              << announced_count_ << "/" << (options_.size - 1)
+                              << ")";
+        }
         continue;
       }
       if (frame.kind != FrameKind::kData) {
@@ -351,9 +446,9 @@ void SocketFabric::hub_connection(int fd) {
     if (fatal) break;
   }
   if (peer != nullptr) {
-    mark_peer_dead(*peer, why);
+    mark_peer_dead(*peer, generation, why);
   } else {
-    ::shutdown(fd, SHUT_RDWR);
+    retire_fd(fd);
   }
 }
 
@@ -402,10 +497,14 @@ std::vector<int> SocketFabric::dead_peers() const {
 
 // --- peer (rank != 0) ---
 
-void SocketFabric::connect_to_hub() {
-  obs::Span span("socket", "rendezvous", "rank", options_.rank);
-  const auto deadline = Clock::now() + options_.connect_timeout;
-  int fd = -1;
+/// Knocking loop with bounded exponential backoff + jitter. The first
+/// attempt fires immediately; each miss doubles the sleep from `base` up to
+/// `cap`, jittered into [sleep/2, sleep] so simultaneously-orphaned peers
+/// do not hammer the hub in lockstep. `deadline` is the overall budget
+/// (--connect-timeout-ms on the first rendezvous, reconnect_budget later).
+int SocketFabric::dial_hub(Clock::time_point deadline,
+                           std::chrono::milliseconds base,
+                           std::chrono::milliseconds cap) {
   addrinfo hints{};
   hints.ai_family = AF_INET;
   hints.ai_socktype = SOCK_STREAM;
@@ -417,9 +516,11 @@ void SocketFabric::connect_to_hub() {
     throw std::runtime_error("SocketFabric: cannot resolve host " +
                              options_.host);
   }
-  // Rendezvous retry loop: the hub may not be up yet (launch order is the
-  // launcher's business, not ours), so keep knocking until the deadline.
-  while (fd < 0) {
+  Rng rng(static_cast<std::uint64_t>(options_.rank) * 0x9e3779b9ULL +
+          connect_attempts_.load(std::memory_order_relaxed) + 1);
+  std::chrono::milliseconds backoff = std::max(base, std::chrono::milliseconds(1));
+  int fd = -1;
+  while (!closing_.load(std::memory_order_acquire)) {
     connect_attempts_.fetch_add(1, std::memory_order_relaxed);
     global_counter("socket.connect_attempts").add();
     obs::instant("socket", "connect_attempt", "rank", options_.rank);
@@ -430,21 +531,26 @@ void SocketFabric::connect_to_hub() {
       break;
     }
     if (candidate >= 0) ::close(candidate);
-    if (Clock::now() + options_.connect_retry > deadline) {
-      ::freeaddrinfo(resolved);
-      throw std::runtime_error(
-          "SocketFabric: rank " + std::to_string(options_.rank) +
-          " could not reach hub " + options_.host + ":" + port_text + " within " +
-          std::to_string(options_.connect_timeout.count()) + " ms");
-    }
-    std::this_thread::sleep_for(options_.connect_retry);
+    const auto now = Clock::now();
+    if (now >= deadline) break;
+    auto sleep = jittered(backoff, rng);
+    const auto remaining =
+        std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now);
+    if (sleep > remaining) sleep = remaining;
+    std::this_thread::sleep_for(sleep);
+    backoff = std::min(backoff * 2, cap);
   }
   ::freeaddrinfo(resolved);
-  set_socket_options(fd, options_.write_timeout);
+  return fd;
+}
 
-  Peer& hub = *peers_[0];
-  hub.fd.store(fd, std::memory_order_release);
-
+/// The announce/welcome rendezvous over a dialed fd. Uses the connection's
+/// long-lived parser (peer_parser_): the hub starts flushing queued data
+/// frames the moment the welcome is written, so frames that arrive in the
+/// same recv() — or a partial one straddling the handoff — must survive
+/// into the reader loop. The caller resets the parser first on a
+/// reconnect (new connection, new byte stream).
+bool SocketFabric::handshake_with_hub(int fd, Clock::time_point deadline) {
   WireFrame announce;
   announce.kind = FrameKind::kAnnounce;
   announce.source = options_.rank;
@@ -452,21 +558,12 @@ void SocketFabric::connect_to_hub() {
   announce.payload = u32_payload(static_cast<std::uint32_t>(options_.size));
   const auto announce_bytes = encode_frame(announce);
   if (!write_all(fd, announce_bytes.data(), announce_bytes.size())) {
-    ::close(fd);
-    hub.fd.store(-1, std::memory_order_release);
-    throw std::runtime_error("SocketFabric: announce write failed");
+    return false;
   }
-
-  // Wait for the hub's welcome (the handshake's other half) before letting
-  // any traffic flow. This uses the connection's long-lived parser
-  // (peer_parser_): the hub starts flushing queued data frames the moment
-  // the welcome is written, so frames that arrive in the same recv() — or a
-  // partial one straddling the handoff — must survive into the reader loop.
   std::vector<std::uint8_t> buffer(4096);
-  bool welcomed = false;
-  while (!welcomed) {
+  while (true) {
     const auto now = Clock::now();
-    if (now >= deadline) break;
+    if (now >= deadline) return false;
     pollfd pfd{};
     pfd.fd = fd;
     pfd.events = POLLIN;
@@ -474,15 +571,16 @@ void SocketFabric::connect_to_hub() {
         deadline - now);
     const int ready = ::poll(&pfd, 1, static_cast<int>(wait.count()) + 1);
     if (ready < 0 && errno == EINTR) continue;
-    if (ready <= 0) break;
+    if (ready <= 0) return false;
     const ssize_t n = ::recv(fd, buffer.data(), buffer.size(), 0);
-    if (n <= 0) break;
+    if (n <= 0) return false;
     bytes_received_.fetch_add(static_cast<std::uint64_t>(n),
                               std::memory_order_relaxed);
     std::vector<WireFrame> frames;
     if (!peer_parser_.feed(buffer.data(), static_cast<std::size_t>(n), frames)) {
-      break;
+      return false;
     }
+    bool welcomed = false;
     for (WireFrame& frame : frames) {
       if (frame.kind == FrameKind::kWelcome &&
           read_u32_payload(frame.payload) ==
@@ -500,57 +598,135 @@ void SocketFabric::connect_to_hub() {
       }
       deliver_local(frame.source, frame.tag, std::move(frame.payload));
     }
+    if (welcomed) return true;
   }
-  if (!welcomed) {
-    ::close(fd);
-    hub.fd.store(-1, std::memory_order_release);
-    throw std::runtime_error("SocketFabric: rank " +
-                             std::to_string(options_.rank) +
-                             " handshake failed (no welcome from hub)");
+}
+
+void SocketFabric::connect_to_hub() {
+  obs::Span span("socket", "rendezvous", "rank", options_.rank);
+  const auto deadline = Clock::now() + options_.connect_timeout;
+  Peer& hub = *peers_[0];
+  bool reached_hub = false;
+  // A TCP connect that succeeds but whose handshake dies (a lossy path, or
+  // the hub mid-restart) is retried like a refused connect: the whole
+  // rendezvous shares the connect_timeout budget.
+  while (Clock::now() < deadline) {
+    const int fd =
+        dial_hub(deadline, options_.connect_retry, options_.connect_retry_max);
+    if (fd < 0) break;
+    reached_hub = true;
+    set_socket_options(fd, options_.write_timeout);
+    peer_parser_ = FrameParser{};  // each attempt is a fresh byte stream
+    if (!handshake_with_hub(fd, deadline)) {
+      ::close(fd);
+      continue;
+    }
+    hub.fd.store(fd, std::memory_order_release);
+    hub.generation.fetch_add(1, std::memory_order_acq_rel);
+    hub.announced.store(true, std::memory_order_release);
+    obs::instant("socket", "connected", "rank", options_.rank);
+    start_writer(hub);
+    reader_thread_ = std::thread([this] { peer_reader_loop(); });
+    return;
   }
-  hub.announced.store(true, std::memory_order_release);
-  obs::instant("socket", "connected", "rank", options_.rank);
-  start_writer(hub);
-  reader_thread_ = std::thread([this] { peer_reader_loop(); });
+  if (!reached_hub) {
+    throw std::runtime_error(
+        "SocketFabric: rank " + std::to_string(options_.rank) +
+        " could not reach hub " + options_.host + ":" +
+        std::to_string(options_.port) + " within " +
+        std::to_string(options_.connect_timeout.count()) + " ms");
+  }
+  throw std::runtime_error("SocketFabric: rank " +
+                           std::to_string(options_.rank) +
+                           " handshake failed (no welcome from hub)");
+}
+
+/// Post-outage redial: bounded exponential backoff + jitter within
+/// reconnect_budget, then a fresh announce/welcome handshake (the hub
+/// re-admits us because our old connection is dead there). On success the
+/// new fd is installed under the connection lock with a bumped generation,
+/// and the writer thread — which kept draining and discarding while the
+/// route was dead — simply resumes.
+bool SocketFabric::reconnect_to_hub() {
+  Peer& hub = *peers_[0];
+  const auto deadline = Clock::now() + options_.reconnect_budget;
+  while (!closing_.load(std::memory_order_acquire) && Clock::now() < deadline) {
+    const int fd = dial_hub(deadline, options_.reconnect_backoff,
+                            options_.reconnect_backoff_max);
+    if (fd < 0) break;
+    set_socket_options(fd, options_.write_timeout);
+    peer_parser_ = FrameParser{};  // new connection, new byte stream
+    if (!handshake_with_hub(fd, deadline)) {
+      // The hub may still think our old connection is alive (it has not
+      // seen the EOF yet) and reject the re-announce; retire this attempt
+      // and keep knocking until the budget runs out.
+      retire_fd(fd);
+      continue;
+    }
+    {
+      std::lock_guard lock(conn_mutex_);
+      const int old = hub.fd.exchange(fd, std::memory_order_acq_rel);
+      if (old >= 0 && old != fd) retired_fds_.push_back(old);
+      hub.generation.fetch_add(1, std::memory_order_acq_rel);
+      hub.dead.store(false, std::memory_order_release);
+    }
+    readmissions_.fetch_add(1, std::memory_order_relaxed);
+    global_counter("socket.readmissions").add();
+    obs::instant("socket", "reconnected", "rank", options_.rank);
+    FDML_INFO("socket") << "rank " << options_.rank
+                        << ": reconnected to the hub";
+    return true;
+  }
+  return false;
 }
 
 void SocketFabric::peer_reader_loop() {
   Peer& hub = *peers_[0];
-  const int fd = hub.fd.load(std::memory_order_acquire);
-  FrameParser& parser = peer_parser_;  // continues the handshake's stream
   std::vector<std::uint8_t> buffer(64 * 1024);
-  const char* why = "eof";
   for (;;) {
-    const ssize_t n = ::recv(fd, buffer.data(), buffer.size(), 0);
-    if (n == 0) break;
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      why = "read error";
-      break;
-    }
-    bytes_received_.fetch_add(static_cast<std::uint64_t>(n),
-                              std::memory_order_relaxed);
-    std::vector<WireFrame> frames;
-    if (!parser.feed(buffer.data(), static_cast<std::size_t>(n), frames)) {
-      frame_errors_.fetch_add(1, std::memory_order_relaxed);
-      global_counter("socket.frame_errors").add();
-      why = "framing error";
-      break;
-    }
-    for (WireFrame& frame : frames) {
-      frames_received_.fetch_add(1, std::memory_order_relaxed);
-      global_counter("socket.frames_received").add();
-      if (frame.kind != FrameKind::kData || frame.dest != options_.rank) {
-        frames_dropped_.fetch_add(1, std::memory_order_relaxed);
-        continue;
+    const int fd = hub.fd.load(std::memory_order_acquire);
+    const std::uint64_t generation =
+        hub.generation.load(std::memory_order_acquire);
+    FrameParser& parser = peer_parser_;  // continues the handshake's stream
+    const char* why = "eof";
+    for (;;) {
+      const ssize_t n = ::recv(fd, buffer.data(), buffer.size(), 0);
+      if (n == 0) break;
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        why = "read error";
+        break;
       }
-      deliver_local(frame.source, frame.tag, std::move(frame.payload));
+      bytes_received_.fetch_add(static_cast<std::uint64_t>(n),
+                                std::memory_order_relaxed);
+      std::vector<WireFrame> frames;
+      if (!parser.feed(buffer.data(), static_cast<std::size_t>(n), frames)) {
+        frame_errors_.fetch_add(1, std::memory_order_relaxed);
+        global_counter("socket.frame_errors").add();
+        why = "framing error";
+        break;
+      }
+      for (WireFrame& frame : frames) {
+        frames_received_.fetch_add(1, std::memory_order_relaxed);
+        global_counter("socket.frames_received").add();
+        if (frame.kind != FrameKind::kData || frame.dest != options_.rank) {
+          frames_dropped_.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        deliver_local(frame.source, frame.tag, std::move(frame.payload));
+      }
     }
+    mark_peer_dead(hub, generation, why);
+    // Reconnect-and-re-admission: bounded backoff within the outage budget.
+    // In-flight frames died with the old connection (the health machine's
+    // requeue/ping machinery re-covers them); the mailbox stays open so the
+    // role loop only sees a silence, not a shutdown.
+    if (closing_.load(std::memory_order_acquire) || !options_.reconnect) break;
+    if (!reconnect_to_hub()) break;
   }
-  // The hub is gone (or the stream turned to garbage): the fabric is over
-  // for this process. Closing the mailbox is what surfaces it — recv()
-  // returns nullopt and the role loop unwinds.
-  mark_peer_dead(hub, why);
+  // The hub is gone for good (or we are closing): the fabric is over for
+  // this process. Closing the mailbox is what surfaces it — recv() returns
+  // nullopt and the role loop unwinds.
   mailbox_.close();
 }
 
@@ -604,6 +780,14 @@ void SocketFabric::close() {
     const int closing_fd = peers_[0]->fd.exchange(-1, std::memory_order_acq_rel);
     if (closing_fd >= 0) ::close(closing_fd);
   }
+  // Every thread that could have been blocked on a retired descriptor has
+  // joined by now; the parked fds can finally be returned to the kernel.
+  std::vector<int> retired;
+  {
+    std::lock_guard lock(conn_mutex_);
+    retired.swap(retired_fds_);
+  }
+  for (const int fd : retired) ::close(fd);
   mailbox_.close();
 }
 
@@ -617,6 +801,8 @@ SocketFabricStats SocketFabric::stats() const {
   s.peer_deaths = peer_deaths_.load(std::memory_order_relaxed);
   s.frames_dropped = frames_dropped_.load(std::memory_order_relaxed);
   s.frame_errors = frame_errors_.load(std::memory_order_relaxed);
+  s.readmissions = readmissions_.load(std::memory_order_relaxed);
+  s.handshake_timeouts = handshake_timeouts_.load(std::memory_order_relaxed);
   return s;
 }
 

@@ -52,6 +52,25 @@ struct SocketOptions {
   /// this long is treated as dead (keeps shutdown from hanging on a stalled
   /// receiver that never drains its TCP buffer).
   std::chrono::milliseconds write_timeout{10000};
+  /// Dial backoff cap: connect attempts back off exponentially from
+  /// `connect_retry` with jitter, never sleeping longer than this between
+  /// knocks (the overall budget stays `connect_timeout`).
+  std::chrono::milliseconds connect_retry_max{2000};
+  /// Hub-side slow-loris guard: a connection that completes TCP but has not
+  /// delivered a full, valid announce within this window is timed out and
+  /// closed instead of holding a reader slot forever.
+  std::chrono::milliseconds handshake_timeout{5000};
+  /// Peer-side reconnect-and-re-admission: when the hub connection drops
+  /// (EOF, reset, framing error) and the fabric is not closing, redial and
+  /// re-announce under bounded exponential backoff + jitter for up to
+  /// `reconnect_budget` per outage instead of closing the mailbox at the
+  /// first EOF. The hub re-admits a reconnecting rank whose previous
+  /// connection is dead. Off by default: a plain cluster run treats hub
+  /// loss as the end of the run.
+  bool reconnect = false;
+  std::chrono::milliseconds reconnect_backoff{50};
+  std::chrono::milliseconds reconnect_backoff_max{2000};
+  std::chrono::milliseconds reconnect_budget{10000};
 };
 
 /// Live traffic/lifecycle counters (fabric-local; the same values are also
@@ -68,6 +87,12 @@ struct SocketFabricStats {
   std::uint64_t frames_dropped = 0;
   /// Connections dropped for a malformed byte stream.
   std::uint64_t frame_errors = 0;
+  /// Hub: dead ranks accepted back on a fresh connection. Peer: successful
+  /// reconnects to the hub after an outage.
+  std::uint64_t readmissions = 0;
+  /// Hub: connections closed for not completing the announce handshake
+  /// within `handshake_timeout` (slow-loris guard).
+  std::uint64_t handshake_timeouts = 0;
 };
 
 /// One process's endpoint of the TCP fabric. Construct with rank 0 to
@@ -120,8 +145,16 @@ class SocketFabric {
 
   struct Peer {
     std::atomic<int> fd{-1};
+    /// Connection generation, bumped on every (re)connect. A death report
+    /// carries the generation it observed; a report for a superseded
+    /// connection is a no-op, so a stale write failure on a retired fd can
+    /// never kill the route's replacement connection.
+    std::atomic<std::uint64_t> generation{0};
     std::atomic<bool> announced{false};
     std::atomic<bool> dead{false};
+    /// A connection for this rank is mid-handshake (guarded by conn_mutex_);
+    /// a racing announce for the same rank is rejected as a duplicate.
+    bool handshaking = false;
     /// Encoded frames awaiting the writer thread. Exists from fabric
     /// construction so traffic to a rank that has not rendezvoused yet is
     /// buffered, then flushed in order when it announces.
@@ -138,11 +171,26 @@ class SocketFabric {
   void route_frame(WireFrame frame);
 
   void connect_to_hub();
+  /// Knocks on the hub port until `deadline`, backing off exponentially
+  /// from `base` (capped at `cap`, jittered). Returns the connected fd or
+  /// -1 when the budget ran out or the fabric started closing.
+  int dial_hub(std::chrono::steady_clock::time_point deadline,
+               std::chrono::milliseconds base, std::chrono::milliseconds cap);
+  /// Announce/welcome rendezvous over a freshly dialed fd, feeding
+  /// peer_parser_ (data frames riding behind the welcome are delivered).
+  bool handshake_with_hub(int fd, std::chrono::steady_clock::time_point deadline);
+  /// Redials + re-announces after an outage, within reconnect_budget.
+  /// True when a new connection is installed on peers_[0].
+  bool reconnect_to_hub();
   void peer_reader_loop();
 
   void start_writer(Peer& peer);
   void writer_loop(Peer& peer);
-  void mark_peer_dead(Peer& peer, const char* why);
+  void mark_peer_dead(Peer& peer, std::uint64_t generation, const char* why);
+  /// Parks an fd superseded by a reconnect (or a rejected handshake) until
+  /// close(): retiring instead of closing means a thread still blocked on
+  /// the old descriptor can never race a reused fd number.
+  void retire_fd(int fd);
 
   bool write_all(int fd, const std::uint8_t* data, std::size_t size);
 
@@ -165,6 +213,8 @@ class SocketFabric {
   int announced_count_ = 0;
   int live_count_ = 0;
   std::vector<std::thread> conn_threads_;
+  /// Superseded/rejected descriptors awaiting close() (see retire_fd).
+  std::vector<int> retired_fds_;
 
   // --- peer state (rank != 0) ---
   std::thread reader_thread_;
@@ -183,6 +233,8 @@ class SocketFabric {
   std::atomic<std::uint64_t> peer_deaths_{0};
   std::atomic<std::uint64_t> frames_dropped_{0};
   std::atomic<std::uint64_t> frame_errors_{0};
+  std::atomic<std::uint64_t> readmissions_{0};
+  std::atomic<std::uint64_t> handshake_timeouts_{0};
 };
 
 }  // namespace fdml

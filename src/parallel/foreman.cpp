@@ -51,6 +51,7 @@ struct ForemanCounters {
   obs::Counter& journal_appended;
   obs::Counter& journal_write_failures;
   obs::Counter& goodbyes_received;
+  obs::Counter& heartbeat_pings;
   /// Worker-side kernel work accumulated from per-result deltas (registry
   /// only; not part of the ForemanStats view).
   obs::Counter& kernel_clv_computations;
@@ -80,6 +81,7 @@ struct ForemanCounters {
         journal_appended(r.counter("foreman.journal_appended")),
         journal_write_failures(r.counter("foreman.journal_write_failures")),
         goodbyes_received(r.counter("foreman.goodbyes_received")),
+        heartbeat_pings(r.counter("foreman.heartbeat_pings")),
         kernel_clv_computations(r.counter("kernel.clv_computations")),
         kernel_edge_evaluations(r.counter("kernel.edge_evaluations")),
         kernel_transition_hits(r.counter("kernel.transition_hits")),
@@ -108,6 +110,7 @@ struct ForemanCounters {
     s.journal_appended = journal_appended.value();
     s.journal_write_failures = journal_write_failures.value();
     s.goodbyes_received = goodbyes_received.value();
+    s.heartbeat_pings = heartbeat_pings.value();
     return s;
   }
 };
@@ -137,6 +140,7 @@ ForemanStats stats_delta(const ForemanStats& end, const ForemanStats& start) {
   d.journal_write_failures =
       end.journal_write_failures - start.journal_write_failures;
   d.goodbyes_received = end.goodbyes_received - start.goodbyes_received;
+  d.heartbeat_pings = end.heartbeat_pings - start.heartbeat_pings;
   return d;
 }
 
@@ -215,6 +219,9 @@ class Foreman {
         transport_.send(rank, MessageTag::kPing, {});
       }
     }
+    if (options_.heartbeat_interval.count() > 0) {
+      next_ping_ = Clock::now() + options_.heartbeat_interval;
+    }
     for (;;) {
       const auto message = receive();
       if (!message.has_value()) {
@@ -272,8 +279,30 @@ class Foreman {
       message = transport_.recv_for(wait + std::chrono::milliseconds(1));
     }
     expire_overdue();
+    maybe_heartbeat();
     dispatch_work();
     return message;
+  }
+
+  /// Ping silent (never-helloed, e.g. restarted) and suspect workers so a
+  /// live one re-introduces itself; its hello walks it into probation and,
+  /// after a clean probe, back to the ready queue. Without this a worker
+  /// whose connection was severed and transparently reconnected would stay
+  /// exiled forever — nothing on its side knows a re-hello is owed.
+  void maybe_heartbeat() {
+    if (options_.heartbeat_interval.count() == 0) return;
+    const auto now = Clock::now();
+    if (now < next_ping_) return;
+    next_ping_ = now + options_.heartbeat_interval;
+    for (int rank = kFirstWorkerRank; rank < transport_.size(); ++rank) {
+      const auto it = health_.find(rank);
+      const bool silent = it == health_.end();
+      const bool suspect =
+          !silent && it->second.state == WorkerState::kSuspect;
+      if (!silent && !suspect) continue;
+      counters_.heartbeat_pings.add();
+      transport_.send(rank, MessageTag::kPing, {});
+    }
   }
 
   /// Earliest of: an in-flight deadline, or a probation worker becoming
@@ -286,6 +315,7 @@ class Foreman {
     };
     for (const auto& [worker, record] : in_flight_) consider(record.deadline_at);
     if (const auto declare = dead_declare_at()) consider(*declare);
+    if (options_.heartbeat_interval.count() > 0) consider(next_ping_);
     if (round_active_ && !work_queue_.empty()) {
       for (const auto& [worker, health] : health_) {
         if (health.state == WorkerState::kProbation &&
@@ -959,6 +989,8 @@ class Foreman {
   RoundState round_;
   bool round_active_ = false;
   bool fabric_closed_ = false;
+  /// Next heartbeat ping due time (heartbeat_interval > 0 only).
+  Clock::time_point next_ping_{};
 };
 
 }  // namespace

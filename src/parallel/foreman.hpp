@@ -70,6 +70,13 @@ struct ForemanOptions {
   /// starts with an empty worker list, and an idle worker never speaks
   /// unprompted — without the ping the round would wedge.
   bool announce_ping = false;
+  /// Heartbeat: every interval, ping worker ranks that are silent (no
+  /// health record — a restarted process that has not said hello) or
+  /// suspect (went quiet mid-round, e.g. the connection died under them).
+  /// A live worker answers a ping with a fresh hello, which walks it
+  /// through probation back to the ready queue; a dead one stays silent at
+  /// no cost. 0 disables (plain cluster runs rely on hello-at-startup).
+  std::chrono::milliseconds heartbeat_interval{0};
   /// Filesystem for the journal; null = the real one.
   Vfs* vfs = nullptr;
   /// Metrics registry the foreman's counters live in; null = the process
@@ -137,6 +144,8 @@ struct ForemanStats {
   std::uint64_t journal_write_failures = 0;
   /// Worker goodbye reports received during the shutdown grace window.
   std::uint64_t goodbyes_received = 0;
+  /// Heartbeat pings sent to silent or suspect workers.
+  std::uint64_t heartbeat_pings = 0;
   /// Per-worker kernel-work attribution (satellite of the end-of-run
   /// report); not part of the counter-delta arithmetic.
   std::vector<WorkerKernelReport> worker_reports;

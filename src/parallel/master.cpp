@@ -96,7 +96,18 @@ RoundOutcome ParallelMaster::run_round(const std::vector<TreeTask>& tasks) {
   // foreman's journal makes re-dispatch of already-finished work free).
   for (int attempt = 0;; ++attempt) {
     try {
-      return attempt_round(round_id, tasks);
+      RoundOutcome outcome = attempt_round(round_id, tasks);
+      // A completed attempt is proof the fabric is alive again: a watchdog
+      // trip on an earlier attempt (a transient partition, a foreman riding
+      // out an outage) must not wedge every future round into the serial
+      // fallback.
+      if (degraded_ && attempt > 0) {
+        counters_.fabric_revivals.add();
+        FDML_WARN("master") << "round " << round_id
+                            << " recovered on retry; fabric restored";
+      }
+      degraded_ = false;
+      return outcome;
     } catch (const RoundFailedError& failure) {
       if (attempt < options_.max_round_retries) {
         counters_.round_retries.add();

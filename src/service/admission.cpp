@@ -1,0 +1,49 @@
+#include "service/admission.hpp"
+
+namespace fdml {
+
+AdmissionController::AdmissionController(AdmissionOptions options,
+                                         obs::MetricsRegistry& registry)
+    : options_(options),
+      submitted_(registry.counter("service.jobs_submitted")),
+      admitted_total_(registry.counter("service.jobs_admitted")),
+      rejected_full_(registry.counter("service.jobs_rejected_full")),
+      rejected_draining_(registry.counter("service.jobs_rejected_draining")) {}
+
+std::optional<RejectReason> AdmissionController::try_admit() {
+  std::lock_guard lock(mutex_);
+  submitted_.add();
+  if (draining_) {
+    rejected_draining_.add();
+    return RejectReason::kDraining;
+  }
+  if (admitted_ >= options_.max_active + options_.max_queued) {
+    rejected_full_.add();
+    return RejectReason::kQueueFull;
+  }
+  ++admitted_;
+  admitted_total_.add();
+  return std::nullopt;
+}
+
+void AdmissionController::release() {
+  std::lock_guard lock(mutex_);
+  if (admitted_ > 0) --admitted_;
+}
+
+void AdmissionController::drain() {
+  std::lock_guard lock(mutex_);
+  draining_ = true;
+}
+
+bool AdmissionController::draining() const {
+  std::lock_guard lock(mutex_);
+  return draining_;
+}
+
+int AdmissionController::admitted() const {
+  std::lock_guard lock(mutex_);
+  return admitted_;
+}
+
+}  // namespace fdml

@@ -1,0 +1,55 @@
+// Admission control for the job service: a bounded gate in front of the
+// scheduler. The service's load-shedding contract is explicit — beyond
+// `max_active` running jobs plus `max_queued` waiting ones, a submission is
+// rejected with a reason, never parked on an unbounded queue (the failure
+// mode long-lived services die of is growth, not load).
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+
+#include "obs/metrics.hpp"
+#include "service/job.hpp"
+
+namespace fdml {
+
+struct AdmissionOptions {
+  /// Jobs running concurrently (each multiplexes rounds over the shared
+  /// worker pool through the round gate).
+  int max_active = 2;
+  /// Admitted jobs waiting for an active slot.
+  int max_queued = 8;
+};
+
+class AdmissionController {
+ public:
+  explicit AdmissionController(AdmissionOptions options,
+                               obs::MetricsRegistry& registry);
+
+  /// nullopt = admitted (a slot or queue position is reserved; pair every
+  /// admit with exactly one release()). Otherwise the reject reason.
+  std::optional<RejectReason> try_admit();
+
+  /// Returns an admitted job's reservation (on completion, failure, or
+  /// interruption).
+  void release();
+
+  /// Stop admitting: every subsequent try_admit is kDraining.
+  void drain();
+  bool draining() const;
+
+  int admitted() const;
+
+ private:
+  AdmissionOptions options_;
+  mutable std::mutex mutex_;
+  int admitted_ = 0;
+  bool draining_ = false;
+  obs::Counter& submitted_;
+  obs::Counter& admitted_total_;
+  obs::Counter& rejected_full_;
+  obs::Counter& rejected_draining_;
+};
+
+}  // namespace fdml

@@ -1,0 +1,297 @@
+#include "service/server.hpp"
+
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include "comm/integrity.hpp"
+#include "comm/wire.hpp"
+#include "obs/trace.hpp"
+#include "util/log.hpp"
+
+namespace fdml {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+bool write_all(int fd, const std::uint8_t* data, std::size_t size) {
+  std::size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return false;
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool send_service_frame(int fd, MessageTag tag,
+                        std::vector<std::uint8_t> payload) {
+  WireFrame frame;
+  frame.kind = FrameKind::kData;
+  frame.tag = tag;
+  frame.source = -1;
+  frame.dest = -1;
+  frame.payload = std::move(payload);
+  const auto bytes = encode_frame(frame);
+  return write_all(fd, bytes.data(), bytes.size());
+}
+
+/// Blocks until one complete frame arrives or the deadline passes.
+std::optional<WireFrame> recv_service_frame(int fd, FrameParser& parser,
+                                            Clock::time_point deadline) {
+  std::vector<std::uint8_t> buffer(16 * 1024);
+  std::vector<WireFrame> frames;
+  while (true) {
+    const auto now = Clock::now();
+    if (now >= deadline) return std::nullopt;
+    pollfd pfd{};
+    pfd.fd = fd;
+    pfd.events = POLLIN;
+    const auto wait =
+        std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now);
+    const int ready = ::poll(&pfd, 1, static_cast<int>(wait.count()) + 1);
+    if (ready < 0 && errno == EINTR) continue;
+    if (ready <= 0) return std::nullopt;
+    const ssize_t n = ::recv(fd, buffer.data(), buffer.size(), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return std::nullopt;
+    if (!parser.feed(buffer.data(), static_cast<std::size_t>(n), frames)) {
+      return std::nullopt;
+    }
+    if (!frames.empty()) return std::move(frames.front());
+  }
+}
+
+int dial(const std::string& host, std::uint16_t port) {
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* resolved = nullptr;
+  if (::getaddrinfo(host.c_str(), std::to_string(port).c_str(), &hints,
+                    &resolved) != 0 ||
+      resolved == nullptr) {
+    throw std::runtime_error("service: cannot resolve " + host);
+  }
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd >= 0 && ::connect(fd, resolved->ai_addr, resolved->ai_addrlen) != 0) {
+    ::close(fd);
+    fd = -1;
+  }
+  ::freeaddrinfo(resolved);
+  if (fd < 0) {
+    throw std::runtime_error("service: cannot connect to " + host + ":" +
+                             std::to_string(port));
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+}  // namespace
+
+ServiceServer::ServiceServer(JobScheduler& scheduler,
+                             obs::MetricsRegistry& registry,
+                             ServiceServerOptions options)
+    : scheduler_(scheduler), registry_(registry), options_(std::move(options)) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw std::runtime_error("ServiceServer: socket() failed");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(options_.port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(listen_fd_, 64) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("ServiceServer: cannot bind port " +
+                             std::to_string(options_.port));
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  FDML_INFO("service") << "listening on port " << port_;
+}
+
+ServiceServer::~ServiceServer() { close(); }
+
+void ServiceServer::accept_loop() {
+  obs::set_thread_name("service-accept");
+  while (!closing_.load(std::memory_order_acquire)) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (closing_.load(std::memory_order_acquire)) {
+      ::close(fd);
+      break;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    std::lock_guard lock(conn_mutex_);
+    conn_threads_.emplace_back([this, fd] { serve_connection(fd); });
+  }
+}
+
+void ServiceServer::serve_connection(int fd) {
+  obs::set_thread_name("service-conn");
+  FrameParser parser;
+  // A connection gets 30s to state its request; the *reply* (which may
+  // carry a whole search) is not under this deadline.
+  const auto request = recv_service_frame(
+      fd, parser, Clock::now() + std::chrono::seconds(30));
+  if (!request.has_value() || request->kind != FrameKind::kData) {
+    registry_.counter("service.bad_requests").add();
+    ::close(fd);
+    return;
+  }
+  switch (request->tag) {
+    case MessageTag::kSubmit: {
+      std::vector<std::uint8_t> payload = request->payload;
+      JobSpec spec;
+      bool ok = open_payload(payload);
+      if (ok) {
+        try {
+          spec = JobSpec::decode(payload);
+        } catch (const std::exception&) {
+          ok = false;
+        }
+      }
+      if (!ok) {
+        registry_.counter("service.bad_requests").add();
+        send_service_frame(
+            fd, MessageTag::kJobRejected,
+            {static_cast<std::uint8_t>(RejectReason::kBadRequest)});
+        break;
+      }
+      const auto submission = scheduler_.submit(spec);
+      if (submission.rejected.has_value()) {
+        send_service_frame(
+            fd, MessageTag::kJobRejected,
+            {static_cast<std::uint8_t>(*submission.rejected)});
+        break;
+      }
+      {
+        Packer p;
+        p.put_u64(submission.job_id);
+        if (!send_service_frame(fd, MessageTag::kJobAccepted, p.take())) break;
+      }
+      JobOutcome outcome = scheduler_.wait(submission.job_id);
+      std::vector<std::uint8_t> encoded = outcome.encode();
+      seal_payload(encoded);
+      send_service_frame(fd, MessageTag::kJobDone, std::move(encoded));
+      break;
+    }
+    case MessageTag::kStatsQuery: {
+      const std::string json = registry_.snapshot().to_json();
+      std::vector<std::uint8_t> payload(json.begin(), json.end());
+      seal_payload(payload);
+      send_service_frame(fd, MessageTag::kStatsReply, std::move(payload));
+      break;
+    }
+    default:
+      registry_.counter("service.bad_requests").add();
+      break;
+  }
+  ::close(fd);
+}
+
+void ServiceServer::close() {
+  if (closing_.exchange(true, std::memory_order_acq_rel)) return;
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::thread> conns;
+  {
+    std::lock_guard lock(conn_mutex_);
+    conns.swap(conn_threads_);
+  }
+  for (auto& thread : conns) {
+    if (thread.joinable()) thread.join();
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+ServiceReply service_submit(const std::string& host, std::uint16_t port,
+                            const JobSpec& spec,
+                            std::chrono::milliseconds timeout) {
+  const auto deadline = Clock::now() + timeout;
+  const int fd = dial(host, port);
+  std::vector<std::uint8_t> payload = spec.encode();
+  seal_payload(payload);
+  if (!send_service_frame(fd, MessageTag::kSubmit, std::move(payload))) {
+    ::close(fd);
+    throw std::runtime_error("service: submit write failed");
+  }
+  FrameParser parser;
+  ServiceReply reply;
+  const auto first = recv_service_frame(fd, parser, deadline);
+  if (!first.has_value()) {
+    ::close(fd);
+    throw std::runtime_error("service: no reply to submit");
+  }
+  if (first->tag == MessageTag::kJobRejected) {
+    ::close(fd);
+    reply.rejected = first->payload.empty()
+                         ? RejectReason::kBadRequest
+                         : static_cast<RejectReason>(first->payload[0]);
+    return reply;
+  }
+  if (first->tag != MessageTag::kJobAccepted || first->payload.size() != 8) {
+    ::close(fd);
+    throw std::runtime_error("service: unexpected reply to submit");
+  }
+  reply.job_id = Unpacker(first->payload).get_u64();
+  const auto done = recv_service_frame(fd, parser, deadline);
+  ::close(fd);
+  if (!done.has_value() || done->tag != MessageTag::kJobDone) {
+    throw std::runtime_error("service: job " + std::to_string(reply.job_id) +
+                             " outcome never arrived");
+  }
+  std::vector<std::uint8_t> body = done->payload;
+  if (!open_payload(body)) {
+    throw std::runtime_error("service: outcome failed integrity check");
+  }
+  reply.outcome = JobOutcome::decode(body);
+  return reply;
+}
+
+std::string service_query_stats(const std::string& host, std::uint16_t port,
+                                std::chrono::milliseconds timeout) {
+  const auto deadline = Clock::now() + timeout;
+  const int fd = dial(host, port);
+  if (!send_service_frame(fd, MessageTag::kStatsQuery, {})) {
+    ::close(fd);
+    throw std::runtime_error("service: stats query write failed");
+  }
+  FrameParser parser;
+  const auto frame = recv_service_frame(fd, parser, deadline);
+  ::close(fd);
+  if (!frame.has_value() || frame->tag != MessageTag::kStatsReply) {
+    throw std::runtime_error("service: no stats reply");
+  }
+  std::vector<std::uint8_t> body = frame->payload;
+  if (!open_payload(body)) {
+    throw std::runtime_error("service: stats reply failed integrity check");
+  }
+  return std::string(body.begin(), body.end());
+}
+
+}  // namespace fdml

@@ -1,0 +1,89 @@
+// The fdmld service endpoint: a TCP listener speaking the repo's length-
+// framed wire protocol (comm/wire.hpp) with the service-plane tags.
+//
+// One connection, one request — the protocol a shell script can drive:
+//
+//   submit:  client kSubmit(sealed JobSpec)
+//            server kJobAccepted(u64 job id) | kJobRejected(u8 reason)
+//            ... job runs ...
+//            server kJobDone(sealed JobOutcome), connection closes
+//   stats:   client kStatsQuery()
+//            server kStatsReply(sealed metrics-snapshot JSON), closes
+//
+// Malformed traffic (bad framing, failed integrity, unknown tag) is a
+// counted reject/close, never a crash: the service outlives its clients.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/scheduler.hpp"
+
+namespace fdml {
+
+struct ServiceServerOptions {
+  std::string host = "127.0.0.1";
+  /// 0 = ephemeral; read back with port().
+  std::uint16_t port = 0;
+};
+
+class ServiceServer {
+ public:
+  /// Binds and starts serving immediately. `scheduler` must outlive the
+  /// server; `registry` is what kStatsQuery snapshots.
+  ServiceServer(JobScheduler& scheduler, obs::MetricsRegistry& registry,
+                ServiceServerOptions options);
+  ~ServiceServer();
+
+  ServiceServer(const ServiceServer&) = delete;
+  ServiceServer& operator=(const ServiceServer&) = delete;
+
+  std::uint16_t port() const { return port_; }
+
+  /// Stops accepting and joins every connection handler. Handlers blocked
+  /// on an in-flight job return once the scheduler resolves it (drain the
+  /// scheduler first, or this can wait a full job). Idempotent.
+  void close();
+
+ private:
+  void accept_loop();
+  void serve_connection(int fd);
+
+  JobScheduler& scheduler_;
+  obs::MetricsRegistry& registry_;
+  ServiceServerOptions options_;
+  std::uint16_t port_ = 0;
+  int listen_fd_ = -1;
+  std::atomic<bool> closing_{false};
+  std::thread accept_thread_;
+  std::mutex conn_mutex_;
+  std::vector<std::thread> conn_threads_;
+};
+
+/// What a blocking client call observed.
+struct ServiceReply {
+  /// Set when the submission was shed; `outcome` is then empty.
+  std::optional<RejectReason> rejected;
+  std::uint64_t job_id = 0;
+  /// Set when the job was admitted and reached a terminal status.
+  std::optional<JobOutcome> outcome;
+};
+
+/// Submits a job and blocks until it is rejected or terminal. Throws
+/// std::runtime_error on connect/protocol failure. `timeout` bounds the
+/// whole exchange, including the search itself.
+ServiceReply service_submit(const std::string& host, std::uint16_t port,
+                            const JobSpec& spec,
+                            std::chrono::milliseconds timeout);
+
+/// Fetches the service's metrics snapshot (one-object-per-line JSON).
+std::string service_query_stats(const std::string& host, std::uint16_t port,
+                                std::chrono::milliseconds timeout);
+
+}  // namespace fdml

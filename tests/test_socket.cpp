@@ -15,6 +15,7 @@
 #include <thread>
 #include <vector>
 
+#include "comm/chaos_proxy.hpp"
 #include "comm/integrity.hpp"
 #include "comm/socket.hpp"
 #include "comm/wire.hpp"
@@ -405,6 +406,101 @@ TEST(SocketFabric, RendezvousTimesOutWithoutHub) {
   SocketOptions options = fabric_options(1, 2, pick_free_port());
   options.connect_timeout = std::chrono::milliseconds(200);
   EXPECT_THROW(SocketFabric{options}, std::runtime_error);
+}
+
+TEST(SocketFabric, SlowLorisHandshakeIsTimedOutNotServedForever) {
+  // A connection that opens TCP and then trickles (here: one byte of an
+  // announce, then silence) must be evicted after handshake_timeout — it
+  // held no rank, so it is not a peer death — and the fabric must keep
+  // serving real peers afterwards.
+  const std::uint16_t port = pick_free_port();
+  SocketOptions hub_options = fabric_options(0, 2, port);
+  hub_options.handshake_timeout = std::chrono::milliseconds(150);
+  SocketFabric hub(hub_options);
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  const std::uint8_t teaser = 'F';  // first byte of the frame magic
+  ::send(fd, &teaser, 1, 0);
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (hub.stats().handshake_timeouts == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(hub.stats().handshake_timeouts, 1u);
+  EXPECT_EQ(hub.stats().peer_deaths, 0u);
+  ::close(fd);
+
+  // An honest peer still rendezvouses and talks.
+  std::thread peer([&] {
+    SocketFabric fabric(fabric_options(1, 2, port));
+    auto endpoint = fabric.endpoint();
+    const auto message = endpoint->recv();
+    ASSERT_TRUE(message.has_value());
+    EXPECT_EQ(message->tag, MessageTag::kShutdown);
+  });
+  ASSERT_TRUE(hub.wait_ready(std::chrono::milliseconds(5000)));
+  hub.expect_departures();
+  hub.endpoint()->send(1, MessageTag::kShutdown, {});
+  peer.join();
+}
+
+TEST(SocketFabric, PeerReconnectsThroughOutageAndIsReadmitted) {
+  // The EOF-was-fatal regression: route a peer through a chaos proxy, sever
+  // the connection abruptly, and require (a) the hub counts a death and
+  // then re-admits the rank, (b) the peer's mailbox stays open across the
+  // outage, and (c) traffic flows again afterwards.
+  const std::uint16_t hub_port = pick_free_port();
+  SocketFabric hub(fabric_options(0, 2, hub_port));
+
+  ChaosProxyOptions proxy_options;
+  proxy_options.target_port = hub_port;
+  ChaosProxy proxy(proxy_options);
+
+  SocketOptions peer_options = fabric_options(1, 2, proxy.port());
+  peer_options.reconnect = true;
+  peer_options.reconnect_backoff = std::chrono::milliseconds(10);
+  peer_options.reconnect_budget = std::chrono::milliseconds(5000);
+  SocketFabric peer(peer_options);
+  auto peer_endpoint = peer.endpoint();
+  ASSERT_TRUE(hub.wait_ready(std::chrono::milliseconds(5000)));
+
+  auto hub_endpoint = hub.endpoint();
+  hub_endpoint->send(1, MessageTag::kProgress, {1});
+  auto first = peer_endpoint->recv();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->payload, (std::vector<std::uint8_t>{1}));
+
+  proxy.sever_all();
+
+  // The peer redials (through the proxy again) and re-announces; the hub
+  // sees the old connection die and accepts the rank back.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while ((hub.stats().readmissions == 0 || peer.stats().readmissions == 0) &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_GE(hub.stats().peer_deaths, 1u);
+  EXPECT_GE(hub.stats().readmissions, 1u);
+  EXPECT_GE(peer.stats().readmissions, 1u);
+
+  // Both directions work on the new connection.
+  hub_endpoint->send(1, MessageTag::kProgress, {2});
+  const auto second = peer_endpoint->recv();
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->payload, (std::vector<std::uint8_t>{2}));
+  peer_endpoint->send(0, MessageTag::kResult, {3});
+  const auto at_hub = hub_endpoint->recv();
+  ASSERT_TRUE(at_hub.has_value());
+  EXPECT_EQ(at_hub->payload, (std::vector<std::uint8_t>{3}));
+  hub.expect_departures();
 }
 
 // ---------------------------------------------------------------------------
