@@ -12,19 +12,13 @@ namespace fdml {
 
 namespace {
 
-// 2^256 rescale step in log space (see kClvScaleThreshold in kernels.hpp).
-constexpr double kLogScaleStep = 256.0 * 0.6931471805599453;  // 256 ln 2
-
 // Log-likelihood assigned to a zero-probability pattern (cannot happen with
 // valid data; keeps the optimizer finite instead of emitting -inf/NaN).
 constexpr double kZeroPatternLogPenalty = -1e30;
 
-// Patterns per tile of the blocked CLV kernel: one block of every
-// category's output plus both child blocks stays L1-resident, and the
-// scaling pass touches each block while it is still hot. Must be a
-// multiple of kPatternPad so tile boundaries keep vector alignment.
-constexpr std::size_t kPatternBlock = 64;
-static_assert(kPatternBlock % kPatternPad == 0);
+// The blocked CLV kernel tiles patterns by kPatternBlock (kernels.hpp): one
+// block of every category's output plus both child blocks stays L1-resident,
+// and the scaling pass touches each block while it is still hot.
 
 using KernelClock = std::chrono::steady_clock;
 
@@ -62,7 +56,7 @@ LikelihoodEngine::LikelihoodEngine(const PatternAlignment& data,
       padded_(round_up(data.num_patterns(), kPatternPad)),
       // NB: read rates_ (the member), not the moved-from parameter.
       num_categories_(rates_.num_categories()),
-      kernels_(&active_kernel_table()) {
+      kernels_(&kernel_table_for_patterns(data.num_patterns())) {
   counters_.simd_backend = kernels_->name;
   build_tip_clvs();
 
@@ -137,6 +131,26 @@ void LikelihoodEngine::invalidate_all() {
   for (auto& clv : clvs_) clv.valid = false;
 }
 
+void LikelihoodEngine::invalidate_node(int node) {
+  for (int s = 0; s < 3; ++s) clvs_[key(node, s)].valid = false;
+}
+
+void LikelihoodEngine::save_clv_validity(std::vector<char>& out) const {
+  out.resize(clvs_.size());
+  for (std::size_t i = 0; i < clvs_.size(); ++i) {
+    out[i] = clvs_[i].valid ? 1 : 0;
+  }
+}
+
+void LikelihoodEngine::restore_clv_validity(const std::vector<char>& saved) {
+  if (saved.size() != clvs_.size()) {
+    throw std::logic_error("restore_clv_validity: stale snapshot");
+  }
+  for (std::size_t i = 0; i < clvs_.size(); ++i) {
+    clvs_[i].valid = saved[i] != 0;
+  }
+}
+
 void LikelihoodEngine::invalidate_away(int node, int toward) {
   if (tree_->is_tip(node)) return;
   for (int s = 0; s < 3; ++s) {
@@ -172,6 +186,7 @@ void LikelihoodEngine::compute_internal_clv(int u, int slot) {
 
   // The two neighbors other than the direction `slot` points to.
   int children[2];
+  int back_slots[2];
   double lengths[2];
   int child_count = 0;
   for (int s = 0; s < 3; ++s) {
@@ -179,9 +194,23 @@ void LikelihoodEngine::compute_internal_clv(int u, int slot) {
     const int nbr = tree_->neighbor(u, s);
     if (nbr == Tree::kNoNode) throw std::logic_error("clv: malformed internal node");
     children[child_count] = nbr;
+    back_slots[child_count] =
+        tree_->is_tip(nbr) ? -1 : tree_->find_slot(nbr, u);
     lengths[child_count] = tree_->slot_length(u, s);
     ++child_count;
   }
+
+  combine_children(children, back_slots, lengths, clv.values.data(),
+                   clv.scale.data());
+  clv.valid = true;
+}
+
+void LikelihoodEngine::combine_children(const int children[2],
+                                        const int back_slots[2],
+                                        const double lengths[2],
+                                        double* out_values,
+                                        std::int32_t* out_scale) {
+  const std::size_t cat_stride = 4 * padded_;
 
   // Resolve child CLV storage (recursing first so pointers stay stable, and
   // so the kernel timer below does not double-count nested computations).
@@ -197,8 +226,7 @@ void LikelihoodEngine::compute_internal_clv(int u, int slot) {
       child_scales[c] = nullptr;
       child_is_tip[c] = true;
     } else {
-      const int back = tree_->find_slot(node, u);
-      const Clv& child = ensure_clv(node, back);
+      const Clv& child = ensure_clv(node, back_slots[c]);
       child_values[c] = child.values.data();
       child_codes[c] = nullptr;
       child_scales[c] = child.scale.data();
@@ -247,18 +275,17 @@ void LikelihoodEngine::compute_internal_clv(int u, int slot) {
         b.p = &clv_p_[num_categories_ + cat][0][0];
       }
       kernels_->clv_combine(begin, end, padded_, a, b,
-                            &clv.values[cat * cat_stride]);
+                            out_values + cat * cat_stride);
     }
 
     // Combine child scale counters and rescale underflowing patterns of
     // this block (all categories are still L1-resident): vector max over
     // the planes plus a movemask picks out the underflowing lanes.
     counters_.clv_rescales += kernels_->clv_rescale(
-        begin, end, padded_, num_categories_, clv.values.data(),
-        child_scales[0], child_scales[1], clv.scale.data());
+        begin, end, padded_, num_categories_, out_values, child_scales[0],
+        child_scales[1], out_scale);
   }
 
-  clv.valid = true;
   ++counters_.clv_computations;
   counters_.kernel_ns += elapsed_ns(kernel_start);
   flops_ += num_categories_ * num_patterns_ *

@@ -19,9 +19,11 @@
 // Kernel layer (see DESIGN.md "SIMD kernel layer"):
 //   - CLVs, tip indicators and edge coefficients live in pattern-plane SoA
 //     layout ([category][state][padded pattern]) in 64-byte-aligned arenas,
-//     and the four hot loops run through a SIMD backend selected at runtime
-//     (scalar / SSE2 / AVX2 — kernels.hpp); the engine captures the active
-//     backend's dispatch table at construction;
+//     and the hot loops run through a SIMD backend selected at runtime
+//     (scalar / SSE2 / AVX2 / AVX-512, exact or fast-math tier —
+//     kernels.hpp); the engine captures a dispatch table at construction
+//     via kernel_table_for_patterns(), which applies the AVX-512 downclock
+//     heuristic to the alignment's pattern count;
 //   - transition matrices are served by a TransitionCache keyed by the
 //     effective length t * rate, invalidated by epoch on set_model();
 //   - the hot path is allocation-free: edge captures and Newton evaluations
@@ -92,6 +94,7 @@ class EdgeLikelihood {
 
  private:
   friend class LikelihoodEngine;
+  friend class BatchEdgeEvaluator;  // builds per-edge views over batch planes
 
   struct Workspace;
 
@@ -152,6 +155,20 @@ class LikelihoodEngine {
   /// Invalidate every cached CLV (topology changed).
   void invalidate_all();
 
+  /// Invalidates the three directed CLVs of one node. Used around scoped
+  /// tree edits (taxon insertion trials): a node id drawn from the tree's
+  /// free list may still carry validity flags from an earlier occupant.
+  void invalidate_node(int node);
+
+  /// Snapshot / restore of the CLV validity flags (values are untouched).
+  /// A scoped insertion trial saves the flags, mutates the tree, lets the
+  /// optimizer invalidate freely, then restores — the base tree's cached
+  /// CLVs come back verbatim because an insertion trial only ever *writes*
+  /// CLVs of the junction node (fresh id) and only *reads* directions
+  /// pointing toward the junction, which the base tree computed already.
+  void save_clv_validity(std::vector<char>& out) const;
+  void restore_clv_validity(const std::vector<char>& saved);
+
   /// The length of edge (u, v) was committed; invalidate the directed CLVs
   /// that depend on it (those pointing away from the edge).
   void on_length_changed(int u, int v);
@@ -189,7 +206,7 @@ class LikelihoodEngine {
   KernelCounters counters() const;
   TransitionCache& transition_cache() { return cache_; }
   /// The SIMD kernel table this engine dispatches through (fixed at
-  /// construction from simd::active_backend()).
+  /// construction from kernel_table_for_patterns(num_patterns)).
   const KernelTable& kernels() const { return *kernels_; }
 
  private:
@@ -209,6 +226,18 @@ class LikelihoodEngine {
   void compute_internal_clv(int u, int slot);
   void invalidate_away(int node, int toward);
 
+  /// Core of compute_internal_clv: combines two children into caller
+  /// storage. `back_slots[c]` names the directed CLV of child c that faces
+  /// the (possibly virtual) parent — CLV(children[c] -> parent); ignored
+  /// for tip children. `lengths[c]` is the child-to-parent branch length.
+  /// BatchEdgeEvaluator uses this to compute the CLV a junction node
+  /// *would* have on each candidate insertion edge, without mutating the
+  /// tree — bit-identical to what compute_internal_clv would produce after
+  /// the insertion, because it is the same code.
+  void combine_children(const int children[2], const int back_slots[2],
+                        const double lengths[2], double* out_values,
+                        std::int32_t* out_scale);
+
   /// Tip CLVs have no category dimension and never need scaling; expands a
   /// base code into indicator likelihood planes (and keeps the raw codes
   /// for the table-driven tip kernels).
@@ -222,6 +251,8 @@ class LikelihoodEngine {
   const double* tip_planes(int node) const {
     return &tip_clvs_[static_cast<std::size_t>(node) * 4 * padded_];
   }
+
+  friend class BatchEdgeEvaluator;  // shares arenas, CLV access, counters
 
   const PatternAlignment& data_;
   SubstModel model_;  // mutable via set_model()

@@ -1,9 +1,10 @@
 // SIMD kernel layer under the likelihood engine.
 //
-// The four hot loops of Felsenstein pruning — internal-CLV combine, tip
-// lookup-table combine, eigen-coefficient edge capture, and the per-pattern
-// dot of EdgeLikelihood::evaluate — are independent across site patterns,
-// so the engine stores CLVs and edge coefficients as pattern-plane SoA:
+// The hot loops of Felsenstein pruning — internal-CLV combine, tip
+// lookup-table combine, eigen-coefficient edge capture (single and batched),
+// and the per-pattern dot of EdgeLikelihood::evaluate — are independent
+// across site patterns, so the engine stores CLVs and edge coefficients as
+// pattern-plane SoA:
 //
 //   [category][state][pattern]   (pattern extent padded to kPatternPad)
 //
@@ -15,10 +16,15 @@
 // Backends are function-pointer tables. Each table is produced by one
 // translation unit compiled for its ISA (kernels_scalar.cpp at W = 1,
 // kernels_sse2.cpp at W = 2 with -msse2, kernels_avx2.cpp at W = 4 with
-// -mavx2) from the same width-generic bodies in kernels_body.hpp, so the
-// math is written exactly once. active_kernel_table() resolves
-// simd::active_backend() (runtime CPUID + FDML_SIMD override) to a table;
-// the engine captures the table at construction.
+// -mavx2, kernels_avx512.cpp at W = 8 with -mavx512f/dq) from the same
+// width-generic bodies in kernels_body.hpp, so the math is written exactly
+// once. When the build enables FDML_FAST_MATH, a parallel set of TUs
+// (kernels_{avx2,avx512}_fast.cpp, compiled with -mfma and
+// -ffp-contract=fast) registers Tier::kFast tables that use hardware FMA;
+// backends without a fast TU fall back to their exact table.
+// active_kernel_table() resolves simd::active_backend() and
+// simd::active_tier() (runtime CPUID + FDML_SIMD / FDML_TIER overrides) to
+// a table; the engine captures the table at construction.
 //
 // Padded-tail contract: callers zero-fill plane tails (patterns in
 // [num_patterns, padded)). Kernels process full padded ranges; zero inputs
@@ -38,10 +44,28 @@ namespace fdml {
 /// a full cache line, so plane starts stay 64-byte aligned for any W.
 inline constexpr std::size_t kPatternPad = 8;
 
+/// Patterns per tile of the blocked kernels: one block of every category's
+/// output plus the operand blocks stays L1-resident. The engine tiles its
+/// CLV sweep by this, and edge_capture_multi interleaves its K edges at
+/// this granularity so the whole batch reuses cache-hot operand planes.
+/// Must be a multiple of kPatternPad so tile boundaries keep alignment.
+inline constexpr std::size_t kPatternBlock = 64;
+static_assert(kPatternBlock % kPatternPad == 0);
+
 /// Underflow guard (shared by the kernels and the engine): rescale a
 /// pattern by 2^256 whenever its largest CLV entry falls below 2^-256.
 inline constexpr double kClvScaleThreshold = 0x1.0p-256;
 inline constexpr double kClvScaleFactor = 0x1.0p+256;
+/// One rescale step in log space: log(kClvScaleFactor) = 256 ln 2.
+/// Log-likelihood paths subtract scale_count * kLogScaleStep.
+inline constexpr double kLogScaleStep = 256.0 * 0.6931471805599453;
+
+/// Pattern count below which an auto-resolved AVX-512 backend is demoted to
+/// AVX2 (kernel_table_for_patterns): small workloads cannot amortize the
+/// frequency drop 512-bit FP triggers on many cores, so the wider vectors
+/// only pay for themselves once enough patterns flow through each call.
+/// Pinning the backend (FDML_SIMD=avx512 / set_backend) bypasses this.
+inline constexpr std::size_t kAvx512MinPatterns = 256;
 
 /// One child of a CLV combine, category-resolved. Exactly one of
 /// {codes+tip_tab, p} is consulted: a tip child is combined through its
@@ -55,8 +79,9 @@ struct ClvOperand {
 };
 
 struct KernelTable {
-  const char* name;        ///< backend label ("scalar", "sse2", "avx2")
+  const char* name;        ///< backend label ("scalar", "sse2", "avx2", "avx512")
   simd::Backend backend;
+  simd::Tier tier;         ///< exact (unfused madd) or fast (hardware FMA)
   int width;               ///< lanes per vector
 
   /// CLV combine over patterns [begin, end): out[s][pat] = left_s(pat) *
@@ -83,6 +108,19 @@ struct KernelTable {
                        const double* b_planes, const double* pr,
                        const double* left, double prob, double* coeff);
 
+  /// Batched edge_capture: captures `count` edges for one category in a
+  /// single pattern-blocked pass — for each block of kPatternBlock patterns
+  /// every edge is processed before moving on, so pr/left and any operand
+  /// planes shared between edges are still cache-hot when edge e+1 reads
+  /// them. Per-edge arithmetic is identical to edge_capture (the
+  /// batched-vs-sequential bit-parity contract): coeff[e] receives exactly
+  /// what edge_capture(padded, a_planes[e], b_planes[e], ...) would write.
+  void (*edge_capture_multi)(std::size_t padded, std::size_t count,
+                             const double* const* a_planes,
+                             const double* const* b_planes, const double* pr,
+                             const double* left, double prob,
+                             double* const* coeff);
+
   /// Per-pattern 4-coefficient dot for one category (exp(lambda_k r t) is
   /// hoisted into e[] by the caller — evaluate() itself is exp-free per
   /// pattern): site[pat] (+)= sum_k coeff[k][pat] * e[k]; with derivs also
@@ -93,16 +131,28 @@ struct KernelTable {
                         double* site_d2);
 };
 
-/// Table for one backend, or nullptr if that backend was not compiled in.
-const KernelTable* kernel_table(simd::Backend backend);
+/// Table for one (backend, tier) pair, or nullptr if that exact pair was
+/// not compiled in (no fallback — use active_kernel_table() or
+/// kernel_table_for_patterns() for resolving lookups).
+const KernelTable* kernel_table(simd::Backend backend,
+                                simd::Tier tier = simd::Tier::kExact);
 
-/// Table for simd::active_backend() (falls back to scalar, which is always
-/// compiled).
+/// Table for simd::active_backend() at simd::active_tier(). A backend
+/// without a compiled fast table falls back to its exact table; an
+/// uncompiled backend falls back to scalar (always compiled).
 const KernelTable& active_kernel_table();
 
-/// Every table compiled into this binary, scalar first. Entries for
-/// backends the running CPU lacks are still returned (callers gate on
-/// simd::cpu_supports before executing them).
+/// active_kernel_table() with the AVX-512 downclock heuristic applied: an
+/// auto-resolved (not pinned) AVX-512 backend is demoted to AVX2 when
+/// `num_patterns` < kAvx512MinPatterns. Engines resolve their table through
+/// this so a run over a small alignment is not taxed with the 512-bit
+/// license frequency drop for kernels too short to repay it.
+const KernelTable& kernel_table_for_patterns(std::size_t num_patterns);
+
+/// Every exact-tier table compiled into this binary, scalar first. Entries
+/// for backends the running CPU lacks are still returned (callers gate on
+/// simd::cpu_supports before executing them). Fast-tier tables are excluded
+/// — this is the bit-parity set; query them with kernel_table(b, kFast).
 std::vector<const KernelTable*> compiled_kernel_tables();
 
 }  // namespace fdml

@@ -1,0 +1,23 @@
+// AVX2 fast-math tier (W = 4, hardware FMA). Compiled with -mavx2 -mfma
+// -ffp-contract=fast only when the build opts in via FDML_FAST_MATH; the TU
+// is empty otherwise. Kernels<4, true> routes every multiply-add through
+// Vec::fmadd, so each is one rounding step instead of two — faster and
+// slightly *more* accurate per operation, but no longer bit-identical to
+// the exact tier or to other backends, which is why this table registers
+// under Tier::kFast and is never selected by default. Dispatch additionally
+// requires the FMA CPUID bit (see kernels.cpp).
+#if defined(FDML_HAVE_FAST_TIER) && defined(FDML_HAVE_AVX2)
+
+#include "likelihood/kernels_body.hpp"
+
+namespace fdml::detail {
+
+const KernelTable* kernel_table_avx2_fast() {
+  static const KernelTable table = make_kernel_table<4, true>(
+      "avx2", simd::Backend::kAvx2, simd::Tier::kFast);
+  return &table;
+}
+
+}  // namespace fdml::detail
+
+#endif  // FDML_HAVE_FAST_TIER && FDML_HAVE_AVX2

@@ -1,0 +1,19 @@
+// AVX-512 fast-math tier (W = 8, hardware FMA). Compiled with -mavx512f
+// -mavx512dq -mfma -ffp-contract=fast only when both FDML_FAST_MATH and an
+// AVX-512-capable FDML_SIMD setting are configured; empty otherwise. Same
+// tier semantics as kernels_avx2_fast.cpp.
+#if defined(FDML_HAVE_FAST_TIER) && defined(FDML_HAVE_AVX512)
+
+#include "likelihood/kernels_body.hpp"
+
+namespace fdml::detail {
+
+const KernelTable* kernel_table_avx512_fast() {
+  static const KernelTable table = make_kernel_table<8, true>(
+      "avx512", simd::Backend::kAvx512, simd::Tier::kFast);
+  return &table;
+}
+
+}  // namespace fdml::detail
+
+#endif  // FDML_HAVE_FAST_TIER && FDML_HAVE_AVX512

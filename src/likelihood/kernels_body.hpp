@@ -1,29 +1,68 @@
 // Width-generic bodies of the likelihood kernels (see kernels.hpp).
 //
 // Included by exactly the per-backend translation units
-// (kernels_{scalar,sse2,avx2}.cpp), each compiled with its ISA flags and
-// -ffp-contract=off, and instantiated at that backend's lane width. All
-// arithmetic is lane-local and uses Vec::madd (unfused), so every width
-// produces bit-identical per-pattern results — the cross-backend parity
-// tests rely on this.
+// (kernels_{scalar,sse2,avx2,avx512}.cpp and their *_fast siblings), each
+// compiled with its ISA flags, and instantiated at that backend's lane
+// width. The `Fused` policy picks the multiply-add flavor:
+//
+//   Fused = false (exact tier): Vec::madd, an unfused multiply-then-add,
+//     with the TU compiled -ffp-contract=off. All arithmetic is lane-local
+//     and ordered identically at every width, so every exact backend
+//     produces bit-identical per-pattern results — the cross-backend parity
+//     tests rely on this.
+//   Fused = true (fast tier): Vec::fmadd, hardware FMA with one rounding
+//     step. Same operation order, so results stay within ~1e-12 relative of
+//     the exact tier, but bit equality across backends is forfeited (which
+//     is why the tier is opt-in).
+//
+// Perf notes baked into these bodies:
+//   - The 16-entry P(t) rows (and pr/left eigen rows) are copied into local
+//     arrays before each pattern loop. The originals live in engine arenas
+//     that the compiler must assume alias the output planes, which forces a
+//     reload of every broadcast per iteration; the locals are provably
+//     private, so the loads pipeline (and hoist entirely at narrow widths).
+//   - clv_rescale combines the child scale counters for the whole range in
+//     a branch-free pass first, then patches the (rare) underflowing lanes
+//     found by the vector max/movemask sweep — the previous form branched
+//     per lane on the hot path for the benefit of the rare one.
 #pragma once
+
+#include <cstring>
 
 #include "likelihood/kernels.hpp"
 
 namespace fdml::detail {
 
-template <int W>
+template <int W, bool Fused = false>
 struct Kernels {
   using V = simd::Vec<double, W>;
+
+  /// Tier-selected multiply-add (see header comment).
+  static inline V ma(V a, V b, V c) {
+    if constexpr (Fused) {
+      return V::fmadd(a, b, c);
+    } else {
+      return V::madd(a, b, c);
+    }
+  }
 
   /// Loads the four state lanes of one child at `pat`: tip children gather
   /// from the transposed 16-code table, internal children do a P-row dot
   /// with the child's CLV planes (same summation order as the scalar code
   /// this replaces: ((p0*a0 + p1*a1) + p2*a2) + p3*a3 per state).
+  /// Widths that read the tip table code-major (tab4[code * 4 + s]) via one
+  /// contiguous load per pattern + in-register transpose. Scalar keeps the
+  /// direct state-major reads; AVX-512's per-state gather is already an
+  /// in-register permutex2var LUT and beats the transpose form there.
+  static constexpr bool kCodeMajorTip = (W == 2 || W == 4);
+
   template <bool Tip>
   static inline void load_child(const ClvOperand& c, std::size_t padded,
                                 std::size_t pat, V out[4]) {
-    if constexpr (Tip) {
+    if constexpr (Tip && kCodeMajorTip) {
+      // c.tip_tab was re-laid code-major by combine() for these widths.
+      V::gather4(c.tip_tab, c.codes + pat, out);
+    } else if constexpr (Tip) {
       for (int s = 0; s < 4; ++s) {
         out[s] = V::gather(c.tip_tab + s * 16, c.codes + pat);
       }
@@ -35,9 +74,9 @@ struct Kernels {
       for (int s = 0; s < 4; ++s) {
         const double* row = c.p + s * 4;
         V acc = V::broadcast(row[0]) * a0;
-        acc = V::madd(V::broadcast(row[1]), a1, acc);
-        acc = V::madd(V::broadcast(row[2]), a2, acc);
-        acc = V::madd(V::broadcast(row[3]), a3, acc);
+        acc = ma(V::broadcast(row[1]), a1, acc);
+        acc = ma(V::broadcast(row[2]), a2, acc);
+        acc = ma(V::broadcast(row[3]), a3, acc);
         out[s] = acc;
       }
     }
@@ -46,11 +85,38 @@ struct Kernels {
   template <bool ATip, bool BTip>
   static void combine(std::size_t begin, std::size_t end, std::size_t padded,
                       const ClvOperand& a, const ClvOperand& b, double* out) {
+    // Local P-matrix copies: see the aliasing note in the header comment.
+    alignas(64) double pa[16];
+    alignas(64) double pb[16];
+    // Code-major tip-table copies for the transposed lookup (gather4);
+    // built once per call, amortized over the pattern range.
+    [[maybe_unused]] alignas(64) double ta4[64];
+    [[maybe_unused]] alignas(64) double tb4[64];
+    ClvOperand al = a;
+    ClvOperand bl = b;
+    if constexpr (!ATip) {
+      std::memcpy(pa, a.p, sizeof(pa));
+      al.p = pa;
+    } else if constexpr (kCodeMajorTip) {
+      for (int code = 0; code < 16; ++code) {
+        for (int s = 0; s < 4; ++s) ta4[code * 4 + s] = a.tip_tab[s * 16 + code];
+      }
+      al.tip_tab = ta4;
+    }
+    if constexpr (!BTip) {
+      std::memcpy(pb, b.p, sizeof(pb));
+      bl.p = pb;
+    } else if constexpr (kCodeMajorTip) {
+      for (int code = 0; code < 16; ++code) {
+        for (int s = 0; s < 4; ++s) tb4[code * 4 + s] = b.tip_tab[s * 16 + code];
+      }
+      bl.tip_tab = tb4;
+    }
     for (std::size_t pat = begin; pat < end; pat += W) {
       V left[4];
       V right[4];
-      load_child<ATip>(a, padded, pat, left);
-      load_child<BTip>(b, padded, pat, right);
+      load_child<ATip>(al, padded, pat, left);
+      load_child<BTip>(bl, padded, pat, right);
       for (int s = 0; s < 4; ++s) {
         (left[s] * right[s]).store(out + s * padded + pat);
       }
@@ -79,6 +145,25 @@ struct Kernels {
                                    const std::int32_t* a_scale,
                                    const std::int32_t* b_scale,
                                    std::int32_t* out_scale) {
+    // Pass 1: combined child scale counters for the whole range, branch-free
+    // (the null-ness of each child is fixed per call, not per pattern).
+    const std::size_t n = end - begin;
+    if (a_scale != nullptr && b_scale != nullptr) {
+      for (std::size_t p = begin; p < end; ++p) {
+        out_scale[p] = a_scale[p] + b_scale[p];
+      }
+    } else if (a_scale != nullptr) {
+      std::memcpy(out_scale + begin, a_scale + begin, n * sizeof(std::int32_t));
+    } else if (b_scale != nullptr) {
+      std::memcpy(out_scale + begin, b_scale + begin, n * sizeof(std::int32_t));
+    } else {
+      std::memset(out_scale + begin, 0, n * sizeof(std::int32_t));
+    }
+
+    // Pass 2: vector max over the planes; the movemask picks out the rare
+    // underflowing lanes, which get the multiplicative rescale and a scale
+    // increment. Underflowing lanes satisfy 0 < max < threshold — gap-only
+    // and padded-tail patterns have max == 0 and are intentionally excluded.
     const V zero = V::zero();
     const V threshold = V::broadcast(kClvScaleThreshold);
     const std::size_t planes = num_categories * 4;
@@ -88,33 +173,32 @@ struct Kernels {
       for (std::size_t plane = 0; plane < planes; ++plane) {
         max_entry = V::max(max_entry, V::load(values + plane * padded + pat));
       }
-      // Underflowing lanes: 0 < max < threshold. Gap-only and padded-tail
-      // patterns have max == 0 and are intentionally excluded.
-      const int mask =
-          V::lt_mask(zero, max_entry) & V::lt_mask(max_entry, threshold);
-      for (int lane = 0; lane < W; ++lane) {
+      int mask = V::lt_mask(zero, max_entry) & V::lt_mask(max_entry, threshold);
+      while (mask != 0) {
+        const int lane = __builtin_ctz(static_cast<unsigned>(mask));
+        mask &= mask - 1;
         const std::size_t p = pat + static_cast<std::size_t>(lane);
-        std::int32_t scale = 0;
-        if (a_scale != nullptr) scale += a_scale[p];
-        if (b_scale != nullptr) scale += b_scale[p];
-        if ((mask >> lane) & 1) {
-          for (std::size_t plane = 0; plane < planes; ++plane) {
-            values[plane * padded + p] *= kClvScaleFactor;
-          }
-          ++scale;
-          ++rescaled;
+        for (std::size_t plane = 0; plane < planes; ++plane) {
+          values[plane * padded + p] *= kClvScaleFactor;
         }
-        out_scale[p] = scale;
+        ++out_scale[p];
+        ++rescaled;
       }
     }
     return rescaled;
   }
 
-  static void edge_capture(std::size_t padded, const double* a_planes,
-                           const double* b_planes, const double* pr,
-                           const double* left, double prob, double* coeff) {
+  /// Shared inner loop of edge_capture / edge_capture_multi over patterns
+  /// [begin, end). `pr` and `left` must already be caller-local copies (the
+  /// wrappers below make them) so the broadcasts do not reload per
+  /// iteration against the coeff stores.
+  static inline void capture_span(std::size_t begin, std::size_t end,
+                                  std::size_t padded, const double* a_planes,
+                                  const double* b_planes, const double* pr,
+                                  const double* left, double prob,
+                                  double* coeff) {
     const V prob_v = V::broadcast(prob);
-    for (std::size_t pat = 0; pat < padded; pat += W) {
+    for (std::size_t pat = begin; pat < end; pat += W) {
       const V a0 = V::load(a_planes + 0 * padded + pat);
       const V a1 = V::load(a_planes + 1 * padded + pat);
       const V a2 = V::load(a_planes + 2 * padded + pat);
@@ -126,16 +210,49 @@ struct Kernels {
       for (int k = 0; k < 4; ++k) {
         const double* pk = pr + k * 4;
         V u = V::broadcast(pk[0]) * a0;
-        u = V::madd(V::broadcast(pk[1]), a1, u);
-        u = V::madd(V::broadcast(pk[2]), a2, u);
-        u = V::madd(V::broadcast(pk[3]), a3, u);
+        u = ma(V::broadcast(pk[1]), a1, u);
+        u = ma(V::broadcast(pk[2]), a2, u);
+        u = ma(V::broadcast(pk[3]), a3, u);
         u = prob_v * u;
         const double* lk = left + k * 4;
         V v = V::broadcast(lk[0]) * b0;
-        v = V::madd(V::broadcast(lk[1]), b1, v);
-        v = V::madd(V::broadcast(lk[2]), b2, v);
-        v = V::madd(V::broadcast(lk[3]), b3, v);
+        v = ma(V::broadcast(lk[1]), b1, v);
+        v = ma(V::broadcast(lk[2]), b2, v);
+        v = ma(V::broadcast(lk[3]), b3, v);
         (u * v).store(coeff + static_cast<std::size_t>(k) * padded + pat);
+      }
+    }
+  }
+
+  static void edge_capture(std::size_t padded, const double* a_planes,
+                           const double* b_planes, const double* pr,
+                           const double* left, double prob, double* coeff) {
+    alignas(64) double prl[16];
+    alignas(64) double lfl[16];
+    std::memcpy(prl, pr, sizeof(prl));
+    std::memcpy(lfl, left, sizeof(lfl));
+    capture_span(0, padded, padded, a_planes, b_planes, prl, lfl, prob, coeff);
+  }
+
+  static void edge_capture_multi(std::size_t padded, std::size_t count,
+                                 const double* const* a_planes,
+                                 const double* const* b_planes,
+                                 const double* pr, const double* left,
+                                 double prob, double* const* coeff) {
+    alignas(64) double prl[16];
+    alignas(64) double lfl[16];
+    std::memcpy(prl, pr, sizeof(prl));
+    std::memcpy(lfl, left, sizeof(lfl));
+    // Block-interleaved: every edge visits pattern block [begin, end) while
+    // the shared eigen rows — and, in the insertion-batch case, the shared
+    // operand planes — are still L1-resident. Per-edge results are exactly
+    // edge_capture's (same spans, same order within each edge).
+    for (std::size_t begin = 0; begin < padded; begin += kPatternBlock) {
+      const std::size_t end =
+          begin + kPatternBlock < padded ? begin + kPatternBlock : padded;
+      for (std::size_t e = 0; e < count; ++e) {
+        capture_span(begin, end, padded, a_planes[e], b_planes[e], prl, lfl,
+                     prob, coeff[e]);
       }
     }
   }
@@ -160,20 +277,20 @@ struct Kernels {
       const V c2 = V::load(coeff + 2 * padded + pat);
       const V c3 = V::load(coeff + 3 * padded + pat);
       V s = c0 * e0;
-      s = V::madd(c1, e1, s);
-      s = V::madd(c2, e2, s);
-      s = V::madd(c3, e3, s);
+      s = ma(c1, e1, s);
+      s = ma(c2, e2, s);
+      s = ma(c3, e3, s);
       if constexpr (Accumulate) s = V::load(site + pat) + s;
       s.store(site + pat);
       if constexpr (Derivs) {
         V g = c0 * l0;
-        g = V::madd(c1, l1, g);
-        g = V::madd(c2, l2, g);
-        g = V::madd(c3, l3, g);
+        g = ma(c1, l1, g);
+        g = ma(c2, l2, g);
+        g = ma(c3, l3, g);
         V h = c0 * q0;
-        h = V::madd(c1, q1, h);
-        h = V::madd(c2, q2, h);
-        h = V::madd(c3, q3, h);
+        h = ma(c1, q1, h);
+        h = ma(c2, q2, h);
+        h = ma(c3, q3, h);
         if constexpr (Accumulate) {
           g = V::load(site_d1 + pat) + g;
           h = V::load(site_d2 + pat) + h;
@@ -204,16 +321,19 @@ struct Kernels {
   }
 };
 
-template <int W>
-KernelTable make_kernel_table(const char* name, simd::Backend backend) {
+template <int W, bool Fused = false>
+KernelTable make_kernel_table(const char* name, simd::Backend backend,
+                              simd::Tier tier = simd::Tier::kExact) {
   KernelTable table;
   table.name = name;
   table.backend = backend;
+  table.tier = tier;
   table.width = W;
-  table.clv_combine = &Kernels<W>::clv_combine;
-  table.clv_rescale = &Kernels<W>::clv_rescale;
-  table.edge_capture = &Kernels<W>::edge_capture;
-  table.edge_evaluate = &Kernels<W>::edge_evaluate;
+  table.clv_combine = &Kernels<W, Fused>::clv_combine;
+  table.clv_rescale = &Kernels<W, Fused>::clv_rescale;
+  table.edge_capture = &Kernels<W, Fused>::edge_capture;
+  table.edge_capture_multi = &Kernels<W, Fused>::edge_capture_multi;
+  table.edge_evaluate = &Kernels<W, Fused>::edge_evaluate;
   return table;
 }
 

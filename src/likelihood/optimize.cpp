@@ -8,18 +8,18 @@ namespace fdml {
 BranchOptimizer::BranchOptimizer(LikelihoodEngine& engine, OptimizeOptions options)
     : engine_(engine), options_(options) {}
 
-double BranchOptimizer::optimize_edge(Tree& tree, int u, int v) {
-  const EdgeLikelihood f = engine_.edge_likelihood(u, v);
+double newton_branch_solve(const EdgeLikelihood& f, double t0,
+                           const OptimizeOptions& options) {
   double lo = kMinBranchLength;
   double hi = kMaxBranchLength;
-  double t = std::clamp(tree.length(u, v), lo, hi);
+  double t = std::clamp(t0, lo, hi);
 
-  for (int iter = 0; iter < options_.max_newton_iterations; ++iter) {
+  for (int iter = 0; iter < options.max_newton_iterations; ++iter) {
     double d1 = 0.0;
     double d2 = 0.0;
     f.evaluate(t, &d1, &d2);
     // Already at a stationary point: stop before taking another step.
-    if (std::fabs(d1) <= options_.derivative_tolerance) break;
+    if (std::fabs(d1) <= options.derivative_tolerance) break;
     // Shrink the bracket around the maximum using the gradient sign.
     if (d1 > 0.0) {
       lo = t;
@@ -39,11 +39,16 @@ double BranchOptimizer::optimize_edge(Tree& tree, int u, int v) {
     }
     const double change = std::fabs(next - t);
     t = next;
-    if (change <= options_.branch_tolerance * std::max(t, 1e-3)) break;
-    if (hi - lo <= options_.branch_tolerance * std::max(lo, 1e-3)) break;
+    if (change <= options.branch_tolerance * std::max(t, 1e-3)) break;
+    if (hi - lo <= options.branch_tolerance * std::max(lo, 1e-3)) break;
   }
 
-  t = std::clamp(t, kMinBranchLength, kMaxBranchLength);
+  return std::clamp(t, kMinBranchLength, kMaxBranchLength);
+}
+
+double BranchOptimizer::optimize_edge(Tree& tree, int u, int v) {
+  const EdgeLikelihood f = engine_.edge_likelihood(u, v);
+  const double t = newton_branch_solve(f, tree.length(u, v), options_);
   tree.set_length(u, v, t);
   engine_.on_length_changed(u, v);
   ++edge_optimizations_;

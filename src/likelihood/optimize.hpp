@@ -29,6 +29,15 @@ struct OptimizeOptions {
   double smooth_tolerance = 1e-4;
 };
 
+/// Safeguarded Newton solve on one captured edge-likelihood view: returns
+/// the branch length in [kMinBranchLength, kMaxBranchLength] that maximizes
+/// f, starting from t0. Pure — commits nothing to any tree or engine; the
+/// caller decides what to do with the result. BranchOptimizer::optimize_edge
+/// and BatchEdgeEvaluator-based insertion scoring share this exact sequence
+/// so their solves are bit-identical given bit-identical views.
+double newton_branch_solve(const EdgeLikelihood& f, double t0,
+                           const OptimizeOptions& options);
+
 class BranchOptimizer {
  public:
   /// The engine must already be attached to the tree being optimized.

@@ -19,13 +19,19 @@ SerialTaskRunner::SerialTaskRunner(const PatternAlignment& data, SubstModel mode
 
 RoundOutcome SerialTaskRunner::run_round(const std::vector<TreeTask>& tasks) {
   if (tasks.empty()) throw std::invalid_argument("run_round: empty round");
+  // The whole round goes through the batched path in one call — candidate
+  // insertion tasks share their base-tree CLV traversal and are captured in
+  // multi-edge chunks. Results come back in task order, so the best-result
+  // selection below is identical to evaluating one task at a time
+  // (first-wins on ties, sequential order).
+  std::vector<TaskResult> results = evaluator_.evaluate_batch(tasks);
   RoundOutcome outcome;
   bool have_best = false;
-  for (const TreeTask& task : tasks) {
-    TaskResult result = evaluator_.evaluate(task);
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    TaskResult& result = results[i];
     result.worker = 0;
     outcome.stats.push_back(
-        {task.task_id, result.cpu_seconds, wire_bytes(task, result), 0});
+        {tasks[i].task_id, result.cpu_seconds, wire_bytes(tasks[i], result), 0});
     if (!have_best || result.log_likelihood > outcome.best.log_likelihood) {
       outcome.best = std::move(result);
       have_best = true;

@@ -1,11 +1,32 @@
 // The worker computation: deserialize a task, optimize, serialize a result.
 // Shared by the serial runner, the in-process thread workers, and — were an
 // MPI transport added — the MPI worker main loop.
+//
+// Insertion tasks (focus_taxon >= 0) are evaluated through a batched path:
+// the evaluator keeps a *context* — the round's base tree (the task tree
+// with the focus tip removed) with the engine attached to it — so the CLVs
+// of the base tree are computed once and shared by every candidate
+// insertion point of the round. Candidates are scored in chunks through
+// BatchEdgeEvaluator: one multi-edge kernel pass captures all candidate
+// tip-edge likelihoods, the Newton solves run off the still-hot coefficient
+// planes, and only then is each candidate spliced in (scoped: validity
+// flags snapshotted and restored) for its local smoothing passes.
+//
+// Determinism contract: the result of a task is a pure function of the
+// task. Every incoming task is verified against the context bitwise
+// (topology under canonical min-taxon child ordering, branch lengths
+// compared exactly); on mismatch the context is rebuilt from the task
+// itself. The batched path and the sequential fallback perform the same
+// canonical edge sequence with the same arithmetic, so their results are
+// bit-identical — the cross-process determinism tests rely on this.
 #pragma once
 
+#include <cstddef>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "likelihood/batch.hpp"
 #include "likelihood/evaluator.hpp"
 #include "search/task.hpp"
 
@@ -13,17 +34,83 @@ namespace fdml {
 
 class TaskEvaluator {
  public:
+  /// Candidate chunk size for the batched insertion path (bounds the batch
+  /// arena footprint; rounds larger than this are processed in chunks).
+  static constexpr std::size_t kChunk = 16;
+
   /// `data` must outlive the evaluator (the pattern table is shared).
   TaskEvaluator(const PatternAlignment& data, SubstModel model,
                 RateModel rates, OptimizeOptions options = {});
 
   TaskResult evaluate(const TreeTask& task);
 
+  /// Evaluates a batch of tasks (results in task order). Consecutive
+  /// insertion tasks that share a base tree are scored through the batched
+  /// multi-edge path; full-smoothing tasks fall back to the sequential
+  /// path. Bit-identical to calling evaluate() per task in the same order.
+  std::vector<TaskResult> evaluate_batch(const std::vector<TreeTask>& tasks);
+
   LikelihoodEngine& engine() { return evaluator_.engine(); }
 
  private:
+  /// An insertion task prepared for the batched path: parsed tree, local
+  /// node ids, and the candidate edge mapped into context coordinates.
+  struct Candidate {
+    const TreeTask* task = nullptr;
+    std::size_t result_index = 0;
+    Tree tree;             ///< parsed task tree (writeback target)
+    int junction = -1;     ///< ids in the parsed task tree
+    int u = -1;
+    int v = -1;
+    double tip_length = 0.0;  ///< initial focus-tip branch length
+    BatchEdgeEvaluator::Insertion insertion;  ///< in context coordinates
+  };
+
+  /// Verifies that `base` (task coordinates) is bit-identical to the
+  /// context base tree and fills `map_` (task node id -> context node id).
+  bool verify_against_context(const Tree& base);
+  /// Adopts `base` as the new context (attaches the engine; identity map).
+  void rebuild_context(Tree&& base, std::uint64_t round_id);
+
+  /// Canonical local smoothing of the three edges at a freshly inserted
+  /// focus tip: [(junction, tip), (junction, a), (junction, b)] with a and
+  /// b ordered by the minimum taxon id behind them — representation
+  /// invariant. `pre_applied_before` >= 0 means the pass-0 tip-edge solve
+  /// was already applied (batched path) and was started from that length.
+  /// Returns the final log-likelihood across the canonical (tip, junction)
+  /// edge.
+  double smooth_focus(Tree& tree, int tip, int junction, int passes,
+                      double pre_applied_before);
+
+  /// Sequential fallback for focus tasks (same canonical sequence, solves
+  /// one edge at a time against a freshly attached tree).
+  TaskResult evaluate_focus_sequential(const TreeTask& task);
+  /// Full-smoothing path (focus_taxon < 0).
+  TaskResult evaluate_full(const TreeTask& task);
+
+  /// Phase A + B for a prepared chunk: one batched capture + solve, then
+  /// per-candidate scoped insertion and local smoothing.
+  void flush_chunk(std::vector<Candidate>& chunk,
+                   std::vector<TaskResult>& results);
+  /// Phase B for one candidate (context tree mutation is scoped: validity
+  /// flags and the split edge's length are restored on exit).
+  TaskResult evaluate_candidate(Candidate& c, double t1, double phase_a_share);
+
+  TaskResult finish_result(const TreeTask& task, double log_likelihood,
+                           const Tree& tree, double cpu_seconds,
+                           const KernelCounters& before);
+
   const PatternAlignment& data_;
   TreeEvaluator evaluator_;
+  BatchEdgeEvaluator batch_;
+
+  // Round context: base tree the engine is attached to, valid while no
+  // other attach intervened. ctx_round_ keys the fast-path check.
+  std::optional<Tree> ctx_base_;
+  bool ctx_valid_ = false;
+  std::uint64_t ctx_round_ = 0;
+  std::vector<int> map_;           ///< task node id -> context node id
+  std::vector<char> ctx_validity_; ///< CLV validity snapshot scratch
 };
 
 }  // namespace fdml

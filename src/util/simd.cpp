@@ -22,6 +22,17 @@ bool probe_cpu(Backend b) {
 #else
       return false;
 #endif
+    case Backend::kAvx512:
+#if defined(__x86_64__) || defined(__i386__)
+      // The kernels use 512-bit FP plus the DQ extension (cvtepu8_epi64 and
+      // friends are F, but require DQ-era parts in practice; every CPU with
+      // one has both). Probe both so a hypothetical F-only part (Knights
+      // Landing) falls back to AVX2.
+      return __builtin_cpu_supports("avx512f") &&
+             __builtin_cpu_supports("avx512dq");
+#else
+      return false;
+#endif
   }
   return false;
 }
@@ -33,24 +44,49 @@ bool is_compiled(Backend b) {
   return false;
 }
 
+struct BackendState {
+  Backend active;
+  // True when `active` came from FDML_SIMD or set_backend(name) rather than
+  // widest-available resolution; the downclock heuristic only demotes
+  // auto-resolved AVX-512.
+  bool pinned;
+};
+
 /// Widest compiled backend the CPU supports; honors FDML_SIMD in the
 /// environment (unknown / unavailable values fall back to auto selection).
-Backend resolve_auto() {
+BackendState resolve_auto() {
   if (const char* env = std::getenv("FDML_SIMD")) {
     const std::string name(env);
     for (Backend b : compiled_backends()) {
-      if (name == backend_name(b) && cpu_supports(b)) return b;
+      if (name == backend_name(b) && cpu_supports(b)) return {b, true};
     }
   }
   Backend best = Backend::kScalar;
   for (Backend b : compiled_backends()) {
     if (cpu_supports(b) && width(b) > width(best)) best = b;
   }
-  return best;
+  return {best, false};
 }
 
-Backend& active_state() {
-  static Backend active = resolve_auto();
+BackendState& active_state() {
+  static BackendState active = resolve_auto();
+  return active;
+}
+
+/// Requested tier: FDML_TIER in the environment, else exact. Unknown or
+/// uncompiled values fall back to exact.
+Tier resolve_tier_auto() {
+  if (const char* env = std::getenv("FDML_TIER")) {
+    const std::string name(env);
+    for (Tier t : compiled_tiers()) {
+      if (name == tier_name(t)) return t;
+    }
+  }
+  return Tier::kExact;
+}
+
+Tier& tier_state() {
+  static Tier active = resolve_tier_auto();
   return active;
 }
 
@@ -64,6 +100,8 @@ const char* backend_name(Backend b) {
       return "sse2";
     case Backend::kAvx2:
       return "avx2";
+    case Backend::kAvx512:
+      return "avx512";
   }
   return "scalar";
 }
@@ -76,12 +114,17 @@ std::vector<Backend> compiled_backends() {
 #if defined(FDML_HAVE_AVX2)
   backends.push_back(Backend::kAvx2);
 #endif
+#if defined(FDML_HAVE_AVX512)
+  backends.push_back(Backend::kAvx512);
+#endif
   return backends;
 }
 
 bool cpu_supports(Backend b) { return probe_cpu(b); }
 
-Backend active_backend() { return active_state(); }
+Backend active_backend() { return active_state().active; }
+
+bool backend_pinned() { return active_state().pinned; }
 
 bool set_backend(const std::string& name) {
   if (name == "auto") {
@@ -91,7 +134,35 @@ bool set_backend(const std::string& name) {
   for (Backend b : compiled_backends()) {
     if (name == backend_name(b)) {
       if (!cpu_supports(b) || !is_compiled(b)) return false;
-      active_state() = b;
+      active_state() = {b, true};
+      return true;
+    }
+  }
+  return false;
+}
+
+const char* tier_name(Tier t) {
+  return t == Tier::kFast ? "fast" : "exact";
+}
+
+std::vector<Tier> compiled_tiers() {
+  std::vector<Tier> tiers{Tier::kExact};
+#if defined(FDML_HAVE_FAST_TIER)
+  tiers.push_back(Tier::kFast);
+#endif
+  return tiers;
+}
+
+Tier active_tier() { return tier_state(); }
+
+bool set_tier(const std::string& name) {
+  if (name == "auto") {
+    tier_state() = resolve_tier_auto();
+    return true;
+  }
+  for (Tier t : compiled_tiers()) {
+    if (name == tier_name(t)) {
+      tier_state() = t;
       return true;
     }
   }

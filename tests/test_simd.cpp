@@ -10,6 +10,7 @@
 // compare against the scalar backend, which is always present.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <bit>
 #include <cmath>
 #include <cstdint>
@@ -45,10 +46,15 @@ std::uint64_t ulp_distance(double a, double b) {
   EXPECT_LE(ulp_distance((a), (b)), 2u)                                   \
       << "values " << (a) << " vs " << (b)
 
-// Restores automatic backend selection when a test scope ends, even on
-// assertion failure.
+// Pins the exact kernel tier for the test scope (parity is only promised
+// for exact-tier tables) and restores automatic backend/tier selection when
+// the scope ends, even on assertion failure.
 struct BackendGuard {
-  ~BackendGuard() { simd::set_backend("auto"); }
+  BackendGuard() { simd::set_tier("exact"); }
+  ~BackendGuard() {
+    simd::set_backend("auto");
+    simd::set_tier("auto");
+  }
 };
 
 std::vector<const KernelTable*> usable_vector_tables() {
@@ -81,8 +87,23 @@ TEST(Simd, BackendSelection) {
   EXPECT_STREQ(active_kernel_table().name, "scalar");
   EXPECT_EQ(active_kernel_table().width, 1);
 
-  EXPECT_FALSE(simd::set_backend("avx512"));   // unknown name
+  EXPECT_FALSE(simd::set_backend("avx1024"));  // unknown name
   EXPECT_EQ(simd::active_backend(), simd::Backend::kScalar);  // unchanged
+
+  // avx512 is a known name; selecting it succeeds exactly when the TU is
+  // compiled in AND the CPU has avx512f+dq.
+  const bool avx512_compiled =
+      std::find(compiled.begin(), compiled.end(), simd::Backend::kAvx512) !=
+      compiled.end();
+  const bool avx512_usable =
+      avx512_compiled && simd::cpu_supports(simd::Backend::kAvx512);
+  EXPECT_EQ(simd::set_backend("avx512"), avx512_usable);
+  if (avx512_usable) {
+    EXPECT_EQ(simd::active_backend(), simd::Backend::kAvx512);
+    EXPECT_TRUE(simd::backend_pinned());
+    EXPECT_STREQ(active_kernel_table().name, "avx512");
+    EXPECT_EQ(active_kernel_table().width, 8);
+  }
 
   EXPECT_TRUE(simd::set_backend("auto"));
   for (const KernelTable* t : compiled_kernel_tables()) {
@@ -410,6 +431,257 @@ TEST(Simd, DeepTreeRescalingParity) {
           << table->name << " site " << s;
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// Batched multi-edge evaluation parity
+// ---------------------------------------------------------------------------
+
+std::vector<std::string> all_usable_backend_names() {
+  std::vector<std::string> names{"scalar"};
+  for (const KernelTable* t : usable_vector_tables()) names.push_back(t->name);
+  return names;
+}
+
+struct EdgeEval {
+  double lnl = 0.0;
+  double d1 = 0.0;
+  double d2 = 0.0;
+};
+
+// The batched capture promises bit-identity — not ulp-closeness — to the
+// edge-at-a-time path *within* each backend (edge_capture_multi performs
+// each edge's arithmetic in exactly edge_capture's order; only the block
+// interleaving across edges differs). The search layer builds on that to
+// keep batched candidate scoring deterministic, so this asserts with == on
+// every compiled backend, including batch sizes that don't divide the
+// pattern-block width.
+TEST(Simd, BatchCaptureMatchesEdgeLikelihood) {
+  BackendGuard guard;
+  Rng tree_rng(29);
+  Tree tree(40);
+  const Alignment alignment = parity_alignment(40, 100, 2902, tree_rng, tree);
+  const PatternAlignment data(alignment);
+  const SubstModel model =
+      SubstModel::f84_from_tstv(data.base_frequencies(), 2.0);
+  const RateModel rates = RateModel::discrete_gamma(0.7, 4);
+  const std::vector<std::pair<int, int>> all_edges = tree.edges();
+  ASSERT_GE(all_edges.size(), 32u);
+
+  for (const std::string& backend : all_usable_backend_names()) {
+    ASSERT_TRUE(simd::set_backend(backend));
+    LikelihoodEngine engine(data, model, rates);
+    engine.attach(tree);
+    BatchEdgeEvaluator batch(engine);
+    for (const std::size_t k_count : {1u, 2u, 7u, 32u}) {
+      std::vector<BatchEdgeEvaluator::Edge> edges;
+      for (std::size_t k = 0; k < k_count; ++k) {
+        const auto [u, v] = all_edges[(k * 5) % all_edges.size()];
+        edges.push_back({u, v});
+      }
+      batch.capture(edges);
+      ASSERT_EQ(batch.size(), k_count);
+      // Evaluate every view before touching engine.edge_likelihood — the
+      // views share the engine's site scratch with it.
+      std::vector<EdgeEval> got(k_count);
+      for (std::size_t k = 0; k < k_count; ++k) {
+        const double t = 0.05 + 0.01 * static_cast<double>(k);
+        got[k].lnl = batch.view(k).evaluate(t, &got[k].d1, &got[k].d2);
+      }
+      for (std::size_t k = 0; k < k_count; ++k) {
+        const double t = 0.05 + 0.01 * static_cast<double>(k);
+        const EdgeLikelihood f =
+            engine.edge_likelihood(edges[k].u, edges[k].v);
+        EdgeEval ref;
+        ref.lnl = f.evaluate(t, &ref.d1, &ref.d2);
+        ASSERT_EQ(got[k].lnl, ref.lnl)
+            << backend << " K=" << k_count << " edge " << k;
+        ASSERT_EQ(got[k].d1, ref.d1)
+            << backend << " K=" << k_count << " edge " << k;
+        ASSERT_EQ(got[k].d2, ref.d2)
+            << backend << " K=" << k_count << " edge " << k;
+      }
+    }
+  }
+}
+
+// Same bit-identity promise under heavy per-pattern rescaling: a deep
+// caterpillar drives CLV scale counters well past zero, so the views'
+// scale offsets and the rescale-aware capture path are exercised.
+TEST(Simd, BatchCaptureRescalingParity) {
+  BackendGuard guard;
+  const int n = 300;
+  Tree tree(n);
+  tree.make_triplet(0, 1, 2, 0.4, 0.4, 0.4);
+  for (int tip = 3; tip < n; ++tip) {
+    tree.insert_tip(tip, tip - 1, tree.neighbor(tip - 1, 0), 0.4);
+  }
+  Rng rng(37);
+  SimulateOptions options;
+  options.num_sites = 40;
+  const Alignment alignment =
+      simulate_alignment(tree, default_taxon_names(n), SubstModel::jc69(),
+                         RateModel::uniform(), options, rng);
+  const PatternAlignment data(alignment);
+  const std::vector<std::pair<int, int>> all_edges = tree.edges();
+
+  for (const std::string& backend : all_usable_backend_names()) {
+    ASSERT_TRUE(simd::set_backend(backend));
+    LikelihoodEngine engine(data, SubstModel::jc69(), RateModel::uniform());
+    engine.attach(tree);
+    // Edges spread across the caterpillar's depth, including the middle
+    // where both endpoint CLVs carry large scale counts.
+    std::vector<BatchEdgeEvaluator::Edge> edges;
+    for (const std::size_t pick :
+         {std::size_t{0}, all_edges.size() / 4, all_edges.size() / 2,
+          3 * all_edges.size() / 4, all_edges.size() - 1}) {
+      edges.push_back({all_edges[pick].first, all_edges[pick].second});
+    }
+    BatchEdgeEvaluator batch(engine);
+    batch.capture(edges);
+    EXPECT_GT(engine.counters().clv_rescales, 0u)
+        << "tree not deep enough to exercise scaling";
+    std::vector<EdgeEval> got(edges.size());
+    for (std::size_t k = 0; k < edges.size(); ++k) {
+      got[k].lnl = batch.view(k).evaluate(0.4, &got[k].d1, &got[k].d2);
+      ASSERT_TRUE(std::isfinite(got[k].lnl)) << backend << " edge " << k;
+    }
+    for (std::size_t k = 0; k < edges.size(); ++k) {
+      const EdgeLikelihood f = engine.edge_likelihood(edges[k].u, edges[k].v);
+      EdgeEval ref;
+      ref.lnl = f.evaluate(0.4, &ref.d1, &ref.d2);
+      ASSERT_EQ(got[k].lnl, ref.lnl) << backend << " edge " << k;
+      ASSERT_EQ(got[k].d1, ref.d1) << backend << " edge " << k;
+      ASSERT_EQ(got[k].d2, ref.d2) << backend << " edge " << k;
+    }
+  }
+}
+
+// The insertion-scoring pipeline: capture_insertions builds each candidate
+// junction CLV without mutating the tree, and newton_branch_solve off the
+// captured view must land on the bit-identical branch length that a real
+// splice + BranchOptimizer::optimize_edge produces. This is the parity the
+// search layer's batched quick-add path stands on.
+TEST(Simd, BatchInsertionMatchesRealInsertion) {
+  BackendGuard guard;
+  const int n = 16;
+  Rng tree_rng(31);
+  Tree full(n);
+  const Alignment alignment = parity_alignment(n, 80, 3103, tree_rng, full);
+  const PatternAlignment data(alignment);
+  const SubstModel model =
+      SubstModel::f84_from_tstv(data.base_frequencies(), 2.0);
+  const RateModel rates = RateModel::discrete_gamma(0.7, 2);
+  const int focus = n - 1;
+  Tree base = full;
+  base.remove_tip(focus);
+  const OptimizeOptions options;
+
+  // Harvest the exact post-splice local lengths per candidate (insert_tip
+  // clamps tiny split halves to kMinBranchLength, so the batched path must
+  // be fed the clamped values to match).
+  struct Cand {
+    int u, v;
+    double length_u, length_v;
+  };
+  std::vector<Cand> cands;
+  for (const auto& [u, v] : base.edges()) {
+    Tree trial = base;
+    const int j = trial.insert_tip(focus, u, v);
+    cands.push_back({u, v, trial.length(j, u), trial.length(j, v)});
+  }
+  ASSERT_LE(cands.size(), BatchEdgeEvaluator::kMaxBatch);
+
+  for (const std::string& backend : all_usable_backend_names()) {
+    ASSERT_TRUE(simd::set_backend(backend));
+    LikelihoodEngine engine(data, model, rates);
+    engine.attach(base);
+    BatchEdgeEvaluator batch(engine);
+    std::vector<BatchEdgeEvaluator::Insertion> insertions;
+    for (const Cand& c : cands) {
+      insertions.push_back({c.u, c.v, c.length_u, c.length_v});
+    }
+    batch.capture_insertions(focus, insertions);
+    ASSERT_EQ(batch.size(), cands.size());
+    std::vector<double> batched_len(cands.size());
+    std::vector<EdgeEval> batched(cands.size());
+    for (std::size_t k = 0; k < cands.size(); ++k) {
+      batched_len[k] =
+          newton_branch_solve(batch.view(k), kDefaultBranchLength, options);
+      batched[k].lnl =
+          batch.view(k).evaluate(batched_len[k], &batched[k].d1, &batched[k].d2);
+    }
+
+    // Sequential reference: really splice the tip in, re-attach, and run
+    // the production single-edge optimizer.
+    LikelihoodEngine ref_engine(data, model, rates);
+    for (std::size_t k = 0; k < cands.size(); ++k) {
+      Tree trial = base;
+      const int j = trial.insert_tip(focus, cands[k].u, cands[k].v);
+      ref_engine.attach(trial);
+      BranchOptimizer opt(ref_engine, options);
+      const double len = opt.optimize_edge(trial, j, focus);
+      ASSERT_EQ(batched_len[k], len) << backend << " candidate " << k;
+      const EdgeLikelihood f = ref_engine.edge_likelihood(j, focus);
+      EdgeEval ref;
+      ref.lnl = f.evaluate(len, &ref.d1, &ref.d2);
+      ASSERT_EQ(batched[k].lnl, ref.lnl) << backend << " candidate " << k;
+      ASSERT_EQ(batched[k].d1, ref.d1) << backend << " candidate " << k;
+      ASSERT_EQ(batched[k].d2, ref.d2) << backend << " candidate " << k;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fast-math tier
+// ---------------------------------------------------------------------------
+
+// The fused tier trades the cross-backend bit-exactness promise for FMA
+// throughput; what it must keep is accuracy. With well-conditioned inputs
+// (probabilities and their logs) fusing only *removes* rounding, so the
+// tier's log-likelihood has to sit within 1e-9 relative of the exact tier.
+// Skipped unless the build compiled the tier (FDML_FAST_MATH=ON).
+TEST(Simd, FastTierMatchesExactTierClosely) {
+  bool have_fast = false;
+  for (const simd::Tier t : simd::compiled_tiers()) {
+    if (t == simd::Tier::kFast) have_fast = true;
+  }
+  if (!have_fast) {
+    GTEST_SKIP() << "fast tier not compiled (configure with FDML_FAST_MATH=ON)";
+  }
+  BackendGuard guard;
+  ASSERT_TRUE(simd::set_backend("auto"));
+  Rng tree_rng(41);
+  Tree tree(60);
+  const Alignment alignment = parity_alignment(60, 150, 4105, tree_rng, tree);
+  const PatternAlignment data(alignment);
+  const SubstModel model =
+      SubstModel::f84_from_tstv(data.base_frequencies(), 2.0);
+  const RateModel rates = RateModel::discrete_gamma(0.7, 4);
+
+  ASSERT_TRUE(simd::set_tier("exact"));
+  double exact_lnl = 0.0;
+  double exact_edge = 0.0;
+  {
+    LikelihoodEngine engine(data, model, rates);
+    engine.attach(tree);
+    exact_lnl = engine.log_likelihood();
+    const auto [u, v] = tree.edges()[tree.edges().size() / 3];
+    exact_edge = engine.edge_likelihood(u, v).evaluate(0.13);
+  }
+
+  ASSERT_TRUE(simd::set_tier("fast"));
+  LikelihoodEngine engine(data, model, rates);
+  engine.attach(tree);
+  const double fast_lnl = engine.log_likelihood();
+  const auto [u, v] = tree.edges()[tree.edges().size() / 3];
+  const double fast_edge = engine.edge_likelihood(u, v).evaluate(0.13);
+
+  ASSERT_TRUE(std::isfinite(fast_lnl));
+  EXPECT_LT(std::fabs(fast_lnl - exact_lnl) / std::fabs(exact_lnl), 1e-9)
+      << "fast " << fast_lnl << " vs exact " << exact_lnl;
+  EXPECT_LT(std::fabs(fast_edge - exact_edge) / std::fabs(exact_edge), 1e-9)
+      << "fast " << fast_edge << " vs exact " << exact_edge;
 }
 
 }  // namespace
