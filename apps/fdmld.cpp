@@ -18,8 +18,13 @@
 //   # submit one job and wait for its tree (exit 0 done, 3 shed, 4 failed)
 //   fdmld --mode=submit --service-port=7200 --seed=11 --out=job11.nwk
 //
-//   # metrics snapshot (JSON, includes service.* and job.<id>.* counters)
+//   # metrics snapshot (JSON, includes service.*, job.<id>.* counters and
+//   # one job_progress row per admitted job)
 //   fdmld --mode=stats --service-port=7200
+//
+//   # Prometheus text exposition (hub + per-rank telemetry + job progress);
+//   # per-rank series need the fabric started with --telemetry-ms=N
+//   fdmld --mode=scrape --service-port=7200
 //
 //   # the serial reference for bit-for-bit comparison
 //   fdmld --mode=reference --seed=11 --taxa=12 --sites=300 --out=ref11.nwk
@@ -30,6 +35,7 @@
 #include <csignal>
 #include <cstdio>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <thread>
 
@@ -94,11 +100,38 @@ SocketRunOptions socket_options_from_args(const CliArgs& args) {
     options.foreman.heartbeat_interval =
         std::chrono::milliseconds(args.get_int("heartbeat-ms", 0));
   }
+  // --telemetry-ms=N turns on the telemetry plane: every non-master rank
+  // ships metric deltas to the hub each period. 0 (the default) keeps the
+  // fabric byte-for-byte identical to a telemetry-free build.
+  options.telemetry_interval =
+      std::chrono::milliseconds(args.get_int("telemetry-ms", 0));
   return options;
+}
+
+/// Starts the rotating trace-segment writer when --trace-dir is given.
+/// Returns null when tracing-to-segments is off.
+std::unique_ptr<obs::TraceSegmentWriter> maybe_start_segments(
+    const CliArgs& args) {
+  if (!args.has("trace-dir")) return nullptr;
+  obs::Tracer::instance().enable();
+  obs::TraceSegmentOptions options;
+  options.max_segment_bytes = static_cast<std::size_t>(args.get_int(
+      "trace-segment-bytes",
+      static_cast<std::int64_t>(options.max_segment_bytes)));
+  options.max_segments = static_cast<std::size_t>(args.get_int(
+      "trace-segments", static_cast<std::int64_t>(options.max_segments)));
+  auto writer = std::make_unique<obs::TraceSegmentWriter>(
+      args.get("trace-dir", ""), options);
+  writer->start();
+  return writer;
 }
 
 int run_serve(const CliArgs& args) {
   install_signal_handlers();
+  // Start trace capture before the cluster so connection setup spans land
+  // in the first segment; stopped (final flush) after the drain below so
+  // every span has closed by then.
+  auto segments = maybe_start_segments(args);
   const Alignment alignment = dataset_from_args(args);
   const PatternAlignment data(alignment);
   const SubstModel model =
@@ -131,6 +164,8 @@ int run_serve(const CliArgs& args) {
   ServiceServerOptions server_options;
   server_options.port =
       static_cast<std::uint16_t>(args.get_int("service-port", 0));
+  const bool telemetry_on = cluster_options.telemetry_interval.count() > 0;
+  if (telemetry_on) server_options.telemetry = &cluster.telemetry();
   ServiceServer server(scheduler, obs::MetricsRegistry::process(),
                        server_options);
   std::printf("fdmld: service ready on port %u (active<=%d queued<=%d)\n",
@@ -140,6 +175,10 @@ int run_serve(const CliArgs& args) {
 
   while (g_signal == 0) {
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    // Telemetry frames that arrive between search rounds sit in the hub's
+    // receive queue until someone drains them; this keeps scrapes fresh
+    // while the fabric is idle.
+    if (telemetry_on) cluster.pump_telemetry();
   }
   // Graceful drain: stop admitting, interrupt every in-flight job at its
   // next durable checkpoint, and report where each one is resumable. The
@@ -176,10 +215,17 @@ int run_serve(const CliArgs& args) {
   }
   server.close();
   cluster.shutdown();
+  if (segments) {
+    segments->stop();
+    std::printf("fdmld: wrote %llu trace segment(s): %s\n",
+                static_cast<unsigned long long>(segments->segments_written()),
+                args.get("trace-dir", "").c_str());
+  }
   return stats.in_flight == 0 ? 0 : 1;
 }
 
 int run_role(const CliArgs& args) {
+  auto segments = maybe_start_segments(args);
   const Alignment alignment = dataset_from_args(args);
   const PatternAlignment data(alignment);
   const SubstModel model =
@@ -202,10 +248,13 @@ int run_role(const CliArgs& args) {
                 static_cast<unsigned long long>(role.foreman->probation_passes),
                 static_cast<unsigned long long>(role.foreman->heartbeat_pings));
   } else if (role.worker.has_value()) {
-    std::printf("worker %d: %llu tasks, %.2fs CPU\n", role.rank,
+    std::printf("worker %d: %llu tasks, %.2fs CPU, %llu telemetry frames\n",
+                role.rank,
                 static_cast<unsigned long long>(role.worker->tasks_evaluated),
-                role.worker->cpu_seconds);
+                role.worker->cpu_seconds,
+                static_cast<unsigned long long>(role.worker->telemetry_frames));
   }
+  if (segments) segments->stop();
   return 0;
 }
 
@@ -222,6 +271,11 @@ int run_submit(const CliArgs& args) {
   ServiceReply reply;
   try {
     reply = service_submit(host, port, spec, timeout);
+  } catch (const ServiceTimeoutError& error) {
+    // Distinct from a protocol failure: the server is up but wedged (or the
+    // job outlived --wait-timeout-ms). Retry later or raise the timeout.
+    std::fprintf(stderr, "submit timed out: %s\n", error.what());
+    return 1;
   } catch (const std::exception& error) {
     std::fprintf(stderr, "submit failed: %s\n", error.what());
     return 1;
@@ -265,6 +319,9 @@ int run_stats(const CliArgs& args) {
     json = service_query_stats(host, port, std::chrono::milliseconds(
                                                args.get_int("wait-timeout-ms",
                                                             10000)));
+  } catch (const ServiceTimeoutError& error) {
+    std::fprintf(stderr, "stats timed out: %s\n", error.what());
+    return 1;
   } catch (const std::exception& error) {
     std::fprintf(stderr, "stats failed: %s\n", error.what());
     return 1;
@@ -275,6 +332,31 @@ int run_stats(const CliArgs& args) {
     if (!out) return 1;
   } else {
     std::fputs(json.c_str(), stdout);
+  }
+  return 0;
+}
+
+int run_scrape(const CliArgs& args) {
+  const std::string host = args.get("host", "127.0.0.1");
+  const auto port = static_cast<std::uint16_t>(args.get_int("service-port", 0));
+  std::string text;
+  try {
+    text = service_scrape(host, port,
+                          std::chrono::milliseconds(
+                              args.get_int("wait-timeout-ms", 10000)));
+  } catch (const ServiceTimeoutError& error) {
+    std::fprintf(stderr, "scrape timed out: %s\n", error.what());
+    return 1;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "scrape failed: %s\n", error.what());
+    return 1;
+  }
+  if (args.has("out")) {
+    std::ofstream out(args.get("out", ""));
+    out << text;
+    if (!out) return 1;
+  } else {
+    std::fputs(text.c_str(), stdout);
   }
   return 0;
 }
@@ -354,10 +436,12 @@ int main(int argc, char** argv) {
   if (mode == "role") return run_role(args);
   if (mode == "submit") return run_submit(args);
   if (mode == "stats") return run_stats(args);
+  if (mode == "scrape") return run_scrape(args);
   if (mode == "reference") return run_reference(args);
   if (mode == "proxy") return run_proxy(args);
   std::fprintf(stderr,
-               "usage: fdmld --mode=serve|role|submit|stats|reference|proxy "
+               "usage: fdmld "
+               "--mode=serve|role|submit|stats|scrape|reference|proxy "
                "[flags]\n");
   return 2;
 }

@@ -12,6 +12,12 @@
 #     serial reference for its seed (zero jobs lost),
 #   * at least one submission is shed by admission control and the shed
 #     count shows up in the metrics snapshot,
+#   * mid-run Prometheus scrapes (fdmld --mode=scrape) show live nonzero
+#     kernel counters for every worker rank, the killed worker goes stale
+#     within one telemetry window, and a later scrape shows monotonic
+#     counters plus advancing per-job progress (check_metrics.py),
+#   * the rotating --trace-dir segments stitch back into one valid
+#     timeline (trace_report --stitch-out + check_trace.py),
 #   * the SIGTERM'd service drains cleanly with zero jobs in flight.
 #
 #   scripts/service_soak.sh [BUILD_DIR]
@@ -31,6 +37,7 @@ JOBS=13           # capacity is max_active=2 + max_queued=8, so >=3 shed
 MAX_ACTIVE=2
 MAX_QUEUED=8
 VICTIM_RANK=4     # a worker (ranks 3+ are workers)
+TELEMETRY_MS=250  # per-rank metric shipping period (stale after 2x this)
 HUB_PORT=$((20000 + RANDOM % 10000))
 PROXY_PORT=$((HUB_PORT + 10000))
 SVC_PORT=$((HUB_PORT + 15000))
@@ -85,6 +92,9 @@ setsid "$FDMLD" --mode=serve --port=$HUB_PORT --fabric-size=$SIZE \
     --service-port=$SVC_PORT --taxa=$TAXA --sites=$SITES \
     --max-active=$MAX_ACTIVE --max-queued=$MAX_QUEUED \
     --round-retries=4 --watchdog-ms=5000 \
+    --telemetry-ms=$TELEMETRY_MS \
+    --trace-dir="$WORKDIR/trace" --trace-segment-bytes=8192 \
+    --trace-segments=4096 \
     --checkpoint-dir="$WORKDIR/ckpts" \
     --metrics-out="$WORKDIR/metrics.json" \
     > "$WORKDIR/serve.log" 2>&1 &
@@ -105,6 +115,7 @@ role() {
   setsid "$FDMLD" --mode=role --rank=$rank --port=$PROXY_PORT \
       --fabric-size=$SIZE --taxa=$TAXA --sites=$SITES \
       --reconnect --reconnect-budget-ms=20000 --heartbeat-ms=250 \
+      --telemetry-ms=$TELEMETRY_MS \
       --timeout-ms=2000 > "$log" 2>&1 &
   echo $!
 }
@@ -130,16 +141,40 @@ for ((i = 0; i < JOBS; ++i)); do
   SUBMIT_PIDS+=("$!")
 done
 
-# --- fault drills while the jobs run -------------------------------------
-# 1) kill -9 the victim worker, then restart it with the same rank; the
-#    foreman must walk it through suspect -> probation -> healthy.
-#    (The transient partition fires on the proxy's own clock, from PLAN.)
+# --- telemetry drill 1: mid-soak scrape, all worker ranks live -----------
+# Two telemetry periods in, every worker rank must be shipping nonzero
+# kernel counters and per-job progress must already be visible.
 sleep 2
+"$FDMLD" --mode=scrape --service-port=$SVC_PORT \
+    --out="$WORKDIR/scrape1.prom" || fail "mid-soak scrape 1"
+python3 scripts/check_metrics.py "$WORKDIR/scrape1.prom" \
+    --require-worker-ranks 3,4,5 \
+    || fail "scrape 1 rejected by check_metrics.py"
+
+# --- fault drills while the jobs run -------------------------------------
+# 1) kill -9 the victim worker; before reviving it, a scrape must show the
+#    rank marked stale (dead ranks are flagged, never silently frozen).
+#    Then restart it with the same rank; the foreman must walk it through
+#    suspect -> probation -> healthy.
+#    (The transient partition fires on the proxy's own clock, from PLAN.)
 echo "service_soak: kill -9 worker rank $VICTIM_RANK" >&2
 kill -9 "${ROLE_PIDS[$VICTIM_RANK]}" 2>/dev/null || true
-sleep 0.5
+sleep 1.2   # > stale_after (2 x telemetry period) before the scrape
+"$FDMLD" --mode=scrape --service-port=$SVC_PORT \
+    --out="$WORKDIR/scrape_stale.prom" || fail "stale-window scrape"
+python3 scripts/check_metrics.py "$WORKDIR/scrape_stale.prom" \
+    --require-stale-ranks $VICTIM_RANK \
+    || fail "killed rank $VICTIM_RANK not marked stale in scrape"
 ROLE_PIDS[$VICTIM_RANK]=$(role "$VICTIM_RANK" "$WORKDIR/rank${VICTIM_RANK}b.log")
 PIDS+=("${ROLE_PIDS[$VICTIM_RANK]}")
+
+# --- telemetry drill 2: later scrape, counters monotonic, progress moves --
+sleep 3
+"$FDMLD" --mode=scrape --service-port=$SVC_PORT \
+    --out="$WORKDIR/scrape2.prom" || fail "mid-soak scrape 2"
+python3 scripts/check_metrics.py "$WORKDIR/scrape2.prom" \
+    --advance-from "$WORKDIR/scrape1.prom" \
+    || fail "scrape 2 rejected by check_metrics.py"
 
 for pid in "${SUBMIT_PIDS[@]}"; do wait "$pid"; done
 
@@ -189,6 +224,16 @@ grep -q "drained" "$WORKDIR/serve.log" || fail "no drain line in serve.log"
 [ -s "$WORKDIR/metrics.json" ] || fail "no metrics snapshot written"
 REJECTED_FINAL=$(metric "$WORKDIR/metrics.json" service.jobs_rejected_full)
 [ "${REJECTED_FINAL%%.*}" -ge 1 ] || fail "final snapshot lost the shed count"
+
+# --- rotating trace segments stitch back into one valid timeline ---------
+SEGMENTS=$(ls "$WORKDIR/trace"/segment-*.json 2>/dev/null | wc -l)
+echo "service_soak: $SEGMENTS trace segment(s) in $WORKDIR/trace" >&2
+[ "$SEGMENTS" -ge 2 ] || fail "expected >= 2 rotated trace segments, got $SEGMENTS"
+"$BUILD_DIR/apps/trace_report" "$WORKDIR/trace" \
+    --stitch-out="$WORKDIR/stitched.json" > "$WORKDIR/trace_report.txt" \
+    || fail "trace_report could not stitch the segment directory"
+python3 scripts/check_trace.py "$WORKDIR/stitched.json" \
+    || fail "stitched trace rejected by check_trace.py"
 
 sweep
 trap - EXIT INT TERM

@@ -55,6 +55,8 @@ inline bool tag_is_sealed(MessageTag tag) {
     case MessageTag::kProgress:
     case MessageTag::kRoundFailed:
     case MessageTag::kGoodbye:
+    case MessageTag::kTelemetry:
+    case MessageTag::kMetricsReply:
       return true;
     default:
       return false;

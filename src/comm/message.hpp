@@ -35,6 +35,13 @@ enum class MessageTag : std::uint8_t {
   kJobDone = 16,      ///< service -> client: outcome (tree, lnL, status)
   kStatsQuery = 17,   ///< client -> service: request a metrics snapshot
   kStatsReply = 18,   ///< service -> client: metrics snapshot JSON
+  // Telemetry plane (PR 10): periodic per-rank metric deltas ride the
+  // fabric to rank 0; scrape clients pull Prometheus text over the
+  // service wire.
+  kTelemetry = 19,    ///< worker/foreman -> master: periodic MetricsRegistry
+                      ///< delta frame (obs/telemetry.hpp codec)
+  kMetricsQuery = 20, ///< client -> service: request Prometheus exposition
+  kMetricsReply = 21, ///< service -> client: Prometheus text format
 };
 
 struct Message {

@@ -709,4 +709,26 @@ std::string render_scaling(const ScalingRow& row) {
   return buf;
 }
 
+TraceLog merge_trace_logs(const std::vector<TraceLog>& logs) {
+  TraceLog merged;
+  for (const auto& log : logs) {
+    for (const auto& [tid, name] : log.threads) {
+      // First name wins: a thread renamed mid-run keeps its original label.
+      bool known = false;
+      for (const auto& [existing, unused] : merged.threads) {
+        if (existing == tid) {
+          known = true;
+          break;
+        }
+      }
+      if (!known) merged.threads.emplace_back(tid, name);
+    }
+    merged.events.insert(merged.events.end(), log.events.begin(),
+                         log.events.end());
+    merged.dropped_events += log.dropped_events;
+  }
+  merged.sort_events();
+  return merged;
+}
+
 }  // namespace fdml::obs

@@ -89,4 +89,10 @@ std::string render_scaling(const ScalingRow& row);
 TraceLog load_chrome_trace(std::istream& in);
 TraceLog load_chrome_trace(const std::string& text);
 
+/// Stitches rotated trace segments (obs/segment.hpp) back into one
+/// timeline: thread tables union by tid (first name wins), events
+/// concatenate and re-sort, drop counts sum. Segments share one process's
+/// monotonic clock, so timestamps interleave correctly in order.
+TraceLog merge_trace_logs(const std::vector<TraceLog>& logs);
+
 }  // namespace fdml::obs

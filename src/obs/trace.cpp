@@ -216,6 +216,37 @@ TraceLog Tracer::drain() const {
   return log;
 }
 
+TraceLog Tracer::drain_and_reset() {
+  TraceLog log;
+  std::lock_guard lock(mutex_);
+  for (const auto& ring : rings_) {
+    std::lock_guard ring_lock(ring->mutex);
+    std::string name = ring->name.empty()
+                           ? "thread-" + std::to_string(ring->tid)
+                           : ring->name;
+    log.set_thread(ring->tid, std::move(name));
+    for (std::size_t i = 0; i < ring->size; ++i) {
+      const TraceEvent& e = ring->slots[(ring->head + i) % ring->slots.size()];
+      LogEvent& out = log.add(ring->tid, e.ph, static_cast<double>(e.ts_ns),
+                              e.cat ? e.cat : "", e.name ? e.name : "", e.id);
+      if (e.arg0_name != nullptr) {
+        out.arg0_name = e.arg0_name;
+        out.arg0 = e.arg0;
+      }
+      if (e.arg1_name != nullptr) {
+        out.arg1_name = e.arg1_name;
+        out.arg1 = e.arg1;
+      }
+    }
+    log.dropped_events += ring->dropped;
+    ring->head = 0;
+    ring->size = 0;
+    ring->dropped = 0;
+  }
+  log.sort_events();
+  return log;
+}
+
 std::uint64_t Tracer::dropped() const {
   std::uint64_t total = 0;
   std::lock_guard lock(mutex_);

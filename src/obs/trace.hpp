@@ -111,6 +111,12 @@ class Tracer {
   /// Merged snapshot of all rings, sorted by timestamp.
   TraceLog drain() const;
 
+  /// Like drain(), but consumes: ring contents and drop counts are cleared
+  /// (drops transfer into the returned log's dropped_events). This is what
+  /// the rotating segment writer calls — each event lands in exactly one
+  /// segment.
+  TraceLog drain_and_reset();
+
   std::uint64_t dropped() const;
 
   static Tracer& instance();

@@ -9,6 +9,7 @@
 #include "comm/integrity.hpp"
 #include "durable/journal.hpp"
 #include "obs/metrics.hpp"
+#include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
 #include "parallel/protocol.hpp"
 #include "search/runner.hpp"
@@ -222,6 +223,10 @@ class Foreman {
     if (options_.heartbeat_interval.count() > 0) {
       next_ping_ = Clock::now() + options_.heartbeat_interval;
     }
+    if (options_.telemetry_interval.count() > 0) {
+      telemetry_.emplace(registry_, transport_.rank());
+      next_telemetry_ = Clock::now() + options_.telemetry_interval;
+    }
     for (;;) {
       const auto message = receive();
       if (!message.has_value()) {
@@ -280,8 +285,22 @@ class Foreman {
     }
     expire_overdue();
     maybe_heartbeat();
+    maybe_emit_telemetry();
     dispatch_work();
     return message;
+  }
+
+  /// Ships the registry's delta since the previous frame to the master.
+  /// Fires from the same event loop as the heartbeat, so an idle foreman
+  /// still beacons — the aggregator reads silence as staleness.
+  void maybe_emit_telemetry() {
+    if (!telemetry_.has_value()) return;
+    const auto now = Clock::now();
+    if (now < next_telemetry_) return;
+    next_telemetry_ = now + options_.telemetry_interval;
+    auto payload = telemetry_->collect().pack();
+    seal_payload(payload);
+    transport_.send(kMasterRank, MessageTag::kTelemetry, std::move(payload));
   }
 
   /// Ping silent (never-helloed, e.g. restarted) and suspect workers so a
@@ -316,6 +335,7 @@ class Foreman {
     for (const auto& [worker, record] : in_flight_) consider(record.deadline_at);
     if (const auto declare = dead_declare_at()) consider(*declare);
     if (options_.heartbeat_interval.count() > 0) consider(next_ping_);
+    if (telemetry_.has_value()) consider(next_telemetry_);
     if (round_active_ && !work_queue_.empty()) {
       for (const auto& [worker, health] : health_) {
         if (health.state == WorkerState::kProbation &&
@@ -991,6 +1011,10 @@ class Foreman {
   bool fabric_closed_ = false;
   /// Next heartbeat ping due time (heartbeat_interval > 0 only).
   Clock::time_point next_ping_{};
+  /// Telemetry plane (telemetry_interval > 0 only): periodic registry
+  /// deltas to the master.
+  std::optional<obs::TelemetryEmitter> telemetry_;
+  Clock::time_point next_telemetry_{};
 };
 
 }  // namespace

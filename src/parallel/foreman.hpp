@@ -77,6 +77,9 @@ struct ForemanOptions {
   /// through probation back to the ready queue; a dead one stays silent at
   /// no cost. 0 disables (plain cluster runs rely on hello-at-startup).
   std::chrono::milliseconds heartbeat_interval{0};
+  /// Period between kTelemetry metric-delta frames to the master; zero
+  /// disables the telemetry plane (no timers added to the event loop).
+  std::chrono::milliseconds telemetry_interval{0};
   /// Filesystem for the journal; null = the real one.
   Vfs* vfs = nullptr;
   /// Metrics registry the foreman's counters live in; null = the process

@@ -144,6 +144,9 @@ RoundOutcome ParallelMaster::run_round(const std::vector<TreeTask>& tasks) {
 
 RoundOutcome ParallelMaster::attempt_round(std::uint64_t round_id,
                                            const std::vector<TreeTask>& tasks) {
+  // Owning the receive lock for the whole round keeps pump() (the serve
+  // loop's idle drain) off the transport while round replies are in flight.
+  std::lock_guard<std::mutex> recv_lock(recv_mutex_);
   RoundMessage round;
   round.round_id = round_id;
   round.tasks = tasks;
@@ -240,6 +243,12 @@ RoundOutcome ParallelMaster::attempt_round(std::uint64_t round_id,
         counters_.rounds_failed.add();
         throw RoundFailedError(round.round_id, failed.reason);
       }
+      case MessageTag::kTelemetry:
+        // Telemetry rides the same fabric as round traffic; frames landing
+        // mid-round feed the aggregator, they never reset the watchdog
+        // (liveness of a worker's emitter is not round progress).
+        handle_telemetry(message->source, std::move(message->payload));
+        break;
       default:
         // Previously these were discarded without a trace, which hid real
         // protocol bugs; now they are at least visible and counted.
@@ -249,6 +258,44 @@ RoundOutcome ParallelMaster::attempt_round(std::uint64_t round_id,
                             << message->source << " mid-round";
     }
   }
+}
+
+void ParallelMaster::handle_telemetry(int source,
+                                      std::vector<std::uint8_t> payload) {
+  if (!open_payload(payload)) {
+    counters_.corrupt_messages.add();
+    return;
+  }
+  if (telemetry_sink_) telemetry_sink_(source, std::move(payload));
+}
+
+std::size_t ParallelMaster::pump() {
+  std::unique_lock<std::mutex> recv_lock(recv_mutex_, std::try_to_lock);
+  if (!recv_lock.owns_lock()) return 0;  // a round is consuming the fabric
+  std::size_t drained = 0;
+  for (;;) {
+    auto message = transport_.recv_for(std::chrono::milliseconds(0));
+    if (!message.has_value()) break;
+    ++drained;
+    switch (message->tag) {
+      case MessageTag::kTelemetry:
+        handle_telemetry(message->source, std::move(message->payload));
+        break;
+      case MessageTag::kProgress:
+      case MessageTag::kRoundDone:
+      case MessageTag::kRoundFailed:
+        // Round-scoped traffic with no round in flight: a late reply from
+        // an attempt the supervisor already abandoned.
+        counters_.stale_messages.add();
+        break;
+      default:
+        counters_.unexpected_tags.add();
+        FDML_WARN("master") << "ignoring unexpected tag "
+                            << static_cast<int>(message->tag) << " from rank "
+                            << message->source << " between rounds";
+    }
+  }
+  return drained;
 }
 
 }  // namespace fdml

@@ -11,6 +11,7 @@
 #include <chrono>
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -120,6 +121,22 @@ class ParallelMaster final : public TaskRunner {
     reviver_ = std::move(reviver);
   }
 
+  /// Installs the kTelemetry consumer (typically TelemetryAggregator::apply
+  /// behind a decode). Called with the sender rank and the *opened*
+  /// (integrity-verified) frame payload, from whichever thread is receiving
+  /// — mid-round or from pump() — so it must be thread-safe.
+  void set_telemetry_sink(
+      std::function<void(int, std::vector<std::uint8_t>)> sink) {
+    telemetry_sink_ = std::move(sink);
+  }
+
+  /// Drains fabric messages while NO round is in flight (telemetry frames
+  /// otherwise sit queued between rounds and every rank looks stale). Safe
+  /// to call concurrently with run_round: if a round holds the receive
+  /// lock, pump returns immediately — the in-round loop is already
+  /// consuming frames. Returns the number of messages drained.
+  std::size_t pump();
+
   RoundOutcome run_round(const std::vector<TreeTask>& tasks) override;
   int worker_count() const override { return workers_; }
 
@@ -154,6 +171,9 @@ class ParallelMaster final : public TaskRunner {
   RoundOutcome attempt_round(std::uint64_t round_id,
                              const std::vector<TreeTask>& tasks);
 
+  /// Verifies and forwards one kTelemetry payload to the sink.
+  void handle_telemetry(int source, std::vector<std::uint8_t> payload);
+
   Transport& transport_;
   int workers_;
   MasterOptions options_;
@@ -162,6 +182,11 @@ class ParallelMaster final : public TaskRunner {
   MasterStats start_;
   std::function<RoundOutcome(const std::vector<TreeTask>&)> fallback_;
   std::function<bool()> reviver_;
+  std::function<void(int, std::vector<std::uint8_t>)> telemetry_sink_;
+  /// Serializes transport receives between an in-flight round
+  /// (attempt_round) and the idle-period pump(); without it the pump could
+  /// steal a kRoundDone out from under the round loop.
+  std::mutex recv_mutex_;
   std::uint64_t next_round_id_ = 1;
   /// Set when the watchdog trips (the foreman itself is unresponsive);
   /// later rounds then skip straight to the fallback instead of paying the

@@ -1,5 +1,6 @@
 #include "parallel/socket_cluster.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -26,13 +27,18 @@ SocketRoleResult run_socket_role(const PatternAlignment& data,
   SocketRoleResult result;
   result.rank = rank;
   if (rank == kForemanRank) {
-    result.foreman = foreman_main(*endpoint, options.foreman);
+    ForemanOptions foreman = options.foreman;
+    foreman.telemetry_interval = options.telemetry_interval;
+    result.foreman = foreman_main(*endpoint, foreman);
   } else if (rank == kMonitorRank) {
     MonitorBoard board;
     monitor_main(*endpoint, board);
     result.monitor = board.snapshot();
   } else {
-    result.worker = worker_main(*endpoint, data, model, rates, options.optimize);
+    WorkerRunOptions worker;
+    worker.optimize = options.optimize;
+    worker.telemetry_interval = options.telemetry_interval;
+    result.worker = worker_main(*endpoint, data, model, rates, worker);
   }
   // The role loop saw shutdown (or the hub died). Closing flushes anything
   // still queued — a worker's goodbye report, the foreman's final round.
@@ -42,10 +48,21 @@ SocketRoleResult run_socket_role(const PatternAlignment& data,
 
 SocketCluster::SocketCluster(const PatternAlignment& data, SubstModel model,
                              RateModel rates, SocketRunOptions options)
-    : options_(std::move(options)), fabric_([&] {
+    : options_(std::move(options)),
+      fabric_([&] {
         SocketOptions socket = options_.socket;
         socket.rank = kMasterRank;
         return socket;
+      }()),
+      telemetry_([&] {
+        obs::TelemetryAggregatorOptions agg;
+        if (options_.telemetry_interval.count() > 0) {
+          // Two missed frames = stale; the floor absorbs scheduling jitter
+          // at very short test intervals.
+          agg.stale_after = std::max(options_.telemetry_interval * 2,
+                                     std::chrono::milliseconds(200));
+        }
+        return agg;
       }()) {
   if (options_.socket.size < kFirstWorkerRank + 1) {
     throw std::invalid_argument(
@@ -65,6 +82,19 @@ SocketCluster::SocketCluster(const PatternAlignment& data, SubstModel model,
     }
     return serial_fallback_->run_round(tasks);
   });
+  // Telemetry frames arriving on the hub (mid-round or via pump) land in
+  // the aggregator; a frame that fails to decode is dropped here — the
+  // integrity footer was already verified, so this only catches a
+  // version-skewed peer.
+  master_->set_telemetry_sink(
+      [this](int source, std::vector<std::uint8_t> payload) {
+        try {
+          telemetry_.apply(obs::TelemetryFrame::unpack(payload));
+        } catch (const std::exception& e) {
+          FDML_WARN("master") << "undecodable telemetry frame from rank "
+                              << source << ": " << e.what();
+        }
+      });
 }
 
 SocketCluster::~SocketCluster() { shutdown(); }

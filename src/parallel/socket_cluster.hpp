@@ -13,10 +13,12 @@
 // multiprocess CI job drives.
 #pragma once
 
+#include <chrono>
 #include <memory>
 #include <optional>
 
 #include "comm/socket.hpp"
+#include "obs/telemetry.hpp"
 #include "parallel/foreman.hpp"
 #include "parallel/master.hpp"
 #include "parallel/monitor.hpp"
@@ -30,6 +32,10 @@ struct SocketRunOptions {
   ForemanOptions foreman;
   MasterOptions master;
   OptimizeOptions optimize;
+  /// Telemetry plane period for this rank's emitter (foreman and workers);
+  /// zero disables. The hub's aggregator marks a rank stale after
+  /// ~2 periods of silence.
+  std::chrono::milliseconds telemetry_interval{0};
 };
 
 /// What a non-master rank's role loop produced (only the member matching
@@ -74,6 +80,15 @@ class SocketCluster {
   MasterStats master_stats() const { return master_->stats(); }
   SocketFabricStats fabric_stats() const { return fabric_.stats(); }
 
+  /// The hub-side aggregate of every rank's kTelemetry frames (empty until
+  /// emitters are enabled via telemetry_interval).
+  obs::TelemetryAggregator& telemetry() { return telemetry_; }
+  const obs::TelemetryAggregator& telemetry() const { return telemetry_; }
+
+  /// Drains queued fabric messages (telemetry frames) while no round is in
+  /// flight; the serve loop calls this on its tick. Returns messages drained.
+  std::size_t pump_telemetry() { return master_->pump(); }
+
   /// Broadcasts shutdown through the foreman, keeps routing until the peer
   /// processes have drained off the fabric, then closes it. Idempotent; the
   /// destructor calls it.
@@ -85,6 +100,7 @@ class SocketCluster {
   std::unique_ptr<Transport> endpoint_;
   std::unique_ptr<ParallelMaster> master_;
   std::unique_ptr<SerialTaskRunner> serial_fallback_;
+  obs::TelemetryAggregator telemetry_;
   bool shut_down_ = false;
 };
 

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "comm/integrity.hpp"
+#include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
 #include "parallel/protocol.hpp"
 #include "search/task_evaluator.hpp"
@@ -15,6 +16,30 @@
 namespace fdml {
 
 namespace {
+
+/// Folds the engine's cumulative KernelCounters into `registry` as
+/// `kernel.*` counter increments since `last` (which is advanced). The
+/// registry accumulates whole-run totals; the TelemetryEmitter diffs those
+/// into per-frame deltas.
+void fold_kernel_counters(obs::MetricsRegistry& registry,
+                          const KernelCounters& now, KernelCounters& last) {
+  const auto bump = [&](const char* name, std::uint64_t cur,
+                        std::uint64_t prev) {
+    if (cur > prev) registry.counter(name).add(cur - prev);
+  };
+  bump("kernel.clv_computations", now.clv_computations, last.clv_computations);
+  bump("kernel.clv_rescales", now.clv_rescales, last.clv_rescales);
+  bump("kernel.edge_captures", now.edge_captures, last.edge_captures);
+  bump("kernel.edge_evaluations", now.edge_evaluations,
+       last.edge_evaluations);
+  bump("kernel.transition_hits", now.transition_hits, last.transition_hits);
+  bump("kernel.transition_misses", now.transition_misses,
+       last.transition_misses);
+  bump("kernel.transition_evictions", now.transition_evictions,
+       last.transition_evictions);
+  bump("kernel.ns", now.kernel_ns, last.kernel_ns);
+  last = now;
+}
 
 /// Malformed-payload guard: verify the integrity footer, then decode behind
 /// a catch. A task that was corrupted in transit must not kill the worker —
@@ -57,19 +82,61 @@ void send_goodbye(Transport& transport, const WorkerStats& stats,
 
 WorkerStats worker_main(Transport& transport, const PatternAlignment& data,
                         SubstModel model, RateModel rates,
-                        OptimizeOptions options) {
+                        WorkerRunOptions options) {
   obs::set_thread_name("worker-" + std::to_string(transport.rank()));
-  TaskEvaluator evaluator(data, std::move(model), std::move(rates), options);
+  TaskEvaluator evaluator(data, std::move(model), std::move(rates),
+                          options.optimize);
   WorkerStats stats;
+
+  // The telemetry plane: a registry local to this worker incarnation (a
+  // restarted worker process naturally starts from zero; the emitter's
+  // fresh incarnation id tells the aggregator so) diffed into periodic
+  // kTelemetry frames for the master. Interval zero keeps the legacy
+  // blocking-recv loop — no timers, no extra wakeups.
+  const bool telemetry_on = options.telemetry_interval.count() > 0;
+  obs::MetricsRegistry registry;
+  obs::TelemetryEmitter emitter(registry, transport.rank());
+  KernelCounters last_counters;
+  obs::Histogram& batch_fill =
+      registry.histogram("kernel.batch_fill", {1, 2, 4, 8, 16, 32});
+  auto next_emit = std::chrono::steady_clock::now() + options.telemetry_interval;
+  const auto emit_telemetry = [&] {
+    fold_kernel_counters(registry, evaluator.engine().counters(),
+                         last_counters);
+    auto payload = emitter.collect().pack();
+    seal_payload(payload);
+    transport.send(kMasterRank, MessageTag::kTelemetry, std::move(payload));
+    ++stats.telemetry_frames;
+  };
 
   transport.send(kForemanRank, MessageTag::kHello, {});
   std::optional<Message> deferred;
   while (true) {
-    std::optional<Message> message =
-        deferred.has_value() ? std::move(deferred) : transport.recv();
-    deferred.reset();
+    std::optional<Message> message;
+    if (deferred.has_value()) {
+      message = std::move(deferred);
+      deferred.reset();
+    } else if (!telemetry_on) {
+      message = transport.recv();
+    } else {
+      // Bounded waits so the emitter fires on schedule even when the
+      // foreman has nothing for us (an idle frame is a liveness beacon).
+      while (true) {
+        const auto now = std::chrono::steady_clock::now();
+        if (now >= next_emit) {
+          emit_telemetry();
+          next_emit = now + options.telemetry_interval;
+        }
+        auto wait = std::chrono::duration_cast<std::chrono::milliseconds>(
+            next_emit - std::chrono::steady_clock::now());
+        if (wait.count() < 1) wait = std::chrono::milliseconds(1);
+        message = transport.recv_for(wait);
+        if (message.has_value() || transport.closed()) break;
+      }
+    }
     if (!message.has_value()) break;
     if (message->tag == MessageTag::kShutdown) {
+      if (telemetry_on) emit_telemetry();  // final totals beat the goodbye
       send_goodbye(transport, stats, evaluator.engine().counters());
       break;
     }
@@ -97,6 +164,7 @@ WorkerStats worker_main(Transport& transport, const PatternAlignment& data,
       std::optional<TreeTask> task = decode_task(std::move(m->payload));
       if (!task.has_value()) {
         ++stats.corrupt_tasks;
+        registry.counter("worker.corrupt_tasks").add(1);
         obs::instant("worker", "corrupt_task");
         FDML_WARN("worker") << "rank " << transport.rank()
                             << " received a malformed task payload; nacking";
@@ -117,6 +185,7 @@ WorkerStats worker_main(Transport& transport, const PatternAlignment& data,
       enqueue(std::move(next));
     }
     if (batch.empty()) continue;  // every drained payload was corrupt
+    batch_fill.observe(static_cast<double>(batch.size()));
 
     std::vector<TaskResult> results;
     {
@@ -142,6 +211,7 @@ WorkerStats worker_main(Transport& transport, const PatternAlignment& data,
     for (TaskResult& result : results) {
       result.worker = transport.rank();
       ++stats.tasks_evaluated;
+      registry.counter("worker.tasks_evaluated").add(1);
       stats.cpu_seconds += result.cpu_seconds;
       Packer packer;
       result.pack(packer);

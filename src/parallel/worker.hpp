@@ -1,6 +1,9 @@
 // The worker role: receive a tree, optimize its branch lengths, return it
-// with its likelihood. Workers communicate only with the foreman.
+// with its likelihood. Workers talk to the foreman for work and (when the
+// telemetry plane is on) ship periodic metric deltas to the master.
 #pragma once
+
+#include <chrono>
 
 #include "comm/transport.hpp"
 #include "likelihood/optimize.hpp"
@@ -19,11 +22,30 @@ struct WorkerStats {
   std::uint64_t corrupt_tasks = 0;
   /// Messages with tags the worker does not understand.
   std::uint64_t unexpected_tags = 0;
+  /// kTelemetry frames shipped to the master.
+  std::uint64_t telemetry_frames = 0;
+};
+
+struct WorkerRunOptions {
+  OptimizeOptions optimize;
+  /// Period between kTelemetry frames to the master; zero disables the
+  /// telemetry plane entirely (the loop blocks on recv exactly as before,
+  /// so disabled telemetry costs nothing on the hot path).
+  std::chrono::milliseconds telemetry_interval{0};
 };
 
 /// Runs the worker loop until shutdown. `data` must outlive the call.
 WorkerStats worker_main(Transport& transport, const PatternAlignment& data,
                         SubstModel model, RateModel rates,
-                        OptimizeOptions options = {});
+                        WorkerRunOptions options);
+
+inline WorkerStats worker_main(Transport& transport,
+                               const PatternAlignment& data, SubstModel model,
+                               RateModel rates, OptimizeOptions options = {}) {
+  WorkerRunOptions run;
+  run.optimize = options;
+  return worker_main(transport, data, std::move(model), std::move(rates),
+                     std::move(run));
+}
 
 }  // namespace fdml

@@ -129,11 +129,26 @@ class SearchRun {
     obs::Span span("search", round_kind_name(kind), "round",
                    static_cast<std::int64_t>(next_round_id_), "tasks",
                    static_cast<std::int64_t>(tasks.size()));
+    if (options_.progress != nullptr) {
+      ProgressProbe& probe = *options_.progress;
+      probe.phase.store(kind == RoundKind::kRearrange
+                            ? static_cast<int>(SearchPhase::kRearrange)
+                            : static_cast<int>(SearchPhase::kAddition),
+                        std::memory_order_relaxed);
+      probe.taxa_in_tree.store(taxa_in_tree, std::memory_order_relaxed);
+      probe.round.store(static_cast<int>(next_round_id_),
+                        std::memory_order_relaxed);
+      probe.tasks_total.fetch_add(tasks.size(), std::memory_order_relaxed);
+    }
     ++next_round_id_;
     result_.trees_evaluated += tasks.size();
     RoundOutcome outcome = runner_.run_round(tasks);
     if (outcome.stats.size() != tasks.size()) {
       throw std::logic_error("search: runner lost tasks");
+    }
+    if (options_.progress != nullptr) {
+      options_.progress->tasks_done.fetch_add(tasks.size(),
+                                              std::memory_order_relaxed);
     }
 
     if (options_.record_trace) {
@@ -161,6 +176,7 @@ class SearchRun {
   }
 
   void record_event(int taxa, double lnl, std::string newick) {
+    if (options_.progress != nullptr) options_.progress->set_best(lnl);
     result_.events.push_back({taxa, lnl, std::move(newick)});
   }
 
@@ -189,6 +205,10 @@ class SearchRun {
       generation = store_->commit(
           kFrameSearchCheckpoint, options_.dataset_fingerprint,
           std::vector<std::uint8_t>(text.begin(), text.end()));
+      if (options_.progress != nullptr) {
+        options_.progress->checkpoint_generation.store(
+            generation, std::memory_order_relaxed);
+      }
     }
     if (options_.stop_requested && options_.stop_requested()) {
       throw SearchInterrupted(generation);

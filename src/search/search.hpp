@@ -15,7 +15,9 @@
 // summarised with a consensus tree; see run_jumbles.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <cstring>
 #include <functional>
 #include <optional>
 #include <stdexcept>
@@ -30,6 +32,45 @@
 #include "tree/tree.hpp"
 
 namespace fdml {
+
+/// Live progress published by a running search, readable from any thread
+/// (the telemetry plane's scrape handler polls it while the search runs).
+/// All fields are relaxed atomics: each is individually coherent, and a
+/// scrape that catches a round mid-update is fine — progress is monotonic
+/// enough for dashboards, and exactness comes from the final result.
+struct ProgressProbe {
+  /// SearchPhase as an int (-1 until the search first dispatches work).
+  std::atomic<int> phase{-1};
+  std::atomic<int> taxa_in_tree{0};
+  /// Rearrangement round counter at the current taxon count.
+  std::atomic<int> round{0};
+  std::atomic<std::uint64_t> tasks_done{0};
+  std::atomic<std::uint64_t> tasks_total{0};
+  /// Last durably committed checkpoint generation (0 = none yet).
+  std::atomic<std::uint64_t> checkpoint_generation{0};
+
+  void set_best(double log_likelihood) noexcept {
+    std::uint64_t bits;
+    std::memcpy(&bits, &log_likelihood, sizeof(bits));
+    best_bits_.store(bits, std::memory_order_relaxed);
+    has_best_.store(true, std::memory_order_release);
+  }
+
+  /// nullopt until the first tree is adopted.
+  std::optional<double> best() const noexcept {
+    if (!has_best_.load(std::memory_order_acquire)) return std::nullopt;
+    const std::uint64_t bits = best_bits_.load(std::memory_order_relaxed);
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+
+ private:
+  /// lnL as an IEEE-754 bit pattern — doubles have no lock-free atomic on
+  /// every target, u64 does.
+  std::atomic<std::uint64_t> best_bits_{0};
+  std::atomic<bool> has_best_{false};
+};
 
 struct SearchOptions {
   /// Jumble seed (even seeds are adjusted to odd, as in fastDNAml).
@@ -81,6 +122,9 @@ struct SearchOptions {
   /// throwing SearchInterrupted after the checkpoint has been committed.
   /// The SIGINT/SIGTERM handler in apps/fastdnamlpp sets this.
   std::function<bool()> stop_requested;
+  /// When non-null, the search publishes live progress (phase, round, task
+  /// counts, best lnL, checkpoint generation) here. Must outlive the run.
+  ProgressProbe* progress = nullptr;
 };
 
 /// Thrown when SearchOptions::stop_requested asked the run to stop. The

@@ -94,6 +94,7 @@ JobScheduler::Submission JobScheduler::submit(const JobSpec& spec) {
   std::lock_guard lock(mutex_);
   const std::uint64_t job_id = next_job_id_++;
   registry_.counter("job." + std::to_string(job_id) + ".admitted").add();
+  probes_.emplace(job_id, std::make_shared<ProgressProbe>());
   supervisors_.emplace_back(
       [this, spec, job_id] { run_job(spec, job_id); });
   return Submission{job_id, std::nullopt};
@@ -136,6 +137,11 @@ void JobScheduler::run_job(JobSpec spec, std::uint64_t job_id) {
 JobOutcome JobScheduler::attempt_loop(const JobSpec& spec,
                                       std::uint64_t job_id) {
   const std::string prefix = "job." + std::to_string(job_id);
+  std::shared_ptr<ProgressProbe> probe;
+  {
+    std::lock_guard lock(mutex_);
+    probe = probes_.at(job_id);
+  }
   JobOutcome out;
   out.job_id = job_id;
   Rng rng(spec.seed ^ (job_id * 0x9e3779b97f4a7c15ULL));
@@ -155,6 +161,7 @@ JobOutcome JobScheduler::attempt_loop(const JobSpec& spec,
       o.stop_requested = [this] {
         return stop_flag_.load(std::memory_order_acquire);
       };
+      o.progress = probe.get();
       // Every attempt starts from the newest durable checkpoint: a retry
       // after a mid-round failure repeats only the interrupted stretch, and
       // a resubmission after a drain continues where the drain stopped.
@@ -240,6 +247,34 @@ std::vector<JobOutcome> JobScheduler::outcomes() const {
   all.reserve(done_.size());
   for (const auto& [id, outcome] : done_) all.push_back(outcome);
   return all;
+}
+
+std::vector<obs::JobProgressRow> JobScheduler::progress() const {
+  std::lock_guard lock(mutex_);
+  std::vector<obs::JobProgressRow> rows;
+  rows.reserve(probes_.size());
+  for (const auto& [id, probe] : probes_) {
+    obs::JobProgressRow row;
+    row.job_id = id;
+    const int phase = probe->phase.load(std::memory_order_relaxed);
+    row.phase = phase == static_cast<int>(SearchPhase::kRearrange)
+                    ? "rearrange"
+                    : (phase == static_cast<int>(SearchPhase::kAddition)
+                           ? "addition"
+                           : "idle");
+    row.taxa_in_tree = probe->taxa_in_tree.load(std::memory_order_relaxed);
+    row.round = probe->round.load(std::memory_order_relaxed);
+    row.tasks_done = probe->tasks_done.load(std::memory_order_relaxed);
+    row.tasks_total = probe->tasks_total.load(std::memory_order_relaxed);
+    if (const auto best = probe->best()) {
+      row.best_log_likelihood = *best;
+      row.has_best = true;
+    }
+    row.checkpoint_generation =
+        probe->checkpoint_generation.load(std::memory_order_relaxed);
+    rows.push_back(std::move(row));
+  }
+  return rows;
 }
 
 SchedulerStats JobScheduler::stats() const {

@@ -28,12 +28,14 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "obs/telemetry.hpp"
 #include "search/search.hpp"
 #include "service/admission.hpp"
 #include "service/job.hpp"
@@ -126,6 +128,13 @@ class JobScheduler {
   /// Terminal outcomes so far, in job-id order.
   std::vector<JobOutcome> outcomes() const;
 
+  /// Live per-job progress (telemetry plane): one row per admitted job,
+  /// read from each job's ProgressProbe — current phase, rearrangement
+  /// round, task counts, best lnL, last committed checkpoint generation.
+  /// Finished jobs keep their final row so a scrape straddling completion
+  /// still sees monotonic values.
+  std::vector<obs::JobProgressRow> progress() const;
+
   SchedulerStats stats() const;
 
  private:
@@ -150,6 +159,10 @@ class JobScheduler {
   int active_ = 0;
   std::uint64_t next_job_id_ = 1;
   std::map<std::uint64_t, JobOutcome> done_;
+  /// One probe per admitted job, created at submit and kept after the job
+  /// finishes. shared_ptr: the supervisor thread holds a reference across
+  /// the attempt, so progress() never races a map rehash.
+  std::map<std::uint64_t, std::shared_ptr<ProgressProbe>> probes_;
   std::vector<std::thread> supervisors_;
 };
 

@@ -1,5 +1,6 @@
 #include "service/server.hpp"
 
+#include <fcntl.h>
 #include <netdb.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
@@ -9,6 +10,7 @@
 
 #include <cerrno>
 #include <cstring>
+#include <sstream>
 #include <stdexcept>
 
 #include "comm/integrity.hpp"
@@ -48,14 +50,26 @@ bool send_service_frame(int fd, MessageTag tag,
   return write_all(fd, bytes.data(), bytes.size());
 }
 
-/// Blocks until one complete frame arrives or the deadline passes.
-std::optional<WireFrame> recv_service_frame(int fd, FrameParser& parser,
-                                            Clock::time_point deadline) {
+/// Why recv_service_frame returned without a frame. A wedged server (open
+/// connection, no bytes) and a dead one (EOF) used to be indistinguishable
+/// nullopts; clients then blocked forever or reported the wrong failure.
+enum class RecvStatus {
+  kFrame,     ///< a complete frame was delivered
+  kTimeout,   ///< deadline passed with the connection still open
+  kClosed,    ///< peer closed (EOF) or the read failed
+  kProtocol,  ///< the byte stream failed wire framing
+};
+
+/// Blocks until one complete frame arrives, the deadline passes, or the
+/// connection dies; `out` is set only on kFrame.
+RecvStatus recv_service_frame(int fd, FrameParser& parser,
+                              Clock::time_point deadline,
+                              std::optional<WireFrame>& out) {
   std::vector<std::uint8_t> buffer(16 * 1024);
   std::vector<WireFrame> frames;
   while (true) {
     const auto now = Clock::now();
-    if (now >= deadline) return std::nullopt;
+    if (now >= deadline) return RecvStatus::kTimeout;
     pollfd pfd{};
     pfd.fd = fd;
     pfd.events = POLLIN;
@@ -63,18 +77,26 @@ std::optional<WireFrame> recv_service_frame(int fd, FrameParser& parser,
         std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now);
     const int ready = ::poll(&pfd, 1, static_cast<int>(wait.count()) + 1);
     if (ready < 0 && errno == EINTR) continue;
-    if (ready <= 0) return std::nullopt;
+    if (ready < 0) return RecvStatus::kClosed;
+    if (ready == 0) return RecvStatus::kTimeout;
     const ssize_t n = ::recv(fd, buffer.data(), buffer.size(), 0);
     if (n < 0 && errno == EINTR) continue;
-    if (n <= 0) return std::nullopt;
+    if (n <= 0) return RecvStatus::kClosed;
     if (!parser.feed(buffer.data(), static_cast<std::size_t>(n), frames)) {
-      return std::nullopt;
+      return RecvStatus::kProtocol;
     }
-    if (!frames.empty()) return std::move(frames.front());
+    if (!frames.empty()) {
+      out = std::move(frames.front());
+      return RecvStatus::kFrame;
+    }
   }
 }
 
-int dial(const std::string& host, std::uint16_t port) {
+/// Bounded connect: non-blocking connect + poll, so a black-holed host
+/// (SYN never answered) times out at `deadline` instead of the kernel's
+/// minutes-long default. Throws ServiceTimeoutError/runtime_error.
+int dial(const std::string& host, std::uint16_t port,
+         Clock::time_point deadline, std::chrono::milliseconds timeout) {
   addrinfo hints{};
   hints.ai_family = AF_INET;
   hints.ai_socktype = SOCK_STREAM;
@@ -85,12 +107,48 @@ int dial(const std::string& host, std::uint16_t port) {
     throw std::runtime_error("service: cannot resolve " + host);
   }
   int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd >= 0 && ::connect(fd, resolved->ai_addr, resolved->ai_addrlen) != 0) {
-    ::close(fd);
-    fd = -1;
+  bool timed_out = false;
+  if (fd >= 0) {
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+    int rc = ::connect(fd, resolved->ai_addr, resolved->ai_addrlen);
+    if (rc != 0 && errno == EINPROGRESS) {
+      pollfd pfd{};
+      pfd.fd = fd;
+      pfd.events = POLLOUT;
+      for (;;) {
+        const auto now = Clock::now();
+        if (now >= deadline) {
+          timed_out = true;
+          rc = -1;
+          break;
+        }
+        const auto wait = std::chrono::duration_cast<std::chrono::milliseconds>(
+            deadline - now);
+        const int ready = ::poll(&pfd, 1, static_cast<int>(wait.count()) + 1);
+        if (ready < 0 && errno == EINTR) continue;
+        if (ready <= 0) {
+          timed_out = ready == 0;
+          rc = -1;
+          break;
+        }
+        int err = 0;
+        socklen_t len = sizeof(err);
+        ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len);
+        rc = err == 0 ? 0 : -1;
+        break;
+      }
+    }
+    if (rc != 0) {
+      ::close(fd);
+      fd = -1;
+    } else {
+      ::fcntl(fd, F_SETFL, flags);
+    }
   }
   ::freeaddrinfo(resolved);
   if (fd < 0) {
+    if (timed_out) throw ServiceTimeoutError("connect to " + host, timeout);
     throw std::runtime_error("service: cannot connect to " + host + ":" +
                              std::to_string(port));
   }
@@ -153,8 +211,9 @@ void ServiceServer::serve_connection(int fd) {
   FrameParser parser;
   // A connection gets 30s to state its request; the *reply* (which may
   // carry a whole search) is not under this deadline.
-  const auto request = recv_service_frame(
-      fd, parser, Clock::now() + std::chrono::seconds(30));
+  std::optional<WireFrame> request;
+  recv_service_frame(fd, parser, Clock::now() + std::chrono::seconds(30),
+                     request);
   if (!request.has_value() || request->kind != FrameKind::kData) {
     registry_.counter("service.bad_requests").add();
     ::close(fd);
@@ -198,10 +257,17 @@ void ServiceServer::serve_connection(int fd) {
       break;
     }
     case MessageTag::kStatsQuery: {
-      const std::string json = registry_.snapshot().to_json();
+      const std::string json = stats_reply_json();
       std::vector<std::uint8_t> payload(json.begin(), json.end());
       seal_payload(payload);
       send_service_frame(fd, MessageTag::kStatsReply, std::move(payload));
+      break;
+    }
+    case MessageTag::kMetricsQuery: {
+      const std::string text = prometheus_exposition();
+      std::vector<std::uint8_t> payload(text.begin(), text.end());
+      seal_payload(payload);
+      send_service_frame(fd, MessageTag::kMetricsReply, std::move(payload));
       break;
     }
     default:
@@ -209,6 +275,41 @@ void ServiceServer::serve_connection(int fd) {
       break;
   }
   ::close(fd);
+}
+
+std::string ServiceServer::stats_reply_json() const {
+  const std::string json = registry_.snapshot().to_json();
+  const std::string rows = obs::job_progress_json(scheduler_.progress());
+  if (rows.empty()) return json;
+  // to_json emits "[\n" <objects joined ",\n"> "\n]\n"; splice the per-job
+  // progress rows in as extra array elements before the closing bracket.
+  const auto close = json.rfind("\n]");
+  if (close == std::string::npos) return json;
+  std::string head = json.substr(0, close);
+  bool first = head.find('{') == std::string::npos;
+  std::ostringstream out;
+  out << head;
+  std::istringstream lines(rows);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    if (!first) out << ",\n";
+    out << line;
+    first = false;
+  }
+  out << "\n]\n";
+  return out.str();
+}
+
+std::string ServiceServer::prometheus_exposition() const {
+  std::ostringstream out;
+  // The hub process's own registry is rank 0 of the cluster.
+  out << obs::to_prometheus(registry_.snapshot(), "fdml_", "rank=\"0\"");
+  if (options_.telemetry != nullptr) {
+    out << obs::to_prometheus(*options_.telemetry, Clock::now());
+  }
+  out << obs::to_prometheus(scheduler_.progress());
+  return out.str();
 }
 
 void ServiceServer::close() {
@@ -229,11 +330,65 @@ void ServiceServer::close() {
   }
 }
 
+namespace {
+
+/// Receives one frame or throws: ServiceTimeoutError on deadline (the wedged
+/// server the read deadline exists for), runtime_error on close/garbage.
+WireFrame recv_or_throw(int fd, FrameParser& parser, Clock::time_point deadline,
+                        std::chrono::milliseconds timeout,
+                        const std::string& operation) {
+  std::optional<WireFrame> frame;
+  switch (recv_service_frame(fd, parser, deadline, frame)) {
+    case RecvStatus::kFrame:
+      return std::move(*frame);
+    case RecvStatus::kTimeout:
+      ::close(fd);
+      throw ServiceTimeoutError(operation, timeout);
+    case RecvStatus::kClosed:
+      ::close(fd);
+      throw std::runtime_error("service: connection closed awaiting " +
+                               operation);
+    case RecvStatus::kProtocol:
+    default:
+      ::close(fd);
+      throw std::runtime_error("service: malformed reply to " + operation);
+  }
+}
+
+/// One-shot query/reply exchange returning the reply's opened payload as
+/// text (the stats and scrape clients differ only in tags).
+std::string query_text(const std::string& host, std::uint16_t port,
+                       MessageTag query, MessageTag reply_tag,
+                       const std::string& operation,
+                       std::chrono::milliseconds timeout) {
+  const auto deadline = Clock::now() + timeout;
+  const int fd = dial(host, port, deadline, timeout);
+  if (!send_service_frame(fd, query, {})) {
+    ::close(fd);
+    throw std::runtime_error("service: " + operation + " write failed");
+  }
+  FrameParser parser;
+  const WireFrame frame =
+      recv_or_throw(fd, parser, deadline, timeout, operation + " reply");
+  ::close(fd);
+  if (frame.tag != reply_tag) {
+    throw std::runtime_error("service: unexpected reply to " + operation);
+  }
+  std::vector<std::uint8_t> body = frame.payload;
+  if (!open_payload(body)) {
+    throw std::runtime_error("service: " + operation +
+                             " reply failed integrity check");
+  }
+  return std::string(body.begin(), body.end());
+}
+
+}  // namespace
+
 ServiceReply service_submit(const std::string& host, std::uint16_t port,
                             const JobSpec& spec,
                             std::chrono::milliseconds timeout) {
   const auto deadline = Clock::now() + timeout;
-  const int fd = dial(host, port);
+  const int fd = dial(host, port, deadline, timeout);
   std::vector<std::uint8_t> payload = spec.encode();
   seal_payload(payload);
   if (!send_service_frame(fd, MessageTag::kSubmit, std::move(payload))) {
@@ -242,30 +397,29 @@ ServiceReply service_submit(const std::string& host, std::uint16_t port,
   }
   FrameParser parser;
   ServiceReply reply;
-  const auto first = recv_service_frame(fd, parser, deadline);
-  if (!first.has_value()) {
+  const WireFrame first =
+      recv_or_throw(fd, parser, deadline, timeout, "submit reply");
+  if (first.tag == MessageTag::kJobRejected) {
     ::close(fd);
-    throw std::runtime_error("service: no reply to submit");
-  }
-  if (first->tag == MessageTag::kJobRejected) {
-    ::close(fd);
-    reply.rejected = first->payload.empty()
+    reply.rejected = first.payload.empty()
                          ? RejectReason::kBadRequest
-                         : static_cast<RejectReason>(first->payload[0]);
+                         : static_cast<RejectReason>(first.payload[0]);
     return reply;
   }
-  if (first->tag != MessageTag::kJobAccepted || first->payload.size() != 8) {
+  if (first.tag != MessageTag::kJobAccepted || first.payload.size() != 8) {
     ::close(fd);
     throw std::runtime_error("service: unexpected reply to submit");
   }
-  reply.job_id = Unpacker(first->payload).get_u64();
-  const auto done = recv_service_frame(fd, parser, deadline);
+  reply.job_id = Unpacker(first.payload).get_u64();
+  const WireFrame done = recv_or_throw(
+      fd, parser, deadline, timeout,
+      "job " + std::to_string(reply.job_id) + " outcome");
   ::close(fd);
-  if (!done.has_value() || done->tag != MessageTag::kJobDone) {
+  if (done.tag != MessageTag::kJobDone) {
     throw std::runtime_error("service: job " + std::to_string(reply.job_id) +
                              " outcome never arrived");
   }
-  std::vector<std::uint8_t> body = done->payload;
+  std::vector<std::uint8_t> body = done.payload;
   if (!open_payload(body)) {
     throw std::runtime_error("service: outcome failed integrity check");
   }
@@ -275,23 +429,14 @@ ServiceReply service_submit(const std::string& host, std::uint16_t port,
 
 std::string service_query_stats(const std::string& host, std::uint16_t port,
                                 std::chrono::milliseconds timeout) {
-  const auto deadline = Clock::now() + timeout;
-  const int fd = dial(host, port);
-  if (!send_service_frame(fd, MessageTag::kStatsQuery, {})) {
-    ::close(fd);
-    throw std::runtime_error("service: stats query write failed");
-  }
-  FrameParser parser;
-  const auto frame = recv_service_frame(fd, parser, deadline);
-  ::close(fd);
-  if (!frame.has_value() || frame->tag != MessageTag::kStatsReply) {
-    throw std::runtime_error("service: no stats reply");
-  }
-  std::vector<std::uint8_t> body = frame->payload;
-  if (!open_payload(body)) {
-    throw std::runtime_error("service: stats reply failed integrity check");
-  }
-  return std::string(body.begin(), body.end());
+  return query_text(host, port, MessageTag::kStatsQuery,
+                    MessageTag::kStatsReply, "stats query", timeout);
+}
+
+std::string service_scrape(const std::string& host, std::uint16_t port,
+                           std::chrono::milliseconds timeout) {
+  return query_text(host, port, MessageTag::kMetricsQuery,
+                    MessageTag::kMetricsReply, "scrape", timeout);
 }
 
 }  // namespace fdml

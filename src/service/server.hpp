@@ -19,6 +19,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
@@ -31,6 +32,31 @@ struct ServiceServerOptions {
   std::string host = "127.0.0.1";
   /// 0 = ephemeral; read back with port().
   std::uint16_t port = 0;
+  /// Cluster telemetry aggregate rendered into the kMetricsQuery
+  /// Prometheus exposition (per-rank kernel counters, staleness). Null =
+  /// hub-process metrics and job progress only. Must outlive the server.
+  const obs::TelemetryAggregator* telemetry = nullptr;
+};
+
+/// A client call gave up waiting on the server (connect or read deadline).
+/// Distinct from protocol/connection errors so callers can tell "the
+/// service is wedged" (retry later, alert) from "the service answered
+/// garbage" (a bug).
+class ServiceTimeoutError : public std::runtime_error {
+ public:
+  ServiceTimeoutError(const std::string& operation,
+                      std::chrono::milliseconds timeout)
+      : std::runtime_error("service: " + operation + " timed out after " +
+                           std::to_string(timeout.count()) + " ms"),
+        operation_(operation),
+        timeout_(timeout) {}
+
+  const std::string& operation() const { return operation_; }
+  std::chrono::milliseconds timeout() const { return timeout_; }
+
+ private:
+  std::string operation_;
+  std::chrono::milliseconds timeout_;
 };
 
 class ServiceServer {
@@ -54,6 +80,11 @@ class ServiceServer {
  private:
   void accept_loop();
   void serve_connection(int fd);
+  /// Metrics-snapshot JSON extended with one job_progress row per job.
+  std::string stats_reply_json() const;
+  /// Prometheus text: hub-process registry (rank 0) + cluster telemetry
+  /// aggregate + per-job progress series.
+  std::string prometheus_exposition() const;
 
   JobScheduler& scheduler_;
   obs::MetricsRegistry& registry_;
@@ -76,14 +107,21 @@ struct ServiceReply {
 };
 
 /// Submits a job and blocks until it is rejected or terminal. Throws
-/// std::runtime_error on connect/protocol failure. `timeout` bounds the
-/// whole exchange, including the search itself.
+/// ServiceTimeoutError when the server accepts the connection but never
+/// answers within `timeout` (which bounds the whole exchange, including the
+/// search itself), std::runtime_error on connect/protocol failure.
 ServiceReply service_submit(const std::string& host, std::uint16_t port,
                             const JobSpec& spec,
                             std::chrono::milliseconds timeout);
 
-/// Fetches the service's metrics snapshot (one-object-per-line JSON).
+/// Fetches the service's metrics snapshot (one-object-per-line JSON, with
+/// job_progress rows). Throws ServiceTimeoutError on a wedged server.
 std::string service_query_stats(const std::string& host, std::uint16_t port,
                                 std::chrono::milliseconds timeout);
+
+/// Fetches the Prometheus text exposition (kMetricsQuery). Throws
+/// ServiceTimeoutError on a wedged server.
+std::string service_scrape(const std::string& host, std::uint16_t port,
+                           std::chrono::milliseconds timeout);
 
 }  // namespace fdml

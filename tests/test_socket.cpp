@@ -571,8 +571,11 @@ TEST(Integrity, SealTableMatchesSenderBehaviour) {
   EXPECT_TRUE(tag_is_sealed(MessageTag::kProgress));
   EXPECT_TRUE(tag_is_sealed(MessageTag::kRoundFailed));
   EXPECT_TRUE(tag_is_sealed(MessageTag::kGoodbye));
+  EXPECT_TRUE(tag_is_sealed(MessageTag::kTelemetry));
+  EXPECT_TRUE(tag_is_sealed(MessageTag::kMetricsReply));
 
   EXPECT_FALSE(tag_is_sealed(MessageTag::kHello));
+  EXPECT_FALSE(tag_is_sealed(MessageTag::kMetricsQuery));
   EXPECT_FALSE(tag_is_sealed(MessageTag::kShutdown));
   EXPECT_FALSE(tag_is_sealed(MessageTag::kNack));
   EXPECT_FALSE(tag_is_sealed(MessageTag::kPing));
